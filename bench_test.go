@@ -1,0 +1,168 @@
+// Repository-level benchmarks: one per table/figure of the paper's
+// evaluation (§6) and per analytical validation (§2.2, §5). Each benchmark
+// runs the corresponding experiment end to end at a reduced scale (the
+// full-scale numbers come from `go run ./cmd/meshbench -scale 1 all`) and
+// reports the experiment's headline quantity as a custom metric, so
+// `go test -bench=. -benchmem` regenerates the whole evaluation in
+// miniature.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// BenchmarkFig6Firefox regenerates Figure 6 (browser workload, Mesh vs
+// jemalloc). Metric: mesh mean-RSS change vs baseline in percent (paper:
+// −16 at full scale; small scales pay a constant per-class overhead).
+func BenchmarkFig6Firefox(b *testing.B) {
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta = res.DeltaPercent
+	}
+	b.ReportMetric(delta, "Δmean-rss-%")
+}
+
+// BenchmarkFig7Redis regenerates Figure 7 (Redis LRU cache). Metric: final
+// RSS savings of Mesh vs Mesh-without-meshing in percent (paper: 39).
+func BenchmarkFig7Redis(b *testing.B) {
+	var savings float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		savings = res.SavingsPercent
+	}
+	b.ReportMetric(savings, "savings-%")
+}
+
+// BenchmarkFig8Ruby regenerates Figure 8 (Ruby regular-pattern
+// microbenchmark). Metric: mean-RSS savings of randomized Mesh vs Mesh
+// without randomization in percent (paper: ~16 points).
+func BenchmarkFig8Ruby(b *testing.B) {
+	var savings float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		savings = res.RandSavingsPercent
+	}
+	b.ReportMetric(savings, "rand-savings-%")
+}
+
+// BenchmarkSpecSuite regenerates the §6.2.3 SPECint-like table. Metric:
+// geomean peak-RSS ratio mesh/glibc (paper: 0.976).
+func BenchmarkSpecSuite(b *testing.B) {
+	var geo float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Spec(60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		geo = res.GeomeanMemRatio
+	}
+	b.ReportMetric(geo, "geomean-ratio")
+}
+
+// BenchmarkMeshProbability validates the §2.2/§5.2 closed forms by Monte
+// Carlo. Metric: worst absolute theory-vs-empirical gap across occupancies.
+func BenchmarkMeshProbability(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Prob(4000)
+		worst = 0
+		for _, r := range res.Rows {
+			gap := r.TheoryQ - r.EmpiricalQ
+			if gap < 0 {
+				gap = -gap
+			}
+			if gap > worst {
+				worst = gap
+			}
+		}
+	}
+	b.ReportMetric(worst, "max-q-gap")
+}
+
+// BenchmarkLemma53 validates the SplitMesher guarantee sweep. Metric:
+// minimum found/bound ratio across the sweep (must stay ≥ 1 w.h.p.).
+func BenchmarkLemma53(b *testing.B) {
+	var minRatio float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Lemma53(200)
+		minRatio = 1e9
+		for _, r := range res.Rows {
+			// Lemma 5.3 applies for t = k/q with k > 1 and n ≥ 2k/q = 2t;
+			// rows outside its precondition carry no information.
+			if r.Bound < 1 || float64(r.T)*r.Q <= 1 || r.Spans < 2*r.T {
+				continue
+			}
+			ratio := float64(r.Found) / r.Bound
+			if ratio < minRatio {
+				minRatio = ratio
+			}
+		}
+	}
+	b.ReportMetric(minRatio, "min-found/bound")
+}
+
+// BenchmarkTriangle reproduces the §5.2 triangle-scarcity computation.
+// Metric: empirical triangle count on the sampled graph (paper expects <2
+// in expectation under the true model vs ≈167 under independence).
+func BenchmarkTriangle(b *testing.B) {
+	var tri int
+	for i := 0; i < b.N; i++ {
+		tri = experiments.Triangle().EmpiricalTriangles
+	}
+	b.ReportMetric(float64(tri), "triangles")
+}
+
+// BenchmarkAblation regenerates the §6.3 meshing×randomization table.
+// Metric: mean RSS of full Mesh relative to Mesh-no-meshing (lower is
+// better compaction).
+func BenchmarkAblation(b *testing.B) {
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Ablation(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var full, noMesh float64
+		for _, r := range res.Rows {
+			switch r.Allocator {
+			case "mesh":
+				full = r.MeanRSS
+			case "mesh (no meshing)":
+				noMesh = r.MeanRSS
+			}
+		}
+		rel = full / noMesh
+	}
+	b.ReportMetric(rel, "mesh/no-mesh-rss")
+}
+
+// BenchmarkRobson regenerates the §1 motivation experiment: OOM survival
+// under a physical memory budget. Metric: rounds completed by Mesh divided
+// by rounds completed by the non-compacting baseline before it OOMs.
+func BenchmarkRobson(b *testing.B) {
+	var advantage float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Robson(1024, 24, []string{"mesh", "jemalloc"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseRounds := res.Rows[1].RoundsCompleted
+		if baseRounds == 0 {
+			baseRounds = 1
+		}
+		advantage = float64(res.Rows[0].RoundsCompleted) / float64(baseRounds)
+	}
+	b.ReportMetric(advantage, "survival-x")
+}

@@ -1,0 +1,135 @@
+// Command meshtrace generates, inspects, and replays allocation traces —
+// portable records of a program's allocator-visible behaviour that can be
+// re-run under any of this repository's allocators.
+//
+// Usage:
+//
+//	meshtrace gen  [-ops N] [-alloc-prob P] [-min S] [-max S] [-seed K] > trace.txt
+//	meshtrace info < trace.txt
+//	meshtrace replay -allocator <kind> [-scale N] < trace.txt
+//
+// Replay prints a summary line plus the RSS series as CSV, so the same
+// trace can be compared across mesh / mesh-nomesh / mesh-norand /
+// jemalloc / glibc.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "gen":
+		err = gen(args)
+	case "info":
+		err = info()
+	case "replay":
+		err = replay(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "meshtrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  meshtrace gen  [-ops N] [-alloc-prob P] [-min S] [-max S] [-seed K] > trace.txt
+  meshtrace info < trace.txt
+  meshtrace replay -allocator <kind> [-scale N] < trace.txt`)
+	os.Exit(2)
+}
+
+func gen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	ops := fs.Int("ops", 100_000, "operations to generate")
+	prob := fs.Float64("alloc-prob", 0.55, "probability an op is an allocation")
+	minSz := fs.Int("min", 16, "minimum allocation size")
+	maxSz := fs.Int("max", 2048, "maximum allocation size")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr := workload.GenerateChurn(*ops, *prob, workload.Uniform{Lo: *minSz, Hi: *maxSz}, *seed)
+	fmt.Printf("# meshtrace gen ops=%d alloc-prob=%.2f sizes=[%d,%d] seed=%d\n",
+		*ops, *prob, *minSz, *maxSz, *seed)
+	_, err := tr.WriteTo(os.Stdout)
+	return err
+}
+
+func info() error {
+	tr, err := workload.ParseTrace(os.Stdin)
+	if err != nil {
+		return err
+	}
+	leaked, err := tr.Validate()
+	if err != nil {
+		return err
+	}
+	allocs, frees, ticks, bytes := 0, 0, 0, int64(0)
+	for _, op := range tr {
+		switch op.Kind {
+		case workload.OpAlloc:
+			allocs++
+			bytes += int64(op.Size)
+		case workload.OpFree:
+			frees++
+		case workload.OpTick:
+			ticks += op.Size
+		}
+	}
+	fmt.Printf("ops: %d (allocs %d, frees %d), ticks %d\n", len(tr), allocs, frees, ticks)
+	fmt.Printf("allocated %.2f MiB total, %d objects leaked at end\n", stats.MiB(bytes), leaked)
+	return nil
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	kind := fs.String("allocator", "mesh", "mesh | mesh-nomesh | mesh-norand | jemalloc | glibc")
+	scale := fs.Int("scale", 1, "dirty-threshold scale factor")
+	csvOut := fs.Bool("csv", false, "print the RSS series as CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := workload.ParseTrace(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if _, err := tr.Validate(); err != nil {
+		return err
+	}
+	clock := core.NewLogicalClock()
+	a, err := experiments.Build(*kind, *scale, clock)
+	if err != nil {
+		return err
+	}
+	h := workload.NewHarness(a, clock, 10*time.Millisecond)
+	start := time.Now()
+	if err := tr.Replay(h, a.NewThread()); err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	series := h.Finish()
+	fmt.Printf("%s: %d ops in %v; peak RSS %.2f MiB, mean RSS %.2f MiB\n",
+		a.Name(), len(tr), wall.Round(time.Millisecond),
+		stats.MiB(series.PeakRSS()), series.MeanRSS()/(1<<20))
+	if *csvOut {
+		return series.WriteCSV(os.Stdout)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// Command mstat mirrors the paper's mstat utility (§6.1): it runs one
+// workload under one allocator configuration and emits the resident-set-
+// size time series as CSV on stdout, suitable for plotting the paper's
+// figures.
+//
+// Usage:
+//
+//	mstat [-scale N] -workload <redis|ruby|browser> -allocator <kind>
+//
+// Allocator kinds: mesh, mesh-nomesh, mesh-norand, jemalloc, glibc.
+// For the Redis workload, -defrag enables activedefrag (jemalloc only in
+// the paper, but any allocator accepts it here).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/browsersim"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/redissim"
+	"repro/internal/rubysim"
+	"repro/internal/stats"
+)
+
+var (
+	scale     = flag.Int("scale", 1, "divide workload sizes by this factor")
+	workload  = flag.String("workload", "", "redis | ruby | browser")
+	allocator = flag.String("allocator", "mesh", "mesh | mesh-nomesh | mesh-norand | jemalloc | glibc")
+	defrag    = flag.Bool("defrag", false, "enable activedefrag (redis workload)")
+)
+
+func main() {
+	flag.Parse()
+	if *workload == "" {
+		fmt.Fprintln(os.Stderr, "usage: mstat [-scale N] -workload <redis|ruby|browser> -allocator <kind> [-defrag]")
+		os.Exit(2)
+	}
+	series, err := run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mstat: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("series,seconds,rss_bytes,live_bytes")
+	if err := series.WriteCSV(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "mstat: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() (*stats.Series, error) {
+	clock := core.NewLogicalClock()
+	a, err := experiments.Build(*allocator, *scale, clock)
+	if err != nil {
+		return nil, err
+	}
+	switch *workload {
+	case "redis":
+		cfg := redissim.Default(*scale)
+		cfg.ActiveDefrag = *defrag
+		r, err := redissim.Run(cfg, a, clock)
+		if err != nil {
+			return nil, err
+		}
+		return &r.Series, nil
+	case "ruby":
+		r, err := rubysim.Run(rubysim.Default(*scale), a, clock)
+		if err != nil {
+			return nil, err
+		}
+		return &r.Series, nil
+	case "browser":
+		r, err := browsersim.Run(browsersim.Default(*scale), a, clock)
+		if err != nil {
+			return nil, err
+		}
+		return &r.Series, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", *workload)
+	}
+}

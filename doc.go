@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Mesh: Compacting
+// Memory Management for C/C++ Applications" (Powers, Tench, Berger,
+// McGregor; PLDI 2019).
+//
+// The public allocator API lives in package repro/mesh. The root package
+// exists to host the repository-level benchmark suite (bench_test.go),
+// which regenerates every table and figure of the paper's evaluation; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured results.
+package repro

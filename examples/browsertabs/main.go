@@ -1,0 +1,115 @@
+// browsertabs: a multi-threaded workload in the shape of the paper's
+// Firefox experiment (§6.2.1) — several worker threads build and tear down
+// DOM-like object graphs while meshing runs concurrently with allocation,
+// exercising the write barrier and cross-thread frees.
+//
+// Run with: go run ./examples/browsertabs
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/mesh"
+)
+
+const (
+	workers       = 4
+	tabsPerWorker = 6
+	nodesPerTab   = 12_000
+)
+
+// domSizes approximates a browser engine's small-object mix.
+var domSizes = []int{16, 32, 48, 64, 96, 128, 256, 512}
+
+func worker(a *mesh.Allocator, id int, wg *sync.WaitGroup, keepCh chan<- mesh.Ptr) {
+	defer wg.Done()
+	th := a.NewThread()
+	defer func() {
+		if err := th.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	rngState := uint64(id)*2654435761 + 99
+	next := func() uint64 {
+		rngState = rngState*6364136223846793005 + 1442695040888963407
+		return rngState >> 11
+	}
+	for tab := 0; tab < tabsPerWorker; tab++ {
+		// Build the tab's object graph.
+		nodes := make([]mesh.Ptr, 0, nodesPerTab)
+		for i := 0; i < nodesPerTab; i++ {
+			size := domSizes[next()%uint64(len(domSizes))]
+			p, err := th.Malloc(size)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := a.Write(p, []byte{byte(i)}); err != nil {
+				log.Fatal(err)
+			}
+			nodes = append(nodes, p)
+		}
+		// Close the tab: 95% of nodes die; 5% go to the shared cache,
+		// where the main goroutine will free them later (cross-thread
+		// frees, §3.2).
+		for i, p := range nodes {
+			if next()%100 < 95 {
+				if err := th.Free(p); err != nil {
+					log.Fatal(err)
+				}
+			} else {
+				_ = i
+				keepCh <- p
+			}
+		}
+	}
+}
+
+func main() {
+	a := mesh.New(mesh.WithSeed(11), mesh.WithDirtyPageThreshold(1<<20/4096))
+	keepCh := make(chan mesh.Ptr, workers*tabsPerWorker*nodesPerTab/10)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go worker(a, w, &wg, keepCh)
+	}
+
+	// Concurrently, run periodic meshing while tabs open and close.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				a.Mesh()
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(done)
+	close(keepCh)
+
+	// The "UI thread" now drops the cached nodes (all remote frees).
+	cached := 0
+	for p := range keepCh {
+		if err := a.Free(p); err != nil {
+			log.Fatal(err)
+		}
+		cached++
+	}
+	a.Mesh()
+
+	st := a.Stats()
+	fmt.Printf("workers: %d, tabs: %d, nodes built: %d, cached nodes freed cross-thread: %d\n",
+		workers, workers*tabsPerWorker, workers*tabsPerWorker*nodesPerTab, cached)
+	fmt.Printf("final RSS %.2f MiB, live %.2f MiB\n",
+		float64(st.RSS)/(1<<20), float64(st.Live)/(1<<20))
+	fmt.Printf("meshing: %d passes, %d spans released, %.2f MiB freed, %d write-barrier faults\n",
+		st.Mesh.Passes, st.Mesh.SpansMeshed, float64(st.Mesh.BytesFreed)/(1<<20), st.VM.Faults)
+	if st.InvalidFree != 0 {
+		log.Fatalf("invalid frees: %d", st.InvalidFree)
+	}
+}

@@ -1,0 +1,80 @@
+// Quickstart: allocate, write, mesh, and watch RSS fall.
+//
+// This example builds a deliberately fragmented heap — many spans, each
+// nearly empty — and then asks Mesh to compact it. Because meshing merges
+// physical spans without moving virtual addresses, every pointer the
+// program holds remains valid and every byte it wrote is still there.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/mesh"
+)
+
+func main() {
+	// A deterministic allocator: fixed seed, logical clock (we drive
+	// meshing explicitly here).
+	a := mesh.New(mesh.WithSeed(42), mesh.WithClock(mesh.NewLogicalClock()))
+
+	// Allocate 16k small objects (16 bytes each: 64 spans of 256 objects).
+	ptrs := make([]mesh.Ptr, 0, 64*256)
+	for i := 0; i < 64*256; i++ {
+		p, err := a.Malloc(16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+
+	// Keep every 16th object — tag it with a recognizable payload — and
+	// free the rest. The heap is now ~6% occupied but still holds every
+	// span: a textbook fragmented heap.
+	type kept struct {
+		p   mesh.Ptr
+		tag byte
+	}
+	var live []kept
+	for i, p := range ptrs {
+		if i%16 == 0 {
+			tag := byte(i % 251)
+			if err := a.Write(p, []byte{tag}); err != nil {
+				log.Fatal(err)
+			}
+			live = append(live, kept{p, tag})
+			continue
+		}
+		if err := a.Free(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	before := a.Stats()
+	fmt.Printf("before meshing: RSS = %6.1f KiB, live = %5.1f KiB (%.0f%% utilization)\n",
+		float64(before.RSS)/1024, float64(before.Live)/1024,
+		100*float64(before.Live)/float64(before.RSS))
+
+	released := a.Mesh()
+
+	after := a.Stats()
+	fmt.Printf("after meshing:  RSS = %6.1f KiB, live = %5.1f KiB (%.0f%% utilization)\n",
+		float64(after.RSS)/1024, float64(after.Live)/1024,
+		100*float64(after.Live)/float64(after.RSS))
+	fmt.Printf("meshing released %d physical spans (%.1f KiB copied, longest pause %v)\n",
+		released, float64(after.Mesh.BytesCopied)/1024, after.Mesh.LongestPause)
+
+	// Every surviving pointer still reads its original byte.
+	buf := make([]byte, 1)
+	for _, k := range live {
+		if err := a.Read(k.p, buf); err != nil {
+			log.Fatal(err)
+		}
+		if buf[0] != k.tag {
+			log.Fatalf("object at %#x corrupted: got %d want %d", k.p, buf[0], k.tag)
+		}
+	}
+	fmt.Printf("verified %d live objects: all contents intact, all addresses unchanged\n", len(live))
+}

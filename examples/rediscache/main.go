@@ -1,0 +1,111 @@
+// rediscache: an in-memory LRU cache in the style of the paper's Redis
+// experiment (§6.2.2), showing that Mesh recovers the memory an LRU
+// workload fragments — automatically, with no "activedefrag" machinery.
+//
+// The cache inserts 240-byte values until its capacity forces sampled-LRU
+// eviction, then switches to 492-byte values (a different size class).
+// Evictions scatter holes across the old spans; meshing stitches the
+// survivors together and returns the rest to the OS.
+//
+// Run with: go run ./examples/rediscache
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/mesh"
+)
+
+type entry struct {
+	key   mesh.Ptr
+	value mesh.Ptr
+	size  int
+	seq   uint64
+}
+
+type cache struct {
+	a        *mesh.Allocator
+	entries  []entry
+	bytes    int64
+	capacity int64
+	seq      uint64
+	rng      uint64
+}
+
+func (c *cache) rand() uint64 {
+	c.rng = c.rng*6364136223846793005 + 1442695040888963407
+	return c.rng >> 11
+}
+
+func (c *cache) set(keyLen, valLen int) error {
+	key, err := c.a.Malloc(keyLen)
+	if err != nil {
+		return err
+	}
+	val, err := c.a.Malloc(valLen)
+	if err != nil {
+		return err
+	}
+	e := entry{key: key, value: val, size: keyLen + valLen, seq: c.seq}
+	c.seq++
+	c.entries = append(c.entries, e)
+	c.bytes += int64(e.size)
+	for c.bytes > c.capacity {
+		if err := c.evict(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evict approximates Redis's LRU: sample 5 random entries, evict the
+// oldest.
+func (c *cache) evict() error {
+	best := int(c.rand() % uint64(len(c.entries)))
+	for i := 0; i < 4; i++ {
+		cand := int(c.rand() % uint64(len(c.entries)))
+		if c.entries[cand].seq < c.entries[best].seq {
+			best = cand
+		}
+	}
+	e := c.entries[best]
+	c.entries[best] = c.entries[len(c.entries)-1]
+	c.entries = c.entries[:len(c.entries)-1]
+	c.bytes -= int64(e.size)
+	if err := c.a.Free(e.key); err != nil {
+		return err
+	}
+	return c.a.Free(e.value)
+}
+
+func main() {
+	a := mesh.New(mesh.WithSeed(7), mesh.WithClock(mesh.NewLogicalClock()),
+		mesh.WithDirtyPageThreshold(1<<20/4096))
+	c := &cache{a: a, capacity: 4 << 20, rng: 12345}
+
+	// Phase 1: fill far past capacity with 240-byte values.
+	for i := 0; i < 35_000; i++ {
+		if err := c.set(24, 240); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Phase 2: switch to 492-byte values; old spans fragment.
+	for i := 0; i < 8_000; i++ {
+		if err := c.set(24, 492); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	st := a.Stats()
+	fmt.Printf("after load: %d entries, cache bytes %.1f MiB, RSS %.1f MiB\n",
+		len(c.entries), float64(c.bytes)/(1<<20), float64(st.RSS)/(1<<20))
+
+	released := a.Mesh()
+	st = a.Stats()
+	fmt.Printf("after mesh: released %d spans, RSS %.1f MiB (%.0f%% of heap was fragmentation)\n",
+		released, float64(st.RSS)/(1<<20),
+		100*float64(int64(released)*4096)/float64(st.RSS+int64(released)*4096))
+	fmt.Printf("meshing stats: %d passes, %.1f MiB freed in total, longest pause %v\n",
+		st.Mesh.Passes, float64(st.Mesh.BytesFreed)/(1<<20), st.Mesh.LongestPause)
+}

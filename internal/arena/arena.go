@@ -1,0 +1,182 @@
+// Package arena implements Mesh's global meshable arena (§4.4.1 of the
+// paper): the component that owns all span-granularity memory, bins
+// released spans for reuse, batches returning memory to the OS, and keeps
+// the constant-time mapping from page offsets to owning MiniHeaps that
+// powers non-local frees (§4.4.4).
+//
+// The paper's arena is a memfd-backed file mapping; here it sits on the
+// simulated vm.OS. Two families of spans exist, exactly as in §4.4.1:
+// demand-zeroed spans (freshly committed) and used ("dirty") spans, which
+// are kept resident in per-length bins because they are likely to be needed
+// again soon and reclamation is relatively expensive. Dirty pages are
+// returned to the OS (punched) only after DirtyPageThreshold pages
+// accumulate, or when meshing is invoked.
+package arena
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/miniheap"
+	"repro/internal/vm"
+)
+
+// DefaultDirtyPageThreshold is the dirty-page accumulation limit before the
+// arena punches used spans back to the OS: 64 MiB, per §4.4.1.
+const DefaultDirtyPageThreshold = 64 << 20 / vm.PageSize
+
+// Arena owns span allocation for one heap. All methods are safe for
+// concurrent use; internally a single mutex guards the bins and the
+// offset-to-MiniHeap table (the global heap serializes heavier operations
+// with its own lock above us).
+type Arena struct {
+	os *vm.OS
+
+	mu          sync.Mutex
+	dirty       map[int][]vm.PhysID // span length in pages -> reusable dirty spans
+	dirtyPages  int
+	threshold   int
+	byPage      map[uint64]*miniheap.MiniHeap // virtual page number -> owner
+	spanRelease uint64                        // count of spans released (stats)
+}
+
+// New creates an arena on top of os. threshold is the dirty-page punch
+// threshold in pages; pass 0 for the paper's 64 MiB default.
+func New(os *vm.OS, threshold int) *Arena {
+	if threshold <= 0 {
+		threshold = DefaultDirtyPageThreshold
+	}
+	return &Arena{
+		os:        os,
+		dirty:     make(map[int][]vm.PhysID),
+		threshold: threshold,
+		byPage:    make(map[uint64]*miniheap.MiniHeap),
+	}
+}
+
+// OS returns the underlying simulated memory subsystem.
+func (a *Arena) OS() *vm.OS { return a.os }
+
+// AllocSpan obtains a span of the given page count, preferring a dirty span
+// from the reuse bins (cheap, already resident) and falling back to a fresh
+// demand-zeroed commit. It returns the virtual base address, the physical
+// span id, and whether the span was reused dirty (callers that hand memory
+// to applications may want to zero it; Mesh, like malloc, does not).
+func (a *Arena) AllocSpan(pages int) (vbase uint64, phys vm.PhysID, reused bool, err error) {
+	if pages <= 0 {
+		return 0, 0, false, fmt.Errorf("arena: invalid span size %d", pages)
+	}
+	a.mu.Lock()
+	bin := a.dirty[pages]
+	if n := len(bin); n > 0 {
+		phys = bin[n-1]
+		a.dirty[pages] = bin[:n-1]
+		a.dirtyPages -= pages
+		a.mu.Unlock()
+		vbase = a.os.Reserve(pages)
+		if err := a.os.MapExisting(vbase, phys); err != nil {
+			return 0, 0, false, err
+		}
+		return vbase, phys, true, nil
+	}
+	a.mu.Unlock()
+	vbase = a.os.Reserve(pages)
+	phys, err = a.os.Commit(vbase, pages)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return vbase, phys, false, nil
+}
+
+// Register records mh as the owner of the span at vbase, enabling
+// constant-time pointer-to-MiniHeap lookup.
+func (a *Arena) Register(vbase uint64, pages int, mh *miniheap.MiniHeap) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	vpn := vbase >> vm.PageShift
+	for i := uint64(0); i < uint64(pages); i++ {
+		a.byPage[vpn+i] = mh
+	}
+}
+
+// Unregister removes the owner mapping for the span at vbase.
+func (a *Arena) Unregister(vbase uint64, pages int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	vpn := vbase >> vm.PageShift
+	for i := uint64(0); i < uint64(pages); i++ {
+		delete(a.byPage, vpn+i)
+	}
+}
+
+// Lookup resolves a pointer to its owning MiniHeap in constant time
+// (§4.4.4). It returns nil for addresses the arena does not own — memory
+// errors like wild frees are thereby "easily discovered and discarded".
+func (a *Arena) Lookup(addr uint64) *miniheap.MiniHeap {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.byPage[addr>>vm.PageShift]
+}
+
+// ReleaseSpan unmaps the virtual span at vbase and, if that drops the last
+// mapping of its physical span, parks the physical span in the dirty bins
+// for reuse. When accumulated dirty pages exceed the threshold, all dirty
+// spans are punched back to the OS (§4.4.1's fallocate batching).
+func (a *Arena) ReleaseSpan(vbase uint64, pages int) error {
+	phys, refs, err := a.os.Unmap(vbase, pages)
+	if err != nil {
+		return err
+	}
+	if refs > 0 {
+		return nil // other virtual spans still mesh onto this physical span
+	}
+	a.mu.Lock()
+	a.dirty[pages] = append(a.dirty[pages], phys)
+	a.dirtyPages += pages
+	a.spanRelease++
+	needFlush := a.dirtyPages > a.threshold
+	a.mu.Unlock()
+	if needFlush {
+		return a.FlushDirty()
+	}
+	return nil
+}
+
+// RetirePhys immediately punches a physical span that has already lost all
+// its mappings (the span meshing just emptied). Meshing calls this directly:
+// "whenever meshing is invoked, Mesh returns pages to OS" (§4.4.1), which is
+// what makes compaction visible in RSS right away.
+func (a *Arena) RetirePhys(phys vm.PhysID) error {
+	return a.os.Punch(phys)
+}
+
+// FlushDirty punches every parked dirty span back to the OS.
+func (a *Arena) FlushDirty() error {
+	a.mu.Lock()
+	spans := a.dirty
+	a.dirty = make(map[int][]vm.PhysID)
+	a.dirtyPages = 0
+	a.mu.Unlock()
+	for _, bin := range spans {
+		for _, phys := range bin {
+			if err := a.os.Punch(phys); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DirtyPages returns the number of pages currently parked in reuse bins.
+func (a *Arena) DirtyPages() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dirtyPages
+}
+
+// Reassign transfers ownership of the span at vbase to a different MiniHeap
+// without touching mappings; meshing uses this when the destination MiniHeap
+// absorbs the source's virtual spans.
+func (a *Arena) Reassign(vbase uint64, pages int, mh *miniheap.MiniHeap) {
+	a.Register(vbase, pages, mh)
+}

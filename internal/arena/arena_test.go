@@ -1,0 +1,214 @@
+package arena
+
+import (
+	"testing"
+
+	"repro/internal/miniheap"
+	"repro/internal/sizeclass"
+	"repro/internal/vm"
+)
+
+func newArena(threshold int) (*Arena, *vm.OS) {
+	os := vm.NewOS()
+	return New(os, threshold), os
+}
+
+func TestAllocSpanFresh(t *testing.T) {
+	a, os := newArena(0)
+	vbase, phys, reused, err := a.AllocSpan(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Fatal("first span reported reused")
+	}
+	if phys == 0 || vbase == 0 {
+		t.Fatal("zero ids")
+	}
+	if os.RSSPages() != 2 {
+		t.Fatalf("RSSPages = %d", os.RSSPages())
+	}
+}
+
+func TestReleaseAndReuse(t *testing.T) {
+	a, os := newArena(1 << 20)
+	vbase, phys, _, err := a.AllocSpan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Write(vbase, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ReleaseSpan(vbase, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Dirty span stays resident (not punched).
+	if os.RSSPages() != 1 {
+		t.Fatalf("RSSPages after release = %d, want 1 (dirty, resident)", os.RSSPages())
+	}
+	if a.DirtyPages() != 1 {
+		t.Fatalf("DirtyPages = %d", a.DirtyPages())
+	}
+	// Next allocation of the same size reuses the dirty span.
+	v2, p2, reused, err := a.AllocSpan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reused || p2 != phys {
+		t.Fatalf("expected dirty reuse of %d, got %d (reused=%v)", phys, p2, reused)
+	}
+	// Dirty contents preserved, like real mmap reuse of a file offset.
+	b, err := os.ByteAt(v2)
+	if err != nil || b != 42 {
+		t.Fatalf("dirty contents lost: %d, %v", b, err)
+	}
+	if a.DirtyPages() != 0 {
+		t.Fatalf("DirtyPages after reuse = %d", a.DirtyPages())
+	}
+}
+
+func TestReleaseKeepsMeshedPhysical(t *testing.T) {
+	// When a virtual span is one of several meshed onto a physical span,
+	// releasing it must not bin or punch the physical span.
+	a, os := newArena(0)
+	v1, p1, _, err := a.AllocSpan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := os.Reserve(1)
+	if err := os.MapExisting(v2, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ReleaseSpan(v2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if a.DirtyPages() != 0 {
+		t.Fatal("meshed physical span was binned while still mapped")
+	}
+	if os.RSSPages() != 1 {
+		t.Fatalf("RSSPages = %d", os.RSSPages())
+	}
+	// Releasing the last mapping bins it.
+	if err := a.ReleaseSpan(v1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if a.DirtyPages() != 1 {
+		t.Fatalf("DirtyPages = %d, want 1", a.DirtyPages())
+	}
+}
+
+func TestThresholdFlush(t *testing.T) {
+	a, os := newArena(4) // punch after >4 dirty pages accumulate
+	var bases []uint64
+	for i := 0; i < 5; i++ {
+		v, _, _, err := a.AllocSpan(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bases = append(bases, v)
+	}
+	if os.RSSPages() != 5 {
+		t.Fatalf("RSSPages = %d", os.RSSPages())
+	}
+	for i, v := range bases {
+		if err := a.ReleaseSpan(v, 1); err != nil {
+			t.Fatalf("release %d: %v", i, err)
+		}
+	}
+	// Releasing the 5th page pushed dirtyPages to 5 > 4, triggering a
+	// full flush.
+	if a.DirtyPages() != 0 {
+		t.Fatalf("DirtyPages after threshold = %d", a.DirtyPages())
+	}
+	if os.RSSPages() != 0 {
+		t.Fatalf("RSSPages after flush = %d", os.RSSPages())
+	}
+	if os.Snapshot().Punches != 5 {
+		t.Fatalf("punches = %d", os.Snapshot().Punches)
+	}
+}
+
+func TestFlushDirtyExplicit(t *testing.T) {
+	a, os := newArena(1 << 20)
+	v, _, _, _ := a.AllocSpan(3)
+	if err := a.ReleaseSpan(v, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	if os.RSSPages() != 0 || a.DirtyPages() != 0 {
+		t.Fatalf("flush incomplete: rss=%d dirty=%d", os.RSSPages(), a.DirtyPages())
+	}
+}
+
+func TestLookupRegisterUnregister(t *testing.T) {
+	a, _ := newArena(0)
+	c, _ := sizeclass.ClassForSize(16)
+	vbase, phys, _, err := a.AllocSpan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh := miniheap.New(c, vbase, phys)
+	a.Register(vbase, 1, mh)
+	if got := a.Lookup(vbase + 123); got != mh {
+		t.Fatal("Lookup missed owner")
+	}
+	if got := a.Lookup(vbase + 2*vm.PageSize); got != nil {
+		t.Fatal("Lookup matched foreign page")
+	}
+	if got := a.Lookup(0xdead000); got != nil {
+		t.Fatal("wild pointer resolved to a MiniHeap")
+	}
+	a.Unregister(vbase, 1)
+	if got := a.Lookup(vbase); got != nil {
+		t.Fatal("Lookup after Unregister")
+	}
+}
+
+func TestReassign(t *testing.T) {
+	a, _ := newArena(0)
+	c, _ := sizeclass.ClassForSize(16)
+	vbase, phys, _, _ := a.AllocSpan(1)
+	mh1 := miniheap.New(c, vbase, phys)
+	mh2 := miniheap.New(c, vbase, phys)
+	a.Register(vbase, 1, mh1)
+	a.Reassign(vbase, 1, mh2)
+	if got := a.Lookup(vbase); got != mh2 {
+		t.Fatal("Reassign did not transfer ownership")
+	}
+}
+
+func TestAllocSpanInvalid(t *testing.T) {
+	a, _ := newArena(0)
+	if _, _, _, err := a.AllocSpan(0); err == nil {
+		t.Fatal("AllocSpan(0) succeeded")
+	}
+}
+
+func TestDifferentSizesDifferentBins(t *testing.T) {
+	a, _ := newArena(1 << 20)
+	v1, p1, _, _ := a.AllocSpan(1)
+	v2, p2, _, _ := a.AllocSpan(2)
+	if err := a.ReleaseSpan(v1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ReleaseSpan(v2, 2); err != nil {
+		t.Fatal(err)
+	}
+	// A request for 2 pages must reuse the 2-page span, not the 1-page one.
+	_, p, reused, err := a.AllocSpan(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reused || p != p2 {
+		t.Fatalf("2-page request got phys %d (reused=%v), want %d", p, reused, p2)
+	}
+	_, p, reused, err = a.AllocSpan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reused || p != p1 {
+		t.Fatalf("1-page request got phys %d (reused=%v), want %d", p, reused, p1)
+	}
+}

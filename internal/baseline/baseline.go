@@ -1,0 +1,268 @@
+// Package baseline implements the non-compacting allocators Mesh is
+// compared against in the paper's evaluation (§6): a jemalloc-like
+// segregated-fit allocator that returns empty spans to the OS, and a
+// glibc-like variant that retains them for reuse. Both run on the same
+// simulated virtual-memory substrate as Mesh, with the same size classes
+// and span geometry, so differences in RSS isolate exactly the behaviour
+// the paper studies: what happens to sparsely occupied spans that never
+// become completely empty.
+//
+// Neither baseline meshes, randomizes, or compacts; they are careful,
+// conventional segregated-fit allocators — which is the point.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/sizeclass"
+	"repro/internal/vm"
+)
+
+// Allocation errors.
+var (
+	ErrInvalidFree = errors.New("baseline: free of unknown pointer")
+	ErrDoubleFree  = errors.New("baseline: double free")
+)
+
+// span is one size-class span with a LIFO freelist.
+type span struct {
+	base     uint64
+	phys     vm.PhysID
+	class    int
+	objSize  int
+	objCount int
+	pages    int
+	freeList []int
+	alloced  []bool
+	used     int
+}
+
+func (s *span) full() bool  { return s.used == s.objCount }
+func (s *span) empty() bool { return s.used == 0 }
+
+// Policy selects the baseline's empty-span behaviour.
+type Policy int
+
+const (
+	// ReleaseEmpty returns completely empty spans to the OS immediately
+	// (jemalloc-with-decay behaviour; the paper's jemalloc comparator).
+	ReleaseEmpty Policy = iota
+	// RetainEmpty keeps empty spans resident for reuse (glibc-like arenas
+	// that seldom shrink).
+	RetainEmpty
+)
+
+// Alloc is a conventional segregated-fit allocator. A single mutex guards
+// all state; NewThread returns handles sharing it (the baselines stand in
+// for memory behaviour, not scalability).
+type Alloc struct {
+	name   string
+	policy Policy
+
+	mu      sync.Mutex
+	os      *vm.OS
+	partial [sizeclass.NumClasses][]*span // spans with at least one free slot
+	fullSet map[*span]struct{}
+	empties [sizeclass.NumClasses][]*span // retained empty spans (RetainEmpty)
+	byPage  map[uint64]*span
+	large   map[uint64]largeObj
+	live    int64
+}
+
+type largeObj struct {
+	phys  vm.PhysID
+	pages int
+}
+
+// New returns a baseline allocator with the given report name and policy.
+func New(name string, policy Policy) *Alloc {
+	return &Alloc{
+		name:    name,
+		policy:  policy,
+		os:      vm.NewOS(),
+		fullSet: make(map[*span]struct{}),
+		byPage:  make(map[uint64]*span),
+		large:   make(map[uint64]largeObj),
+	}
+}
+
+// NewJemalloc returns the paper's jemalloc comparator.
+func NewJemalloc() *Alloc { return New("jemalloc", ReleaseEmpty) }
+
+// NewGlibc returns the paper's glibc comparator.
+func NewGlibc() *Alloc { return New("glibc", RetainEmpty) }
+
+// Name implements alloc.Allocator.
+func (a *Alloc) Name() string { return a.name }
+
+// Memory implements alloc.Allocator.
+func (a *Alloc) Memory() *vm.OS { return a.os }
+
+// RSS implements alloc.Allocator.
+func (a *Alloc) RSS() int64 { return a.os.RSS() }
+
+// Live implements alloc.Allocator.
+func (a *Alloc) Live() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.live
+}
+
+// NewThread implements alloc.Allocator; baseline threads share the global
+// structures under one lock.
+func (a *Alloc) NewThread() alloc.Heap { return a }
+
+// Malloc implements alloc.Heap.
+func (a *Alloc) Malloc(size int) (uint64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("baseline: invalid allocation size %d", size)
+	}
+	class, ok := sizeclass.ClassForSize(size)
+	if !ok {
+		return a.mallocLarge(size)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s, err := a.spanForClassLocked(class)
+	if err != nil {
+		return 0, err
+	}
+	n := len(s.freeList)
+	off := s.freeList[n-1]
+	s.freeList = s.freeList[:n-1]
+	s.alloced[off] = true
+	s.used++
+	if s.full() {
+		a.removePartialLocked(s)
+		a.fullSet[s] = struct{}{}
+	}
+	a.live += int64(s.objSize)
+	return s.base + uint64(off*s.objSize), nil
+}
+
+// spanForClassLocked finds a span with a free slot: first-fit over partial
+// spans, then a retained empty span, then a fresh commit.
+func (a *Alloc) spanForClassLocked(class int) (*span, error) {
+	if ps := a.partial[class]; len(ps) > 0 {
+		return ps[len(ps)-1], nil
+	}
+	if es := a.empties[class]; len(es) > 0 {
+		s := es[len(es)-1]
+		a.empties[class] = es[:len(es)-1]
+		a.partial[class] = append(a.partial[class], s)
+		return s, nil
+	}
+	pages := sizeclass.SpanPages(class)
+	base := a.os.Reserve(pages)
+	phys, err := a.os.Commit(base, pages)
+	if err != nil {
+		return nil, err
+	}
+	objCount := sizeclass.ObjectCount(class)
+	s := &span{
+		base:     base,
+		phys:     phys,
+		class:    class,
+		objSize:  sizeclass.Size(class),
+		objCount: objCount,
+		pages:    pages,
+		freeList: make([]int, objCount),
+		alloced:  make([]bool, objCount),
+	}
+	// LIFO freelist handing out ascending addresses first — the classic
+	// deterministic layout that makes allocators vulnerable to the
+	// Robson-style fragmentation Mesh randomizes away.
+	for i := range s.freeList {
+		s.freeList[i] = objCount - 1 - i
+	}
+	a.partial[class] = append(a.partial[class], s)
+	vpn := base >> vm.PageShift
+	for i := uint64(0); i < uint64(pages); i++ {
+		a.byPage[vpn+i] = s
+	}
+	return s, nil
+}
+
+func (a *Alloc) removePartialLocked(s *span) {
+	ps := a.partial[s.class]
+	for i, x := range ps {
+		if x == s {
+			a.partial[s.class] = append(ps[:i], ps[i+1:]...)
+			return
+		}
+	}
+}
+
+// Free implements alloc.Heap.
+func (a *Alloc) Free(addr uint64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if lo, ok := a.large[addr]; ok {
+		delete(a.large, addr)
+		a.live -= int64(lo.pages * vm.PageSize)
+		if _, _, err := a.os.Unmap(addr, lo.pages); err != nil {
+			return err
+		}
+		return a.os.Punch(lo.phys)
+	}
+	s := a.byPage[addr>>vm.PageShift]
+	if s == nil {
+		return fmt.Errorf("%w: %#x", ErrInvalidFree, addr)
+	}
+	rel := int(addr - s.base)
+	if rel%s.objSize != 0 || rel/s.objSize >= s.objCount {
+		return fmt.Errorf("%w: %#x", ErrInvalidFree, addr)
+	}
+	off := rel / s.objSize
+	if !s.alloced[off] {
+		return fmt.Errorf("%w: %#x", ErrDoubleFree, addr)
+	}
+	s.alloced[off] = false
+	wasFull := s.full()
+	s.freeList = append(s.freeList, off)
+	s.used--
+	a.live -= int64(s.objSize)
+	if wasFull {
+		delete(a.fullSet, s)
+		a.partial[s.class] = append(a.partial[s.class], s)
+	}
+	if s.empty() {
+		a.removePartialLocked(s)
+		switch a.policy {
+		case ReleaseEmpty:
+			vpn := s.base >> vm.PageShift
+			for i := uint64(0); i < uint64(s.pages); i++ {
+				delete(a.byPage, vpn+i)
+			}
+			if _, _, err := a.os.Unmap(s.base, s.pages); err != nil {
+				return err
+			}
+			return a.os.Punch(s.phys)
+		case RetainEmpty:
+			a.empties[s.class] = append(a.empties[s.class], s)
+		}
+	}
+	return nil
+}
+
+// mallocLarge serves allocations above the size-class maximum as
+// page-granularity mappings, immediately returned to the OS on free (both
+// glibc and jemalloc mmap large objects).
+func (a *Alloc) mallocLarge(size int) (uint64, error) {
+	pages := (size + vm.PageSize - 1) / vm.PageSize
+	base := a.os.Reserve(pages)
+	phys, err := a.os.Commit(base, pages)
+	if err != nil {
+		return 0, err
+	}
+	a.mu.Lock()
+	a.large[base] = largeObj{phys: phys, pages: pages}
+	a.live += int64(pages * vm.PageSize)
+	a.mu.Unlock()
+	return base, nil
+}
+
+var _ alloc.Allocator = (*Alloc)(nil)

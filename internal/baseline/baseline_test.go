@@ -1,0 +1,184 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func TestMallocFreeRoundTrip(t *testing.T) {
+	for _, a := range []*Alloc{NewJemalloc(), NewGlibc()} {
+		p, err := a.Malloc(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Memory().Write(p, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+		if a.Live() != 0 {
+			t.Fatalf("%s: live = %d", a.Name(), a.Live())
+		}
+	}
+}
+
+func TestDistinctAddressesAndReuse(t *testing.T) {
+	a := NewJemalloc()
+	seen := map[uint64]bool{}
+	var ps []uint64
+	for i := 0; i < 1000; i++ {
+		p, err := a.Malloc(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate address %#x", p)
+		}
+		seen[p] = true
+		ps = append(ps, p)
+	}
+	// Free one and reallocate: LIFO reuse.
+	if err := a.Free(ps[500]); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := a.Malloc(32)
+	if p != ps[500] {
+		t.Fatalf("expected LIFO reuse of %#x, got %#x", ps[500], p)
+	}
+}
+
+func TestReleaseEmptyReturnsMemory(t *testing.T) {
+	a := NewJemalloc()
+	var ps []uint64
+	for i := 0; i < 256; i++ {
+		p, _ := a.Malloc(16)
+		ps = append(ps, p)
+	}
+	rssPeak := a.RSS()
+	for _, p := range ps {
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.RSS() != 0 {
+		t.Fatalf("jemalloc-like RSS after freeing everything = %d (peak %d)", a.RSS(), rssPeak)
+	}
+}
+
+func TestRetainEmptyKeepsMemory(t *testing.T) {
+	a := NewGlibc()
+	var ps []uint64
+	for i := 0; i < 256; i++ {
+		p, _ := a.Malloc(16)
+		ps = append(ps, p)
+	}
+	for _, p := range ps {
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.RSS() == 0 {
+		t.Fatal("glibc-like allocator returned all memory; should retain")
+	}
+	// And the retained span is reused rather than growing RSS.
+	before := a.RSS()
+	p, _ := a.Malloc(16)
+	if a.RSS() != before {
+		t.Fatalf("reuse grew RSS %d -> %d", before, a.RSS())
+	}
+	_ = a.Free(p)
+}
+
+func TestFragmentationIsNotRecovered(t *testing.T) {
+	// The behaviour Mesh exists to fix: free most objects on every span
+	// and watch the baseline keep all pages resident.
+	a := NewJemalloc()
+	var ps []uint64
+	for i := 0; i < 64*256; i++ {
+		p, err := a.Malloc(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	peak := a.RSS()
+	for i, p := range ps {
+		if i%16 != 0 {
+			if err := a.Free(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// ~94% of objects freed, but every span still holds one object.
+	if a.RSS() != peak {
+		t.Fatalf("RSS dropped from %d to %d without empty spans", peak, a.RSS())
+	}
+}
+
+func TestLargeObjects(t *testing.T) {
+	a := NewJemalloc()
+	p, err := a.Malloc(3 * vm.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p%vm.PageSize != 0 {
+		t.Fatal("large object not page aligned")
+	}
+	if a.RSS() < 3*vm.PageSize {
+		t.Fatalf("RSS %d", a.RSS())
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if a.RSS() != 0 {
+		t.Fatalf("large object not returned: RSS %d", a.RSS())
+	}
+}
+
+func TestErrorDetection(t *testing.T) {
+	a := NewJemalloc()
+	if err := a.Free(0x123000); !errors.Is(err, ErrInvalidFree) {
+		t.Fatalf("wild free: %v", err)
+	}
+	p, _ := a.Malloc(64)
+	if err := a.Free(p + 1); !errors.Is(err, ErrInvalidFree) {
+		t.Fatalf("interior free: %v", err)
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); !errors.Is(err, ErrDoubleFree) && !errors.Is(err, ErrInvalidFree) {
+		t.Fatalf("double free: %v", err)
+	}
+	if _, err := a.Malloc(0); err == nil {
+		t.Fatal("Malloc(0) succeeded")
+	}
+}
+
+func TestDeterministicOffsets(t *testing.T) {
+	// Baselines allocate at deterministic, ascending offsets — the layout
+	// that §6.3 shows defeats meshing without randomization.
+	a := NewJemalloc()
+	p0, _ := a.Malloc(16)
+	p1, _ := a.Malloc(16)
+	p2, _ := a.Malloc(16)
+	if p1 != p0+16 || p2 != p1+16 {
+		t.Fatalf("offsets not sequential: %#x %#x %#x", p0, p1, p2)
+	}
+}
+
+func BenchmarkBaselineMallocFree(b *testing.B) {
+	a := NewJemalloc()
+	for i := 0; i < b.N; i++ {
+		p, err := a.Malloc(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

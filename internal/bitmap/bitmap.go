@@ -1,0 +1,201 @@
+// Package bitmap implements the fixed-size atomic allocation bitmaps that
+// back Mesh MiniHeaps (§4.1 of the paper).
+//
+// Each bit records the allocation state of one object slot in a span: 1 means
+// in use, 0 means free. Bits must be manipulated atomically because frees can
+// arrive from any thread (remote frees, §3.2), while the owning thread
+// simultaneously drains the bitmap into its shuffle vector. All mutating
+// operations use compare-and-swap loops, exactly like the C++
+// implementation's `internal::Bitmap`.
+package bitmap
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+)
+
+const wordBits = 64
+
+// Bitmap is a fixed-capacity atomic bit vector. The zero value is unusable;
+// construct with New. All methods are safe for concurrent use.
+type Bitmap struct {
+	bits []atomic.Uint64
+	n    int // capacity in bits
+}
+
+// New returns a bitmap with capacity for n bits, all initially zero (free).
+func New(n int) *Bitmap {
+	if n < 0 {
+		panic("bitmap: negative size")
+	}
+	words := (n + wordBits - 1) / wordBits
+	return &Bitmap{bits: make([]atomic.Uint64, words), n: n}
+}
+
+// Len returns the bitmap's capacity in bits.
+func (b *Bitmap) Len() int { return b.n }
+
+func (b *Bitmap) check(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitmap: index %d out of range [0,%d)", i, b.n))
+	}
+}
+
+// TryToSet atomically sets bit i, returning true if this call changed it
+// from 0 to 1, false if it was already set. This is the operation the paper
+// calls `bitmap.tryToSet(i)` when attaching a MiniHeap to a shuffle vector.
+func (b *Bitmap) TryToSet(i int) bool {
+	b.check(i)
+	word, mask := i/wordBits, uint64(1)<<(i%wordBits)
+	for {
+		old := b.bits[word].Load()
+		if old&mask != 0 {
+			return false
+		}
+		if b.bits[word].CompareAndSwap(old, old|mask) {
+			return true
+		}
+	}
+}
+
+// Unset atomically clears bit i, returning true if this call changed it from
+// 1 to 0, false if it was already clear. Remote frees (§3.2) use this; a
+// false return indicates a double free.
+func (b *Bitmap) Unset(i int) bool {
+	b.check(i)
+	word, mask := i/wordBits, uint64(1)<<(i%wordBits)
+	for {
+		old := b.bits[word].Load()
+		if old&mask == 0 {
+			return false
+		}
+		if b.bits[word].CompareAndSwap(old, old&^mask) {
+			return true
+		}
+	}
+}
+
+// IsSet reports whether bit i is currently 1.
+func (b *Bitmap) IsSet(i int) bool {
+	b.check(i)
+	return b.bits[i/wordBits].Load()&(uint64(1)<<(i%wordBits)) != 0
+}
+
+// InUse returns the number of set bits. The count is a consistent snapshot
+// only when no concurrent mutation is occurring; during concurrent use it is
+// an approximation, which is how the paper's occupancy bins use it.
+func (b *Bitmap) InUse() int {
+	total := 0
+	for i := range b.bits {
+		total += bits.OnesCount64(b.bits[i].Load())
+	}
+	return total
+}
+
+// SetAll sets the first n bits unconditionally (used when minting singleton
+// MiniHeaps for large allocations).
+func (b *Bitmap) SetAll() {
+	for i := 0; i < b.n; i++ {
+		b.TryToSet(i)
+	}
+}
+
+// Reset clears every bit.
+func (b *Bitmap) Reset() {
+	for i := range b.bits {
+		b.bits[i].Store(0)
+	}
+}
+
+// SetBits returns the indices of all set bits in ascending order.
+func (b *Bitmap) SetBits() []int {
+	var out []int
+	for w := range b.bits {
+		word := b.bits[w].Load()
+		for word != 0 {
+			tz := bits.TrailingZeros64(word)
+			idx := w*wordBits + tz
+			if idx >= b.n {
+				break
+			}
+			out = append(out, idx)
+			word &^= 1 << tz
+		}
+	}
+	return out
+}
+
+// FreeBits returns the indices of all clear bits in ascending order.
+func (b *Bitmap) FreeBits() []int {
+	out := make([]int, 0, b.n-b.InUse())
+	for i := 0; i < b.n; i++ {
+		if !b.IsSet(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Overlaps reports whether b and o have any set bit in common. Two spans are
+// meshable exactly when their bitmaps do not overlap (Definition 5.1:
+// Σ s1(i)·s2(i) = 0). Panics if capacities differ.
+func (b *Bitmap) Overlaps(o *Bitmap) bool {
+	if b.n != o.n {
+		panic("bitmap: Overlaps on bitmaps of different capacity")
+	}
+	for i := range b.bits {
+		if b.bits[i].Load()&o.bits[i].Load() != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// MergeFrom ORs o's bits into b, returning the indices that were newly set.
+// Meshing uses this to consolidate the source span's allocation state into
+// the destination MiniHeap.
+func (b *Bitmap) MergeFrom(o *Bitmap) []int {
+	if b.n != o.n {
+		panic("bitmap: MergeFrom on bitmaps of different capacity")
+	}
+	var moved []int
+	for _, i := range o.SetBits() {
+		if b.TryToSet(i) {
+			moved = append(moved, i)
+		}
+	}
+	return moved
+}
+
+// String renders the bitmap as a binary string, most significant slot last
+// (slot order, like the strings in Figure 5 of the paper).
+func (b *Bitmap) String() string {
+	var sb strings.Builder
+	sb.Grow(b.n)
+	for i := 0; i < b.n; i++ {
+		if b.IsSet(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// FromString parses a binary string like "01101000" into a bitmap. Useful in
+// tests and in the §5 graph experiments.
+func FromString(s string) *Bitmap {
+	b := New(len(s))
+	for i, c := range s {
+		switch c {
+		case '1':
+			b.TryToSet(i)
+		case '0':
+		default:
+			panic(fmt.Sprintf("bitmap: invalid character %q in FromString", c))
+		}
+	}
+	return b
+}

@@ -1,0 +1,248 @@
+package bitmap
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTryToSetAndIsSet(t *testing.T) {
+	b := New(130) // spans multiple words
+	for i := 0; i < 130; i++ {
+		if b.IsSet(i) {
+			t.Fatalf("bit %d set in fresh bitmap", i)
+		}
+		if !b.TryToSet(i) {
+			t.Fatalf("TryToSet(%d) failed on clear bit", i)
+		}
+		if b.TryToSet(i) {
+			t.Fatalf("TryToSet(%d) succeeded twice", i)
+		}
+		if !b.IsSet(i) {
+			t.Fatalf("bit %d not set after TryToSet", i)
+		}
+	}
+	if b.InUse() != 130 {
+		t.Fatalf("InUse = %d, want 130", b.InUse())
+	}
+}
+
+func TestUnset(t *testing.T) {
+	b := New(64)
+	b.TryToSet(10)
+	if !b.Unset(10) {
+		t.Fatal("Unset on set bit returned false")
+	}
+	if b.Unset(10) {
+		t.Fatal("Unset on clear bit returned true (double free undetected)")
+	}
+	if b.IsSet(10) {
+		t.Fatal("bit still set after Unset")
+	}
+}
+
+func TestBoundsPanic(t *testing.T) {
+	b := New(8)
+	for _, i := range []int{-1, 8, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic for index %d", i)
+				}
+			}()
+			b.IsSet(i)
+		}()
+	}
+}
+
+func TestSetBitsAndFreeBits(t *testing.T) {
+	b := New(16)
+	for _, i := range []int{1, 2, 4, 9, 15} {
+		b.TryToSet(i)
+	}
+	got := b.SetBits()
+	want := []int{1, 2, 4, 9, 15}
+	if len(got) != len(want) {
+		t.Fatalf("SetBits = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SetBits = %v, want %v", got, want)
+		}
+	}
+	free := b.FreeBits()
+	if len(free) != 11 {
+		t.Fatalf("FreeBits length %d, want 11", len(free))
+	}
+	for _, f := range free {
+		if b.IsSet(f) {
+			t.Fatalf("FreeBits contains set bit %d", f)
+		}
+	}
+}
+
+func TestOverlapsMatchesDefinition(t *testing.T) {
+	// Figure 5 strings: 01101000 and 00010000 mesh; 01101000 and 01010000 don't.
+	s1 := FromString("01101000")
+	s2 := FromString("00010000")
+	s3 := FromString("01010000")
+	if s1.Overlaps(s2) {
+		t.Fatal("s1/s2 should mesh (no overlap)")
+	}
+	if !s1.Overlaps(s3) {
+		t.Fatal("s1/s3 should overlap")
+	}
+}
+
+func TestOverlapsProperty(t *testing.T) {
+	// Property: Overlaps(a,b) == exists i: a[i] && b[i].
+	f := func(aBits, bBits []bool) bool {
+		n := len(aBits)
+		if len(bBits) < n {
+			n = len(bBits)
+		}
+		if n == 0 {
+			return true
+		}
+		a, b := New(n), New(n)
+		expect := false
+		for i := 0; i < n; i++ {
+			if aBits[i] {
+				a.TryToSet(i)
+			}
+			if bBits[i] {
+				b.TryToSet(i)
+			}
+			if aBits[i] && bBits[i] {
+				expect = true
+			}
+		}
+		return a.Overlaps(b) == expect
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeFrom(t *testing.T) {
+	dst := FromString("01101000")
+	src := FromString("00010000")
+	moved := dst.MergeFrom(src)
+	if len(moved) != 1 || moved[0] != 3 {
+		t.Fatalf("moved = %v, want [3]", moved)
+	}
+	if dst.String() != "01111000" {
+		t.Fatalf("merged = %s", dst.String())
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	f := func(pattern []bool) bool {
+		if len(pattern) == 0 {
+			return true
+		}
+		b := New(len(pattern))
+		for i, set := range pattern {
+			if set {
+				b.TryToSet(i)
+			}
+		}
+		return FromString(b.String()).String() == b.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(100)
+	for i := 0; i < 100; i += 3 {
+		b.TryToSet(i)
+	}
+	b.Reset()
+	if b.InUse() != 0 {
+		t.Fatalf("InUse after Reset = %d", b.InUse())
+	}
+}
+
+func TestSetAll(t *testing.T) {
+	b := New(77)
+	b.SetAll()
+	if b.InUse() != 77 {
+		t.Fatalf("InUse after SetAll = %d", b.InUse())
+	}
+}
+
+func TestConcurrentSetUnset(t *testing.T) {
+	// Hammer the same bitmap from many goroutines; every successful
+	// TryToSet must be matched by exactly one successful Unset.
+	const n = 256
+	const workers = 8
+	const iters = 5000
+	b := New(n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				idx := (i*7 + w*31) % n
+				if b.TryToSet(idx) {
+					if !b.Unset(idx) {
+						t.Errorf("lost bit %d", idx)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := b.InUse(); got != 0 {
+		t.Fatalf("InUse after balanced ops = %d", got)
+	}
+}
+
+func TestConcurrentDistinctBits(t *testing.T) {
+	// Each goroutine owns a disjoint range; all sets must succeed.
+	const n = 512
+	b := New(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w * 64; i < (w+1)*64; i++ {
+				if !b.TryToSet(i) {
+					t.Errorf("TryToSet(%d) failed", i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.InUse() != n {
+		t.Fatalf("InUse = %d, want %d", b.InUse(), n)
+	}
+}
+
+func BenchmarkTryToSetUnset(b *testing.B) {
+	bm := New(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := i % 256
+		bm.TryToSet(idx)
+		bm.Unset(idx)
+	}
+}
+
+func BenchmarkOverlaps(b *testing.B) {
+	x := New(256)
+	y := New(256)
+	x.TryToSet(255)
+	y.TryToSet(254)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if x.Overlaps(y) {
+			b.Fatal("unexpected overlap")
+		}
+	}
+}

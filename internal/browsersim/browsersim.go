@@ -1,0 +1,201 @@
+// Package browsersim reproduces the shape of the paper's Firefox
+// experiment (§6.2.1, Figure 6): the Speedometer 2.0 benchmark running in a
+// single browser process.
+//
+// Speedometer executes a long sequence of small "todo app" tests; each
+// builds a DOM, style, and JavaScript object graph, exercises it, and tears
+// most of it down, while caches (JIT code, layout structures, interned
+// strings) accumulate across tests and are trimmed occasionally. Several
+// browser subsystems allocate from their own threads, so frees regularly
+// happen on a different thread than the matching malloc.
+//
+// The simulation reproduces exactly those allocator-visible properties:
+// multiple threads, phase-structured allocation of mixed small sizes with a
+// heavy small-object tail, per-phase teardown of ~90% of phase objects
+// (partly cross-thread), a long-lived cache taking the remainder, and
+// periodic cache trims. What is deliberately NOT modeled is the DOM
+// semantics — the allocator only ever saw sizes and lifetimes.
+package browsersim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config parameterizes the browser workload.
+type Config struct {
+	Threads        int // browser worker threads (DOM, style, JS, compositor)
+	Phases         int // Speedometer test steps
+	AllocsPerPhase int // objects allocated per phase across all threads
+	CacheFrac      float64
+	TrimEvery      int     // phases between cache trims
+	TrimFrac       float64 // fraction of cache dropped per trim
+	CrossFrac      float64 // fraction of frees performed by a different thread
+	Seed           uint64
+	SamplePeriod   time.Duration
+}
+
+// Default returns a Speedometer-shaped configuration scaled down by scale.
+func Default(scale int) Config {
+	if scale < 1 {
+		scale = 1
+	}
+	return Config{
+		Threads:        4,
+		Phases:         120 / min(scale, 8),
+		AllocsPerPhase: 60_000 / scale,
+		CacheFrac:      0.08,
+		TrimEvery:      12,
+		TrimFrac:       0.5,
+		CrossFrac:      0.15,
+		Seed:           2020,
+		SamplePeriod:   100 * time.Millisecond,
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// domSizes is the mixed small-object profile of a browser engine: node
+// headers, style structs, strings of assorted lengths, attribute maps, and
+// the occasional layout arena chunk.
+var domSizes = workload.Choice{
+	Sizes:   []int{16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 1024, 2048, 4096},
+	Weights: []float64{18, 22, 14, 12, 8, 7, 5, 4, 3, 3, 2, 1.5, 0.5},
+}
+
+// Result carries the Figure 6 series plus summary metrics and a
+// performance proxy (operations executed per wall second).
+type Result struct {
+	Series    stats.Series
+	MeanRSS   float64
+	PeakRSS   int64
+	WallTime  time.Duration
+	Ops       uint64
+	OpsPerSec float64
+}
+
+// Run executes the workload against a.
+func Run(cfg Config, a alloc.Allocator, clock *core.LogicalClock) (*Result, error) {
+	h := workload.NewHarness(a, clock, cfg.SamplePeriod)
+	rnd := rng.New(cfg.Seed)
+
+	heaps := make([]alloc.Heap, cfg.Threads)
+	for i := range heaps {
+		heaps[i] = a.NewThread()
+	}
+	mem := a.Memory()
+
+	type obj struct {
+		addr   uint64
+		thread int
+	}
+	var cache []obj
+	var ops uint64
+	one := []byte{1}
+
+	wallStart := time.Now()
+	perThread := cfg.AllocsPerPhase / cfg.Threads
+	for phase := 0; phase < cfg.Phases; phase++ {
+		var phaseObjs []obj
+		// Each thread builds its slice of the test's object graph.
+		for th := 0; th < cfg.Threads; th++ {
+			for i := 0; i < perThread; i++ {
+				size := domSizes.Sample(rnd)
+				p, err := heaps[th].Malloc(size)
+				if err != nil {
+					return nil, fmt.Errorf("phase %d thread %d: %w", phase, th, err)
+				}
+				if err := mem.Write(p, one); err != nil {
+					return nil, err
+				}
+				phaseObjs = append(phaseObjs, obj{addr: p, thread: th})
+				ops++
+				h.Step(1)
+			}
+		}
+		// Teardown: ~90% of the phase's objects die, in scattered order;
+		// some frees happen from the "main" thread regardless of where
+		// the object was allocated (cross-thread frees, §3.2).
+		perm := rnd.Perm(len(phaseObjs))
+		keep := int(float64(len(phaseObjs)) * cfg.CacheFrac)
+		for i, idx := range perm {
+			o := phaseObjs[idx]
+			if i < keep {
+				cache = append(cache, o)
+				continue
+			}
+			freeBy := o.thread
+			if rnd.Float64() < cfg.CrossFrac {
+				freeBy = 0
+			}
+			if err := heaps[freeBy].Free(o.addr); err != nil {
+				return nil, err
+			}
+			ops++
+			h.Step(1)
+		}
+		// Periodic cache trim (GC of JIT code, image cache eviction...).
+		if cfg.TrimEvery > 0 && phase%cfg.TrimEvery == cfg.TrimEvery-1 {
+			perm := rnd.Perm(len(cache))
+			drop := int(float64(len(cache)) * cfg.TrimFrac)
+			var kept []obj
+			for i, idx := range perm {
+				o := cache[idx]
+				if i < drop {
+					if err := heaps[o.thread].Free(o.addr); err != nil {
+						return nil, err
+					}
+					ops++
+					h.Step(1)
+				} else {
+					kept = append(kept, o)
+				}
+			}
+			cache = kept
+		}
+		// Between tests the browser paints and idles; meshing's rate
+		// limiter gets its chance here.
+		h.Idle(cfg.SamplePeriod)
+	}
+
+	// Cooldown tail, as in the paper's measurement (15 s after the run).
+	if m, ok := a.(alloc.Mesher); ok {
+		m.Mesh()
+	}
+	for i := 0; i < 10; i++ {
+		h.Idle(cfg.SamplePeriod)
+	}
+
+	wall := time.Since(wallStart)
+	series := h.Finish()
+	res := &Result{
+		Series:   series,
+		MeanRSS:  series.MeanRSS(),
+		PeakRSS:  series.PeakRSS(),
+		WallTime: wall,
+		Ops:      ops,
+	}
+	if wall > 0 {
+		res.OpsPerSec = float64(ops) / wall.Seconds()
+	}
+	// Clean up thread heaps.
+	for _, hp := range heaps {
+		if tc, ok := hp.(alloc.ThreadCloser); ok {
+			if err := tc.Close(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"repro/internal/miniheap"
+	"repro/internal/rng"
+)
+
+// binSet is a collection of detached MiniHeaps supporting O(1) insert,
+// O(1) remove, and O(1) uniformly random selection — the operations the
+// global heap's occupancy bins need (§3.1: "randomly selects a span from
+// that bin"). Internally a slice plus an id→index map; removal swaps with
+// the last element.
+type binSet struct {
+	items []*miniheap.MiniHeap
+	pos   map[uint64]int
+}
+
+func newBinSet() *binSet {
+	return &binSet{pos: make(map[uint64]int)}
+}
+
+func (b *binSet) len() int { return len(b.items) }
+
+func (b *binSet) add(mh *miniheap.MiniHeap) {
+	if _, ok := b.pos[mh.ID()]; ok {
+		panic("core: MiniHeap already in bin")
+	}
+	b.pos[mh.ID()] = len(b.items)
+	b.items = append(b.items, mh)
+}
+
+func (b *binSet) contains(mh *miniheap.MiniHeap) bool {
+	_, ok := b.pos[mh.ID()]
+	return ok
+}
+
+func (b *binSet) remove(mh *miniheap.MiniHeap) {
+	i, ok := b.pos[mh.ID()]
+	if !ok {
+		panic("core: MiniHeap not in bin")
+	}
+	last := len(b.items) - 1
+	if i != last {
+		b.items[i] = b.items[last]
+		b.pos[b.items[i].ID()] = i
+	}
+	b.items = b.items[:last]
+	delete(b.pos, mh.ID())
+}
+
+// pick returns a uniformly random element without removing it; nil if
+// empty.
+func (b *binSet) pick(r *rng.RNG) *miniheap.MiniHeap {
+	if len(b.items) == 0 {
+		return nil
+	}
+	return b.items[r.UintN(uint64(len(b.items)))]
+}
+
+// appendAll appends every element to dst and returns it.
+func (b *binSet) appendAll(dst []*miniheap.MiniHeap) []*miniheap.MiniHeap {
+	return append(dst, b.items...)
+}

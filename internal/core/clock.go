@@ -1,0 +1,42 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock abstracts time for mesh rate limiting (§4.5: "meshing is rate
+// limited... the default rate meshes at most once every tenth of a
+// second"). Real time makes experiment runs irreproducible, so workload
+// harnesses inject a LogicalClock advanced by operation count; interactive
+// use defaults to the wall clock.
+type Clock interface {
+	// Now returns elapsed time since an arbitrary epoch.
+	Now() time.Duration
+}
+
+// WallClock is a Clock backed by real time.
+type WallClock struct {
+	epoch time.Time
+}
+
+// NewWallClock returns a Clock anchored at the current time.
+func NewWallClock() *WallClock { return &WallClock{epoch: time.Now()} }
+
+// Now returns time elapsed since construction.
+func (w *WallClock) Now() time.Duration { return time.Since(w.epoch) }
+
+// LogicalClock is a deterministic Clock driven explicitly by the workload
+// harness (e.g., one tick per simulated allocator operation).
+type LogicalClock struct {
+	now atomic.Int64
+}
+
+// NewLogicalClock returns a LogicalClock at time zero.
+func NewLogicalClock() *LogicalClock { return &LogicalClock{} }
+
+// Now returns the current logical time.
+func (l *LogicalClock) Now() time.Duration { return time.Duration(l.now.Load()) }
+
+// Advance moves logical time forward by d.
+func (l *LogicalClock) Advance(d time.Duration) { l.now.Add(int64(d)) }

@@ -1,0 +1,385 @@
+// Package core implements the Mesh allocator proper: the global heap
+// (§4.4), thread-local heaps (§4.3), and the meshing engine that ties the
+// SplitMesher algorithm to the virtual-memory substrate (§4.5).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arena"
+	"repro/internal/miniheap"
+	"repro/internal/rng"
+	"repro/internal/sizeclass"
+	"repro/internal/vm"
+)
+
+// Allocation errors.
+var (
+	ErrInvalidFree = errors.New("core: free of pointer not owned by the heap")
+	ErrDoubleFree  = errors.New("core: double free")
+)
+
+// Config controls a heap instance. The zero value is not valid; use
+// DefaultConfig and override fields.
+type Config struct {
+	// Seed feeds every RNG in the heap; fixed seeds give reproducible runs.
+	Seed uint64
+	// Meshing enables the compaction engine (default true). Disabling it
+	// yields the "Mesh (no meshing)" configuration of §6.3.
+	Meshing bool
+	// Randomize enables randomized allocation (default true). Disabling it
+	// yields the "Mesh (no rand)" configuration of §6.3.
+	Randomize bool
+	// MeshPeriod is the minimum interval between meshing passes (§4.5:
+	// default at most once every 0.1 s).
+	MeshPeriod time.Duration
+	// MinMeshSavings: if a pass frees less than this many bytes, the timer
+	// is not restarted until a subsequent free reaches the global heap
+	// (§4.5; default 1 MiB).
+	MinMeshSavings int
+	// SplitMesherT is the probe budget per span (§3.3; default 64).
+	SplitMesherT int
+	// DirtyPageThreshold overrides the arena's 64 MiB punch threshold
+	// (pages); 0 keeps the default.
+	DirtyPageThreshold int
+	// Clock supplies time for rate limiting; nil uses the wall clock.
+	Clock Clock
+}
+
+// DefaultConfig returns the paper's default configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		Meshing:        true,
+		Randomize:      true,
+		MeshPeriod:     100 * time.Millisecond,
+		MinMeshSavings: 1 << 20,
+		SplitMesherT:   64,
+	}
+}
+
+// MeshStats aggregates compaction activity.
+type MeshStats struct {
+	Passes       uint64        // meshing passes run
+	SpansMeshed  uint64        // source spans freed by meshing
+	BytesFreed   uint64        // physical bytes released by meshing
+	BytesCopied  uint64        // object bytes consolidated
+	TotalTime    time.Duration // wall time spent meshing
+	LongestPause time.Duration // longest single pass
+}
+
+// HeapStats is a point-in-time snapshot of heap state.
+type HeapStats struct {
+	RSS         int64  // resident physical bytes (the paper's headline metric)
+	Mapped      int64  // live virtual mappings (> RSS after meshing)
+	Live        int64  // bytes in currently allocated objects (size-class rounded)
+	Allocs      uint64 // total allocations
+	Frees       uint64 // total frees
+	Mesh        MeshStats
+	VM          vm.Stats
+	InvalidFree uint64 // discarded bad frees (§4.4.4)
+}
+
+// classState holds the global heap's per-size-class detached MiniHeaps:
+// occupancy bins for partially full spans, plus a set for full spans (not
+// allocatable, not meshable until something frees).
+type classState struct {
+	bins [miniheap.NumBins]*binSet
+	full *binSet
+	// reg tracks every live MiniHeap of the class, attached or detached,
+	// for introspection (ClassStats) and integrity checking.
+	reg *binSet
+}
+
+// GlobalHeap manages runtime state shared by all threads: MiniHeap
+// allocation, large objects, non-local frees, and meshing coordination
+// (§4.4). One mutex — the paper's global heap lock — serializes structural
+// operations; the thread running a mesh holds it for the whole pass
+// (§4.5.3).
+type GlobalHeap struct {
+	cfg   Config
+	os    *vm.OS
+	arena *arena.Arena
+	clock Clock
+
+	mu      sync.Mutex
+	rnd     *rng.RNG
+	classes [sizeclass.NumClasses]classState
+	large   map[uint64]*miniheap.MiniHeap // span start -> singleton MiniHeap
+
+	lastMesh     time.Duration
+	meshDisarmed bool // last pass freed < MinMeshSavings
+
+	liveBytes   atomic.Int64
+	allocs      atomic.Uint64
+	frees       atomic.Uint64
+	invalidFree atomic.Uint64
+
+	meshPasses   atomic.Uint64
+	spansMeshed  atomic.Uint64
+	bytesFreed   atomic.Uint64
+	bytesCopied  atomic.Uint64
+	meshTime     atomic.Int64 // nanoseconds
+	longestPause atomic.Int64 // nanoseconds
+}
+
+// NewGlobalHeap constructs a heap with its own simulated address space.
+func NewGlobalHeap(cfg Config) *GlobalHeap {
+	osv := vm.NewOS()
+	clock := cfg.Clock
+	if clock == nil {
+		clock = NewWallClock()
+	}
+	g := &GlobalHeap{
+		cfg:   cfg,
+		os:    osv,
+		arena: arena.New(osv, cfg.DirtyPageThreshold),
+		clock: clock,
+		rnd:   rng.New(cfg.Seed ^ 0x6d657368), // "mesh"
+		large: make(map[uint64]*miniheap.MiniHeap),
+	}
+	for c := range g.classes {
+		for b := range g.classes[c].bins {
+			g.classes[c].bins[b] = newBinSet()
+		}
+		g.classes[c].full = newBinSet()
+		g.classes[c].reg = newBinSet()
+	}
+	// Mesh's write barrier: a write faulting on a protected page waits for
+	// the in-flight meshing pass (which holds g.mu) to finish, then
+	// retries; by then the page has been remapped read-write (§4.5.2).
+	osv.SetFaultHook(func(addr uint64) {
+		g.mu.Lock()
+		//lint:ignore SA2001 empty critical section is the wait itself
+		g.mu.Unlock()
+	})
+	return g
+}
+
+// OS exposes the simulated memory subsystem (for application reads/writes
+// through virtual addresses).
+func (g *GlobalHeap) OS() *vm.OS { return g.os }
+
+// Arena exposes the meshable arena.
+func (g *GlobalHeap) Arena() *arena.Arena { return g.arena }
+
+// AllocMiniheap selects a MiniHeap for a thread-local heap to attach
+// (§3.1): the fullest non-empty occupancy bin is located and a span chosen
+// from it uniformly at random; if no partially full span exists, a fresh
+// span is committed.
+func (g *GlobalHeap) AllocMiniheap(class int) (*miniheap.MiniHeap, error) {
+	g.mu.Lock()
+	cs := &g.classes[class]
+	for b := 0; b < miniheap.NumBins; b++ {
+		if cs.bins[b].len() == 0 {
+			continue
+		}
+		mh := cs.bins[b].pick(g.rnd)
+		cs.bins[b].remove(mh)
+		// Attach under the lock so a concurrent global free cannot observe
+		// a detached MiniHeap that is in no bin and re-file it.
+		mh.Attach()
+		g.mu.Unlock()
+		return mh, nil
+	}
+	g.mu.Unlock()
+
+	// No partially full span: demand a new one from the arena.
+	pages := sizeclass.SpanPages(class)
+	vbase, phys, _, err := g.arena.AllocSpan(pages)
+	if err != nil {
+		return nil, err
+	}
+	mh := miniheap.New(class, vbase, phys)
+	g.arena.Register(vbase, pages, mh)
+	mh.Attach()
+	g.mu.Lock()
+	g.classes[class].reg.add(mh)
+	g.mu.Unlock()
+	return mh, nil
+}
+
+// ReleaseMiniheap returns a detached MiniHeap to the global heap: empty
+// spans are destroyed and their memory released; partially full spans are
+// binned by occupancy; full spans wait aside until a free makes them
+// useful again.
+func (g *GlobalHeap) ReleaseMiniheap(mh *miniheap.MiniHeap) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// Detach under the lock: a concurrent global free must never observe a
+	// MiniHeap that is detached but not yet filed in a bin, or it would
+	// file it twice.
+	mh.Detach()
+	return g.placeDetachedLocked(mh)
+}
+
+// placeDetachedLocked files a detached MiniHeap in the right structure, or
+// destroys it if empty. Caller holds g.mu.
+func (g *GlobalHeap) placeDetachedLocked(mh *miniheap.MiniHeap) error {
+	switch {
+	case mh.IsEmpty():
+		return g.destroyLocked(mh)
+	case mh.IsFull():
+		g.classes[mh.SizeClass()].full.add(mh)
+	default:
+		g.classes[mh.SizeClass()].bins[mh.Bin()].add(mh)
+	}
+	return nil
+}
+
+// destroyLocked releases every virtual span of an empty MiniHeap back to
+// the arena. Caller holds g.mu.
+func (g *GlobalHeap) destroyLocked(mh *miniheap.MiniHeap) error {
+	if !mh.IsLarge() {
+		g.classes[mh.SizeClass()].reg.remove(mh)
+	}
+	pages := mh.SpanPages()
+	for _, vbase := range mh.Spans() {
+		g.arena.Unregister(vbase, pages)
+		if err := g.arena.ReleaseSpan(vbase, pages); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// unbinLocked removes mh from whichever bin currently holds it, if any.
+func (g *GlobalHeap) unbinLocked(mh *miniheap.MiniHeap) {
+	cs := &g.classes[mh.SizeClass()]
+	if cs.full.contains(mh) {
+		cs.full.remove(mh)
+		return
+	}
+	for b := range cs.bins {
+		if cs.bins[b].contains(mh) {
+			cs.bins[b].remove(mh)
+			return
+		}
+	}
+}
+
+// AllocLarge serves allocations above the size-class maximum directly from
+// the arena as page-aligned singleton MiniHeaps (§4.4.3).
+func (g *GlobalHeap) AllocLarge(size int) (uint64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("core: invalid allocation size %d", size)
+	}
+	pages := (size + vm.PageSize - 1) / vm.PageSize
+	vbase, phys, _, err := g.arena.AllocSpan(pages)
+	if err != nil {
+		return 0, err
+	}
+	mh := miniheap.NewLarge(pages, vbase, phys)
+	g.arena.Register(vbase, pages, mh)
+	g.mu.Lock()
+	g.large[vbase] = mh
+	g.mu.Unlock()
+	g.liveBytes.Add(int64(pages * vm.PageSize))
+	g.allocs.Add(1)
+	return vbase, nil
+}
+
+// Free handles any free that is not local to the calling thread's attached
+// spans (§4.4.4): large objects, objects on detached spans, and objects on
+// spans attached to other threads. Invalid pointers are counted and
+// reported, not fatal — exactly how Mesh treats memory errors.
+//
+// The whole operation runs under the global lock. This is what makes
+// non-local frees safe against a concurrent meshing pass: the pointer is
+// resolved to its owning MiniHeap only after any in-flight mesh (which
+// holds the lock for its duration, §4.5.3) has finished updating the
+// offset-to-MiniHeap table.
+func (g *GlobalHeap) Free(addr uint64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	mh := g.arena.Lookup(addr)
+	if mh == nil {
+		g.invalidFree.Add(1)
+		return fmt.Errorf("%w: %#x", ErrInvalidFree, addr)
+	}
+	if mh.IsLarge() {
+		return g.freeLargeLocked(mh)
+	}
+	off, err := mh.OffsetOf(addr)
+	if err != nil {
+		g.invalidFree.Add(1)
+		return fmt.Errorf("%w: %v", ErrInvalidFree, err)
+	}
+	if !mh.Bitmap().Unset(off) {
+		g.invalidFree.Add(1)
+		return fmt.Errorf("%w: %#x", ErrDoubleFree, addr)
+	}
+	g.liveBytes.Add(int64(-mh.ObjectSize()))
+	g.frees.Add(1)
+
+	if mh.IsAttached() {
+		// Remote free to another thread's span: the bitmap update is all
+		// that happens; the owner's shuffle vector is not touched (§3.2).
+		return nil
+	}
+
+	// Object belonged to the global heap: update its occupancy bin; this
+	// may additionally trigger meshing (§3.2).
+	g.unbinLocked(mh)
+	if err := g.placeDetachedLocked(mh); err != nil {
+		return err
+	}
+	g.maybeMeshLocked()
+	return nil
+}
+
+// freeLargeLocked destroys a large-object MiniHeap and releases its span.
+// Caller holds g.mu.
+func (g *GlobalHeap) freeLargeLocked(mh *miniheap.MiniHeap) error {
+	if !mh.Bitmap().Unset(0) {
+		g.invalidFree.Add(1)
+		return fmt.Errorf("%w: large object", ErrDoubleFree)
+	}
+	g.liveBytes.Add(int64(-mh.SpanBytes()))
+	g.frees.Add(1)
+	delete(g.large, mh.SpanStart())
+	if err := g.destroyLocked(mh); err != nil {
+		return err
+	}
+	// A large free also reaches the global heap, so it participates in
+	// mesh triggering and timer re-arming (§4.5).
+	g.maybeMeshLocked()
+	return nil
+}
+
+// noteAlloc records a small-object allocation by a thread heap.
+func (g *GlobalHeap) noteAlloc(objSize int) {
+	g.liveBytes.Add(int64(objSize))
+	g.allocs.Add(1)
+}
+
+// noteLocalFree records a free handled entirely by a thread heap.
+func (g *GlobalHeap) noteLocalFree(objSize int) {
+	g.liveBytes.Add(int64(-objSize))
+	g.frees.Add(1)
+}
+
+// Stats returns a snapshot of heap state.
+func (g *GlobalHeap) Stats() HeapStats {
+	return HeapStats{
+		RSS:    g.os.RSS(),
+		Mapped: g.os.MappedBytes(),
+		Live:   g.liveBytes.Load(),
+		Allocs: g.allocs.Load(),
+		Frees:  g.frees.Load(),
+		Mesh: MeshStats{
+			Passes:       g.meshPasses.Load(),
+			SpansMeshed:  g.spansMeshed.Load(),
+			BytesFreed:   g.bytesFreed.Load(),
+			BytesCopied:  g.bytesCopied.Load(),
+			TotalTime:    time.Duration(g.meshTime.Load()),
+			LongestPause: time.Duration(g.longestPause.Load()),
+		},
+		VM:          g.os.Snapshot(),
+		InvalidFree: g.invalidFree.Load(),
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sizeclass"
+)
+
+// ClassStats describes one size class's spans — the kind of information
+// the C++ implementation exposes through the mallctl interface.
+type ClassStats struct {
+	SizeClass    int
+	ObjectSize   int
+	SpanPages    int
+	Spans        int // live MiniHeaps (attached + detached)
+	AttachedSpan int // spans currently owned by thread heaps
+	MeshedSpans  int // extra virtual spans created by meshing
+	LiveObjects  int
+	Capacity     int // total object slots across spans
+}
+
+// Occupancy returns the class's live fraction in [0,1].
+func (c ClassStats) Occupancy() float64 {
+	if c.Capacity == 0 {
+		return 0
+	}
+	return float64(c.LiveObjects) / float64(c.Capacity)
+}
+
+// ClassStatsSnapshot returns per-class span statistics.
+func (g *GlobalHeap) ClassStatsSnapshot() []ClassStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]ClassStats, sizeclass.NumClasses)
+	for c := range g.classes {
+		cs := ClassStats{
+			SizeClass:  c,
+			ObjectSize: sizeclass.Size(c),
+			SpanPages:  sizeclass.SpanPages(c),
+		}
+		for _, mh := range g.classes[c].reg.items {
+			cs.Spans++
+			if mh.IsAttached() {
+				cs.AttachedSpan++
+			}
+			cs.MeshedSpans += mh.MeshCount() - 1
+			cs.LiveObjects += mh.InUse()
+			cs.Capacity += mh.ObjectCount()
+		}
+		out[c] = cs
+	}
+	return out
+}
+
+// LargeStats summarizes large-object allocations.
+type LargeStats struct {
+	Objects int
+	Bytes   int64
+}
+
+// LargeStatsSnapshot returns the current large-object census.
+func (g *GlobalHeap) LargeStatsSnapshot() LargeStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var ls LargeStats
+	for _, mh := range g.large {
+		ls.Objects++
+		ls.Bytes += int64(mh.SpanBytes())
+	}
+	return ls
+}
+
+// UsableSize returns the number of bytes usable at addr — the size class's
+// object size, or the whole page-rounded span for large objects (the
+// malloc_usable_size of the interposed API).
+func (g *GlobalHeap) UsableSize(addr uint64) (int, error) {
+	mh := g.arena.Lookup(addr)
+	if mh == nil {
+		return 0, fmt.Errorf("%w: %#x", ErrInvalidFree, addr)
+	}
+	if mh.IsLarge() {
+		return mh.SpanBytes(), nil
+	}
+	if _, err := mh.OffsetOf(addr); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrInvalidFree, err)
+	}
+	return mh.ObjectSize(), nil
+}
+
+// SetMeshPeriod adjusts the meshing rate limit at runtime — the paper's
+// mallctl control ("settable at program startup and during runtime by the
+// application", §4.5).
+func (g *GlobalHeap) SetMeshPeriod(d time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cfg.MeshPeriod = d
+}
+
+// SetMeshingEnabled toggles the compaction engine at runtime.
+func (g *GlobalHeap) SetMeshingEnabled(enabled bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cfg.Meshing = enabled
+}
+
+// MeshPeriod returns the current rate limit.
+func (g *GlobalHeap) MeshPeriod() time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cfg.MeshPeriod
+}
+
+// CheckIntegrity validates the global heap's structural invariants. It is
+// meant for tests and debugging: it takes the global lock and walks every
+// registry, so it pauses the world like a meshing pass does.
+//
+// Invariants checked:
+//   - every binned MiniHeap is detached, partially full, and in the bin
+//     matching its occupancy;
+//   - every MiniHeap in a full set is detached and full;
+//   - every registered MiniHeap resolves back to itself through the
+//     arena's offset table for each of its virtual spans;
+//   - attached MiniHeaps appear in no bin;
+//   - when no thread heap holds an attached span, the live-byte counter
+//     equals the bitmap census. (Attached spans carry shuffle-vector
+//     reservations — bits set for slots no one has allocated yet, §4.1 —
+//     so the census is only exact at quiescence.)
+func (g *GlobalHeap) CheckIntegrity() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	var census int64
+	attachedSpans := 0
+	for c := range g.classes {
+		cs := &g.classes[c]
+		inBins := make(map[uint64]bool)
+		for b := range cs.bins {
+			for _, mh := range cs.bins[b].items {
+				if mh.IsAttached() {
+					return fmt.Errorf("class %d: attached MiniHeap %d in bin %d", c, mh.ID(), b)
+				}
+				if mh.IsEmpty() || mh.IsFull() {
+					return fmt.Errorf("class %d: bin %d holds %v", c, b, mh)
+				}
+				if got := mh.Bin(); got != b {
+					return fmt.Errorf("class %d: MiniHeap %d occupancy bin %d filed under %d",
+						c, mh.ID(), got, b)
+				}
+				if !cs.reg.contains(mh) {
+					return fmt.Errorf("class %d: binned MiniHeap %d not in registry", c, mh.ID())
+				}
+				inBins[mh.ID()] = true
+			}
+		}
+		for _, mh := range cs.full.items {
+			if mh.IsAttached() || !mh.IsFull() {
+				return fmt.Errorf("class %d: full set holds %v", c, mh)
+			}
+			if !cs.reg.contains(mh) {
+				return fmt.Errorf("class %d: full MiniHeap %d not in registry", c, mh.ID())
+			}
+			inBins[mh.ID()] = true
+		}
+		for _, mh := range cs.reg.items {
+			if mh.IsAttached() {
+				attachedSpans++
+			}
+			if !mh.IsAttached() && !mh.IsEmpty() && !inBins[mh.ID()] {
+				return fmt.Errorf("class %d: detached MiniHeap %d in no bin", c, mh.ID())
+			}
+			for _, vbase := range mh.Spans() {
+				if got := g.arena.Lookup(vbase); got != mh {
+					return fmt.Errorf("class %d: span %#x of MiniHeap %d resolves to %v",
+						c, vbase, mh.ID(), got)
+				}
+			}
+			census += int64(mh.InUse() * mh.ObjectSize())
+		}
+	}
+	for vbase, mh := range g.large {
+		if !mh.IsLarge() {
+			return fmt.Errorf("large registry holds non-large %v", mh)
+		}
+		if got := g.arena.Lookup(vbase); got != mh {
+			return fmt.Errorf("large span %#x resolves to %v", vbase, got)
+		}
+		census += int64(mh.SpanBytes())
+	}
+	if live := g.liveBytes.Load(); attachedSpans == 0 && live != census {
+		return fmt.Errorf("liveBytes %d != bitmap census %d", live, census)
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/miniheap"
+	"repro/internal/rng"
+	"repro/internal/shufflevec"
+	"repro/internal/sizeclass"
+)
+
+// ThreadHeap is a thread-local heap (§4.3): one shuffle vector per size
+// class, a reference to the global heap, and a thread-local RNG. All malloc
+// and free requests start here; the common case touches no locks or atomic
+// operations beyond the MiniHeap bitmap reservation protocol.
+//
+// Go has no hookable thread-local storage, so applications (and the
+// workload harness) hold one ThreadHeap per worker goroutine explicitly. A
+// ThreadHeap is not safe for concurrent use — that is the point of it.
+type ThreadHeap struct {
+	global   *GlobalHeap
+	rnd      *rng.RNG
+	svs      [sizeclass.NumClasses]*shufflevec.Vector
+	attached [sizeclass.NumClasses]*miniheap.MiniHeap
+
+	localAllocs uint64
+	localFrees  uint64
+	refills     uint64
+}
+
+// NewThreadHeap creates a thread-local heap bound to g. id distinguishes
+// the thread's RNG stream.
+func NewThreadHeap(g *GlobalHeap, id uint64) *ThreadHeap {
+	t := &ThreadHeap{
+		global: g,
+		rnd:    rng.New(g.cfg.Seed*0x9e3779b9 + id),
+	}
+	for c := range t.svs {
+		t.svs[c] = shufflevec.New(t.rnd, g.cfg.Randomize)
+	}
+	return t
+}
+
+// Malloc allocates size bytes and returns the object's virtual address.
+// Requests above the size-class maximum go to the global heap (§4.4.3);
+// everything else is served from the class's shuffle vector, refilling
+// from the global heap when exhausted (§3.1).
+func (t *ThreadHeap) Malloc(size int) (uint64, error) {
+	class, ok := sizeclass.ClassForSize(size)
+	if !ok {
+		if size <= 0 {
+			return 0, fmt.Errorf("core: invalid allocation size %d", size)
+		}
+		return t.global.AllocLarge(size)
+	}
+	return t.mallocFromClass(class)
+}
+
+// refill swaps the exhausted attached MiniHeap for a fresh one from the
+// global heap (§3.1): the old span is relinquished (with its unused
+// reserved slots returned to the bitmap), and a partially full or fresh
+// span is attached and drained into the shuffle vector.
+func (t *ThreadHeap) refill(class int) error {
+	sv := t.svs[class]
+	if old := t.attached[class]; old != nil {
+		for _, off := range sv.Detach() {
+			old.Bitmap().Unset(int(off))
+		}
+		t.attached[class] = nil
+		if err := t.global.ReleaseMiniheap(old); err != nil {
+			return err
+		}
+	}
+	mh, err := t.global.AllocMiniheap(class)
+	if err != nil {
+		return err
+	}
+	t.attached[class] = mh
+	sv.Attach(mh.Bitmap())
+	t.refills++
+	return nil
+}
+
+// Free releases the object at addr. Frees of objects in one of this
+// thread's attached spans are handled locally by the shuffle vector
+// (Figure 4); everything else is passed to the global heap (§3.2).
+func (t *ThreadHeap) Free(addr uint64) error {
+	for c := range t.attached {
+		mh := t.attached[c]
+		if mh == nil || !mh.Contains(addr) {
+			continue
+		}
+		off, err := mh.OffsetOf(addr)
+		if err != nil {
+			return err
+		}
+		t.svs[c].Free(off)
+		t.localFrees++
+		t.global.noteLocalFree(mh.ObjectSize())
+		return nil
+	}
+	return t.global.Free(addr)
+}
+
+// Done relinquishes every attached span back to the global heap; call it
+// when the owning goroutine finishes (thread exit in the paper's model).
+func (t *ThreadHeap) Done() error {
+	for c := range t.attached {
+		if t.attached[c] == nil {
+			continue
+		}
+		sv := t.svs[c]
+		for _, off := range sv.Detach() {
+			t.attached[c].Bitmap().Unset(int(off))
+		}
+		mh := t.attached[c]
+		t.attached[c] = nil
+		if err := t.global.ReleaseMiniheap(mh); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LocalStats reports the thread's operation counts: local allocations,
+// local frees, and shuffle-vector refills.
+func (t *ThreadHeap) LocalStats() (allocs, frees, refills uint64) {
+	return t.localAllocs, t.localFrees, t.refills
+}

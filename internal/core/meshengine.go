@@ -1,0 +1,163 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/meshing"
+	"repro/internal/miniheap"
+	"repro/internal/vm"
+)
+
+// Mesh runs a full meshing pass immediately, bypassing rate limiting. The
+// application-facing knob (the paper exposes meshing control through the
+// semi-standard mallctl API) and the experiment harness both use this.
+func (g *GlobalHeap) Mesh() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.meshAllLocked()
+}
+
+// maybeMeshLocked applies §4.5's rate limiting and runs a pass if due.
+// Called on frees that reach the global heap; caller holds g.mu.
+func (g *GlobalHeap) maybeMeshLocked() {
+	if !g.cfg.Meshing {
+		return
+	}
+	// A free through the global heap re-arms a disarmed timer (§4.5).
+	g.meshDisarmed = false
+	now := g.clock.Now()
+	if now-g.lastMesh < g.cfg.MeshPeriod {
+		return
+	}
+	g.meshAllLocked()
+}
+
+// meshAllLocked finds and performs meshes one size class at a time (§4.5).
+// Caller holds g.mu; the lock is held for the entire pass, which is what
+// blocks concurrent span acquisition and the write-barrier waiters
+// (§4.5.2–§4.5.3). It returns the number of spans released.
+func (g *GlobalHeap) meshAllLocked() int {
+	if !g.cfg.Meshing {
+		return 0
+	}
+	start := time.Now()
+	freedBytes := 0
+	released := 0
+
+	for class := range g.classes {
+		cs := &g.classes[class]
+		// Candidates: every detached, partially full span. Full spans
+		// cannot mesh with anything non-empty; empty spans are already
+		// destroyed on release.
+		var cands []*miniheap.MiniHeap
+		for b := range cs.bins {
+			cands = cs.bins[b].appendAll(cands)
+		}
+		if len(cands) < 2 {
+			continue
+		}
+		// SplitMesher expects its input in random order (§3.3).
+		g.rnd.Shuffle(len(cands), func(i, j int) {
+			cands[i], cands[j] = cands[j], cands[i]
+		})
+		res := meshing.SplitMesher(cands, g.cfg.SplitMesherT,
+			func(a, b *miniheap.MiniHeap) bool { return a.Meshable(b) })
+		// Candidate pairs are recorded first, then meshed en masse (§4.5).
+		for _, p := range res.Pairs {
+			// Copy the emptier span's objects into the fuller span.
+			dst, src := p.Left, p.Right
+			if dst.InUse() < src.InUse() {
+				dst, src = src, dst
+			}
+			if err := g.meshPairLocked(dst, src); err != nil {
+				// A failed mesh leaves both spans unmodified; skip it.
+				continue
+			}
+			freedBytes += src.SpanBytes()
+			released++
+		}
+	}
+
+	elapsed := time.Since(start)
+	g.meshPasses.Add(1)
+	g.spansMeshed.Add(uint64(released))
+	g.bytesFreed.Add(uint64(freedBytes))
+	g.meshTime.Add(int64(elapsed))
+	if int64(elapsed) > g.longestPause.Load() {
+		g.longestPause.Store(int64(elapsed))
+	}
+	g.lastMesh = g.clock.Now()
+	if freedBytes < g.cfg.MinMeshSavings {
+		g.meshDisarmed = true
+	}
+	// "Whenever meshing is invoked, Mesh returns pages to OS" (§4.4.1).
+	_ = g.arena.FlushDirty()
+	return released
+}
+
+// meshPairLocked performs one mesh (§4.5, Figure 1): consolidate src's
+// objects into dst's physical span, retarget src's virtual spans at dst's
+// physical span, and release src's physical span to the OS. Virtual
+// addresses — and the bytes visible through them — never change.
+func (g *GlobalHeap) meshPairLocked(dst, src *miniheap.MiniHeap) error {
+	pages := src.SpanPages()
+	objSize := src.ObjectSize()
+
+	// Write barrier: protect the source virtual spans so no thread can
+	// write to an object while it is being relocated (§4.5.2). Reads
+	// proceed as normal throughout.
+	for _, vbase := range src.Spans() {
+		if err := g.os.Protect(vbase, pages, vm.ReadOnly); err != nil {
+			return err
+		}
+	}
+
+	// Consolidate: copy each live object at the physical layer. Offsets
+	// are preserved, so no pointers inside or outside the objects need
+	// updating.
+	copied := 0
+	for _, off := range src.Bitmap().SetBits() {
+		if err := g.os.CopyPhys(dst.Phys(), off*objSize, src.Phys(), off*objSize, objSize); err != nil {
+			// Roll back protection before bailing.
+			for _, vbase := range src.Spans() {
+				_ = g.os.Protect(vbase, pages, vm.ReadWrite)
+			}
+			return err
+		}
+		copied += objSize
+	}
+	g.bytesCopied.Add(uint64(copied))
+
+	// Merge allocation state.
+	dst.Bitmap().MergeFrom(src.Bitmap())
+
+	// Retarget every virtual span of src at dst's physical span; Remap
+	// restores read-write protection, which is what releases any write-
+	// barrier waiters to retry successfully.
+	srcPhys := src.Phys()
+	lastRefs := 0
+	for _, vbase := range src.Spans() {
+		_, refs, err := g.os.Remap(vbase, pages, dst.Phys())
+		if err != nil {
+			return err
+		}
+		lastRefs = refs
+		g.arena.Reassign(vbase, pages, dst)
+	}
+	dst.AbsorbSpans(src)
+
+	// The source physical span has no mappings left; release it
+	// immediately so compaction shows up in RSS (§4.4.1).
+	if lastRefs == 0 {
+		if err := g.arena.RetirePhys(srcPhys); err != nil {
+			return err
+		}
+	}
+
+	// src's metadata is dead: remove it from its bin and the class
+	// registry; dst may have changed occupancy bin.
+	g.unbinLocked(src)
+	g.classes[src.SizeClass()].reg.remove(src)
+	g.unbinLocked(dst)
+	return g.placeDetachedLocked(dst)
+}

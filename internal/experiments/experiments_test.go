@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestBuildKinds(t *testing.T) {
+	for _, kind := range Kinds() {
+		clock := core.NewLogicalClock()
+		a, err := Build(kind, 10, clock)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", kind, err)
+		}
+		heap := a.NewThread()
+		p, err := heap.Malloc(64)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := heap.Free(p); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+	if _, err := Build("bogus", 1, core.NewLogicalClock()); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestFig6SmallScale(t *testing.T) {
+	res, err := Fig6(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.MeanRSS <= 0 || r.PeakRSS <= 0 || len(r.Series.Samples) == 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+}
+
+func TestFig7SmallScale(t *testing.T) {
+	res, err := Fig7(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Mesh must save memory vs the no-meshing build.
+	if res.SavingsPercent <= 0 {
+		t.Fatalf("savings = %.1f%%", res.SavingsPercent)
+	}
+	// The defrag row must actually have defragged.
+	if res.Rows[0].DefragTime == 0 {
+		t.Fatal("activedefrag did not run")
+	}
+}
+
+func TestFig8SmallScale(t *testing.T) {
+	res, err := Fig8(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.RandSavingsPercent <= 0 {
+		t.Fatalf("randomization savings = %.1f%%", res.RandSavingsPercent)
+	}
+	// Full mesh must have the lowest mean RSS of the Mesh configurations.
+	full := res.Rows[1].MeanRSS
+	for _, r := range res.Rows[2:] {
+		if full >= r.MeanRSS {
+			t.Fatalf("full mesh %.0f not below %s %.0f", full, r.Allocator, r.MeanRSS)
+		}
+	}
+}
+
+func TestSpecSmallScale(t *testing.T) {
+	res, err := Spec(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.GeomeanMemRatio <= 0 || res.GeomeanMemRatio > 1.2 {
+		t.Fatalf("geomean ratio = %.3f", res.GeomeanMemRatio)
+	}
+}
+
+func TestProbMatchesTheory(t *testing.T) {
+	res := Prob(8000)
+	for _, r := range res.Rows {
+		if math.Abs(r.TheoryQ-r.EmpiricalQ) > 0.03 {
+			t.Fatalf("b=%d r=%d: theory %.4f vs empirical %.4f",
+				r.SpanObjects, r.LiveObjects, r.TheoryQ, r.EmpiricalQ)
+		}
+	}
+	if res.UnmeshableLog10 > -150 {
+		t.Fatalf("unmeshable log10 = %.1f", res.UnmeshableLog10)
+	}
+}
+
+func TestLemma53BoundHolds(t *testing.T) {
+	res := Lemma53(300)
+	for _, r := range res.Rows {
+		// The lemma guarantee applies for t = k/q with k > 1 and
+		// n ≥ 2k/q = 2t ("with probability approaching 1 as n ≥ 2k/q
+		// grows").
+		if float64(r.T)*r.Q <= 1 || r.Bound < 1 || r.Spans < 2*r.T {
+			continue
+		}
+		if float64(r.Found) < r.Bound*0.95 {
+			t.Fatalf("n=%d r=%d t=%d: found %d below bound %.1f",
+				r.Spans, r.LiveSlots, r.T, r.Found, r.Bound)
+		}
+		if r.ProbeLimit > 0 && r.Probes > r.ProbeLimit {
+			t.Fatalf("probes %d exceed limit %d", r.Probes, r.ProbeLimit)
+		}
+	}
+}
+
+func TestTrianglePaperNumbers(t *testing.T) {
+	res := Triangle()
+	if res.ExpectedDependent >= 2 {
+		t.Fatalf("dependent expectation %.2f, paper says < 2", res.ExpectedDependent)
+	}
+	if res.ExpectedIndependent < 150 || res.ExpectedIndependent > 185 {
+		t.Fatalf("independent expectation %.1f, paper says ≈ 167", res.ExpectedIndependent)
+	}
+	// The sampled graph should look like the dependent model, not the
+	// independent one.
+	if res.EmpiricalTriangles > 20 {
+		t.Fatalf("sampled graph has %d triangles", res.EmpiricalTriangles)
+	}
+}
+
+func TestRobsonMeshSurvivesBaselinesDie(t *testing.T) {
+	res, err := Robson(1024, 24, []string{"mesh", "jemalloc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meshRow, jmRow := res.Rows[0], res.Rows[1]
+	if meshRow.OOM {
+		t.Fatalf("mesh OOMed after %d rounds", meshRow.RoundsCompleted)
+	}
+	if meshRow.RoundsCompleted != 24 {
+		t.Fatalf("mesh completed %d/24 rounds", meshRow.RoundsCompleted)
+	}
+	if !jmRow.OOM {
+		t.Fatal("non-compacting baseline survived the Robson adversary")
+	}
+	if jmRow.RoundsCompleted >= meshRow.RoundsCompleted {
+		t.Fatalf("baseline rounds %d >= mesh rounds %d",
+			jmRow.RoundsCompleted, meshRow.RoundsCompleted)
+	}
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sizeclass"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// The Robson experiment operationalizes the paper's motivation (§1):
+// Robson proved that any conventional allocator can be driven to memory
+// consumption log(max/min object size) times its live data — and on
+// memory-constrained systems that gap is the difference between running
+// and being OOM-killed (99% of Chrome crashes on low-end Android devices).
+// Mesh breaks the bound with high probability by compacting.
+//
+// The adversary runs rounds of the classic fragmenting pattern under a
+// hard physical-page budget: each round allocates objects of one size
+// class up to a live-data target, then frees 75% of them in scattered
+// order and moves to the next, strictly larger, size class — Robson's
+// construction walks the size classes exactly once, so holes left in a
+// retired class can never be reused by later rounds. Live data never
+// exceeds the target, so a perfect compactor runs forever; a
+// non-compacting allocator accumulates sparse spans of retired classes
+// until a commit fails.
+
+// RobsonRow is one allocator's survival record.
+type RobsonRow struct {
+	Allocator       string
+	RoundsCompleted int
+	OOM             bool
+	MaxLive         int64 // peak live bytes reached
+	FinalRSS        int64
+}
+
+// RobsonResult compares allocators under the same budget and adversary.
+type RobsonResult struct {
+	BudgetBytes int64
+	LiveTarget  int64
+	Rounds      int
+	Rows        []RobsonRow
+}
+
+// Robson runs the adversary against each allocator kind under a budget of
+// budgetPages physical pages, for at most maxRounds rounds (capped at the
+// number of size classes — each round uses a fresh class).
+func Robson(budgetPages int64, maxRounds int, kinds []string) (*RobsonResult, error) {
+	if maxRounds > sizeclass.NumClasses {
+		maxRounds = sizeclass.NumClasses
+	}
+	budget := budgetPages * vm.PageSize
+	liveTarget := budget * 2 / 5 // 40% of the budget is live at peak
+	res := &RobsonResult{BudgetBytes: budget, LiveTarget: liveTarget, Rounds: maxRounds}
+	for _, kind := range kinds {
+		clock := core.NewLogicalClock()
+		// Scale the dirty threshold to the budget so batching cannot eat
+		// the whole allowance.
+		scale := int((64 << 20) / budget)
+		if scale < 1 {
+			scale = 1
+		}
+		a, err := Build(kind, scale, clock)
+		if err != nil {
+			return nil, err
+		}
+		a.Memory().SetMemoryLimit(budgetPages)
+		row, err := robsonRun(a, clock, liveTarget, maxRounds)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+func robsonRun(a alloc.Allocator, clock *core.LogicalClock, liveTarget int64, maxRounds int) (*RobsonRow, error) {
+	h := workload.NewHarness(a, clock, 10*time.Millisecond)
+	heap := a.NewThread()
+	rnd := rng.New(17)
+	row := &RobsonRow{Allocator: a.Name()}
+
+	var survivors []uint64
+	var survivorBytes int64
+
+	for round := 0; round < maxRounds; round++ {
+		size := sizeclass.Size(round)
+		var batch []uint64
+		oom := false
+		for survivorBytes+int64(len(batch)*size) < liveTarget {
+			p, err := heap.Malloc(size)
+			if err != nil {
+				if errors.Is(err, vm.ErrOutOfMemory) {
+					oom = true
+					break
+				}
+				return nil, err
+			}
+			batch = append(batch, p)
+			h.Step(1)
+		}
+		if live := survivorBytes + int64(len(batch)*size); live > row.MaxLive {
+			row.MaxLive = live
+		}
+		if oom {
+			row.OOM = true
+			row.RoundsCompleted = round
+			row.FinalRSS = a.RSS()
+			// Clean up what we can (not counted against the result).
+			for _, p := range batch {
+				_ = heap.Free(p)
+			}
+			for _, p := range survivors {
+				_ = heap.Free(p)
+			}
+			return row, nil
+		}
+		// Free 75% of the batch in scattered order; survivors stay until
+		// the end of the run, pinning their spans.
+		perm := rnd.Perm(len(batch))
+		for i, idx := range perm {
+			if i%4 == 0 {
+				survivors = append(survivors, batch[idx])
+				survivorBytes += int64(size)
+				continue
+			}
+			if err := heap.Free(batch[idx]); err != nil {
+				return nil, err
+			}
+			h.Step(1)
+		}
+		// Retire half of the accumulated survivors each round so live data
+		// stays near the target instead of growing unboundedly.
+		rnd.Shuffle(len(survivors), func(i, j int) {
+			survivors[i], survivors[j] = survivors[j], survivors[i]
+		})
+		keep := len(survivors) / 2
+		for _, p := range survivors[keep:] {
+			if err := heap.Free(p); err != nil {
+				return nil, err
+			}
+			h.Step(1)
+		}
+		survivors = survivors[:keep]
+		// Everything live now is a survivor, so the allocator's own live
+		// counter is the exact survivor byte count (size-class rounded).
+		survivorBytes = a.Live()
+		// Quiescent point: meshing allowed, as in a real process.
+		if m, ok := a.(alloc.Mesher); ok {
+			m.Mesh()
+		}
+		h.Idle(10 * time.Millisecond)
+	}
+	row.RoundsCompleted = maxRounds
+	row.FinalRSS = a.RSS()
+	for _, p := range survivors {
+		_ = heap.Free(p)
+	}
+	return row, nil
+}

@@ -1,0 +1,76 @@
+package meshing
+
+import "math/bits"
+
+// MinCliqueCover computes the exact minimum clique cover of the meshing
+// graph — the optimal meshing of §5.1 (Problem 1): partitioning n spans
+// into k mutually-meshable groups releases n−k spans. The problem is
+// NP-hard in general (it is coloring of the complement graph; Theorem 5.2
+// shows it is technically polynomial for constant-length strings but with
+// astronomically large constants), so this exact solver is exponential and
+// restricted to n ≤ 16; the evaluation uses it to measure how close
+// Matching — what SplitMesher actually solves — comes to the optimum,
+// validating §5.2's argument that large cliques are too rare to matter.
+func MinCliqueCover[S any](spans []S, meshable func(a, b S) bool) int {
+	n := len(spans)
+	if n == 0 {
+		return 0
+	}
+	if n > 16 {
+		panic("meshing: MinCliqueCover limited to 16 spans")
+	}
+	// adj[i]: bitmask of spans meshable with i.
+	adj := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if meshable(spans[i], spans[j]) {
+				adj[i] |= 1 << j
+				adj[j] |= 1 << i
+			}
+		}
+	}
+	full := uint32(1)<<n - 1
+
+	// isClique[m]: spans in m are mutually meshable. Built incrementally:
+	// m is a clique iff m minus its lowest span is a clique entirely
+	// adjacent to that span.
+	isClique := make([]bool, full+1)
+	isClique[0] = true
+	for m := uint32(1); m <= full; m++ {
+		low := uint32(1) << bits.TrailingZeros32(m)
+		rest := m &^ low
+		if rest == 0 {
+			isClique[m] = true
+			continue
+		}
+		isClique[m] = isClique[rest] && adj[bits.TrailingZeros32(low)]&rest == rest
+	}
+
+	// cover[m]: minimum cliques covering exactly the spans in m. Always
+	// include the lowest uncovered span in the next clique — canonical,
+	// avoiding permutation blowup.
+	const inf = 1 << 30
+	cover := make([]int32, full+1)
+	for m := uint32(1); m <= full; m++ {
+		cover[m] = inf
+		low := uint32(1) << bits.TrailingZeros32(m)
+		// Enumerate submasks of m that contain low.
+		for sub := m; sub != 0; sub = (sub - 1) & m {
+			if sub&low == 0 || !isClique[sub] {
+				continue
+			}
+			if c := cover[m&^sub] + 1; int32(c) < cover[m] {
+				cover[m] = c
+			}
+		}
+	}
+	return int(cover[full])
+}
+
+// ReleasedByMatching returns the spans released when meshing only pairs:
+// one per matched pair.
+func ReleasedByMatching(pairs int) int { return pairs }
+
+// ReleasedByCover returns the spans released by an optimal meshing of n
+// spans with clique cover size k: n − k (§5.1).
+func ReleasedByCover(n, k int) int { return n - k }

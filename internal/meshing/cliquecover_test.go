@@ -1,0 +1,87 @@
+package meshing
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestMinCliqueCoverKnownGraphs(t *testing.T) {
+	all := func(a, b int) bool { return a != b }
+	none := func(a, b int) bool { return false }
+	// Complete graph: one clique.
+	if got := MinCliqueCover([]int{0, 1, 2, 3, 4}, all); got != 1 {
+		t.Fatalf("K5 cover = %d", got)
+	}
+	// Empty graph: n singleton cliques.
+	if got := MinCliqueCover([]int{0, 1, 2, 3}, none); got != 4 {
+		t.Fatalf("empty-graph cover = %d", got)
+	}
+	// Path a-b-c: cover {a,b},{c} → 2.
+	edges := map[[2]int]bool{{0, 1}: true, {1, 2}: true}
+	path := func(a, b int) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return edges[[2]int{a, b}]
+	}
+	if got := MinCliqueCover([]int{0, 1, 2}, path); got != 2 {
+		t.Fatalf("P3 cover = %d", got)
+	}
+	// Empty input.
+	if got := MinCliqueCover([]int{}, all); got != 0 {
+		t.Fatalf("empty cover = %d", got)
+	}
+}
+
+func TestCoverNeverWorseThanMatching(t *testing.T) {
+	// Releases from the optimal cover must always be ≥ releases from the
+	// optimal matching, and both ≥ SplitMesher's haul.
+	rnd := rng.New(12)
+	for trial := 0; trial < 12; trial++ {
+		spans := RandomSpans(12, 32, 8, rnd)
+		cover := MinCliqueCover(spans, MeshableSpans)
+		optPairs := OptimalMatching(spans, MeshableSpans)
+		sm := SplitMesher(spans, 64, MeshableSpans)
+		coverRel := ReleasedByCover(len(spans), cover)
+		matchRel := ReleasedByMatching(optPairs)
+		if coverRel < matchRel {
+			t.Fatalf("trial %d: cover releases %d < matching releases %d", trial, coverRel, matchRel)
+		}
+		if len(sm.Pairs) > matchRel {
+			t.Fatalf("trial %d: SplitMesher %d beats optimal matching %d", trial, len(sm.Pairs), matchRel)
+		}
+	}
+}
+
+// TestMatchingNearlyOptimal quantifies §5.2's central argument: on random
+// heaps, solving Matching forfeits almost nothing versus full
+// MinCliqueCover, because triangles and larger cliques are rare.
+func TestMatchingNearlyOptimal(t *testing.T) {
+	rnd := rng.New(2024)
+	totalCover, totalMatch := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		spans := RandomSpans(14, 32, 10, rnd)
+		cover := MinCliqueCover(spans, MeshableSpans)
+		pairs := OptimalMatching(spans, MeshableSpans)
+		totalCover += ReleasedByCover(len(spans), cover)
+		totalMatch += ReleasedByMatching(pairs)
+	}
+	if totalCover == 0 {
+		t.Skip("no meshing opportunity")
+	}
+	ratio := float64(totalMatch) / float64(totalCover)
+	t.Logf("matching releases %d vs optimal %d (ratio %.3f)", totalMatch, totalCover, ratio)
+	if ratio < 0.9 {
+		t.Fatalf("matching forfeits too much: %.3f of optimal", ratio)
+	}
+}
+
+func BenchmarkMinCliqueCover14(b *testing.B) {
+	rnd := rng.New(1)
+	spans := RandomSpans(14, 32, 8, rnd)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinCliqueCover(spans, MeshableSpans)
+	}
+}

@@ -1,0 +1,120 @@
+package meshing
+
+import (
+	"math/bits"
+
+	"repro/internal/bitmap"
+	"repro/internal/rng"
+)
+
+// Graph is a meshing graph (§5.1): node i is span i, and an edge joins two
+// nodes whose spans mesh. Adjacency is stored as bitsets for fast triangle
+// counting.
+type Graph struct {
+	N   int
+	adj [][]uint64
+}
+
+// NewGraph returns an empty graph on n nodes.
+func NewGraph(n int) *Graph {
+	words := (n + 63) / 64
+	adj := make([][]uint64, n)
+	for i := range adj {
+		adj[i] = make([]uint64, words)
+	}
+	return &Graph{N: n, adj: adj}
+}
+
+// AddEdge inserts an undirected edge.
+func (g *Graph) AddEdge(i, j int) {
+	g.adj[i][j/64] |= 1 << (j % 64)
+	g.adj[j][i/64] |= 1 << (i % 64)
+}
+
+// HasEdge reports whether i—j is an edge.
+func (g *Graph) HasEdge(i, j int) bool {
+	return g.adj[i][j/64]&(1<<(j%64)) != 0
+}
+
+// Edges returns the number of edges.
+func (g *Graph) Edges() int {
+	total := 0
+	for i := range g.adj {
+		for _, w := range g.adj[i] {
+			total += bits.OnesCount64(w)
+		}
+	}
+	return total / 2
+}
+
+// Triangles counts the triangles in the graph. §5.2 argues triangles are
+// rare in meshing graphs — much rarer than an independent-edge (Erdős–Rényi)
+// model predicts — which justifies solving Matching instead of
+// MinCliqueCover.
+func (g *Graph) Triangles() int {
+	count := 0
+	for i := 0; i < g.N; i++ {
+		for j := i + 1; j < g.N; j++ {
+			if !g.HasEdge(i, j) {
+				continue
+			}
+			// Count common neighbors k > j.
+			for w := range g.adj[i] {
+				common := g.adj[i][w] & g.adj[j][w]
+				// Mask off k ≤ j.
+				base := w * 64
+				if base+63 <= j {
+					continue
+				}
+				if base <= j {
+					common &^= (1 << (uint(j-base) + 1)) - 1
+				}
+				count += bits.OnesCount64(common)
+			}
+		}
+	}
+	return count
+}
+
+// Span is a span occupancy string for the §5 experiments: a bitmap plus
+// cached popcount.
+type Span struct {
+	Bits *bitmap.Bitmap
+}
+
+// MeshableSpans reports whether two experiment spans mesh (bitmaps
+// disjoint).
+func MeshableSpans(a, b *Span) bool {
+	if a == b {
+		return false
+	}
+	return !a.Bits.Overlaps(b.Bits)
+}
+
+// RandomSpans generates n spans of b slots, each with exactly r objects
+// placed uniformly at random — the post-randomized-allocation heap state
+// §5 analyzes.
+func RandomSpans(n, b, r int, rnd *rng.RNG) []*Span {
+	spans := make([]*Span, n)
+	for i := range spans {
+		bm := bitmap.New(b)
+		for _, idx := range rnd.Perm(b)[:r] {
+			bm.TryToSet(idx)
+		}
+		spans[i] = &Span{Bits: bm}
+	}
+	return spans
+}
+
+// BuildMeshGraph constructs the meshing graph over spans.
+func BuildMeshGraph(spans []*Span) *Graph {
+	g := NewGraph(len(spans))
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if MeshableSpans(spans[i], spans[j]) {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}

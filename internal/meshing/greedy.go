@@ -1,0 +1,42 @@
+package meshing
+
+import "sort"
+
+// GreedyMesher is a deterministic comparator for SplitMesher: it sorts
+// spans by occupancy (emptiest first) and first-fit matches each span
+// against the candidates after it. Pairing empty-with-empty first tends to
+// produce high-quality matchings — a natural "smart" heuristic — but it
+// probes O(n²) pairs in the worst case and needs the occupancy sort, which
+// is why Mesh uses the randomized SplitMesher instead. The ablation
+// benchmarks quantify the quality/time trade-off between the two.
+//
+// occupancy must return the span's live-object count (or any monotone
+// proxy); meshable as in SplitMesher.
+func GreedyMesher[S any](spans []S, occupancy func(S) int, meshable func(a, b S) bool) Result[S] {
+	order := make([]int, len(spans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return occupancy(spans[order[a]]) < occupancy(spans[order[b]])
+	})
+	var res Result[S]
+	used := make([]bool, len(spans))
+	for oi, i := range order {
+		if used[i] {
+			continue
+		}
+		for _, j := range order[oi+1:] {
+			if used[j] {
+				continue
+			}
+			res.Probes++
+			if meshable(spans[i], spans[j]) {
+				res.Pairs = append(res.Pairs, Pair[S]{Left: spans[i], Right: spans[j]})
+				used[i], used[j] = true, true
+				break
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,88 @@
+package meshing
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func spanOcc(s *Span) int { return s.Bits.InUse() }
+
+func TestGreedyMesherBasics(t *testing.T) {
+	spans := strSpans("10000000", "01000000", "11110000", "00001111")
+	res := GreedyMesher(spans, spanOcc, MeshableSpans)
+	// All four can pair off: {0,1} and {2,3}.
+	if len(res.Pairs) != 2 {
+		t.Fatalf("pairs = %d, want 2", len(res.Pairs))
+	}
+	seen := map[*Span]bool{}
+	for _, p := range res.Pairs {
+		if !MeshableSpans(p.Left, p.Right) {
+			t.Fatal("non-meshable pair reported")
+		}
+		if seen[p.Left] || seen[p.Right] {
+			t.Fatal("span used twice")
+		}
+		seen[p.Left] = true
+		seen[p.Right] = true
+	}
+}
+
+func TestGreedyMesherMaximal(t *testing.T) {
+	rnd := rng.New(8)
+	spans := RandomSpans(60, 32, 8, rnd)
+	res := GreedyMesher(spans, spanOcc, MeshableSpans)
+	matched := map[*Span]bool{}
+	for _, p := range res.Pairs {
+		matched[p.Left] = true
+		matched[p.Right] = true
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if !matched[spans[i]] && !matched[spans[j]] && MeshableSpans(spans[i], spans[j]) {
+				t.Fatal("greedy matching not maximal")
+			}
+		}
+	}
+}
+
+func TestGreedyQualityAtLeastHalfOptimal(t *testing.T) {
+	// A maximal matching is always ≥ half the maximum matching.
+	rnd := rng.New(31)
+	for trial := 0; trial < 10; trial++ {
+		spans := RandomSpans(14, 32, 8, rnd)
+		res := GreedyMesher(spans, spanOcc, MeshableSpans)
+		opt := OptimalMatching(spans, MeshableSpans)
+		if 2*len(res.Pairs) < opt {
+			t.Fatalf("trial %d: greedy %d < half of optimal %d", trial, len(res.Pairs), opt)
+		}
+	}
+}
+
+func TestMesherComparison(t *testing.T) {
+	// SplitMesher at t=64 should find a matching in the same ballpark as
+	// greedy while probing far fewer pairs on low-occupancy heaps.
+	rnd := rng.New(77)
+	spans := RandomSpans(600, 64, 8, rnd)
+	split := SplitMesher(spans, 64, MeshableSpans)
+	greedy := GreedyMesher(spans, spanOcc, MeshableSpans)
+	if len(split.Pairs) == 0 || len(greedy.Pairs) == 0 {
+		t.Fatal("a mesher found nothing on a meshable heap")
+	}
+	ratio := float64(len(split.Pairs)) / float64(len(greedy.Pairs))
+	if ratio < 0.5 {
+		t.Fatalf("SplitMesher found %d pairs vs greedy %d (ratio %.2f)",
+			len(split.Pairs), len(greedy.Pairs), ratio)
+	}
+	t.Logf("pairs: split=%d greedy=%d; probes: split=%d greedy=%d",
+		len(split.Pairs), len(greedy.Pairs), split.Probes, greedy.Probes)
+}
+
+func BenchmarkGreedyMesher1000(b *testing.B) {
+	rnd := rng.New(1)
+	spans := RandomSpans(1000, 256, 64, rnd)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GreedyMesher(spans, spanOcc, MeshableSpans)
+	}
+}

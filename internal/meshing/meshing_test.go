@@ -1,0 +1,343 @@
+package meshing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitmap"
+	"repro/internal/rng"
+)
+
+// strSpans builds experiment spans from binary strings.
+func strSpans(ss ...string) []*Span {
+	out := make([]*Span, len(ss))
+	for i, s := range ss {
+		out[i] = &Span{Bits: bitmap.FromString(s)}
+	}
+	return out
+}
+
+func TestMeshableSpansFigure5(t *testing.T) {
+	// Figure 5's example graph: nodes 01101000, 01010000, 00100110,
+	// 00010000, with edges (0,3), (1,2) and also (2,3)? Check pairwise:
+	s := strSpans("01101000", "01010000", "00100110", "00010000")
+	type edge struct{ i, j int }
+	expect := map[edge]bool{}
+	for i := range s {
+		for j := i + 1; j < len(s); j++ {
+			overlap := false
+			for k := 0; k < 8; k++ {
+				if s[i].Bits.IsSet(k) && s[j].Bits.IsSet(k) {
+					overlap = true
+				}
+			}
+			expect[edge{i, j}] = !overlap
+		}
+	}
+	for e, want := range expect {
+		if got := MeshableSpans(s[e.i], s[e.j]); got != want {
+			t.Errorf("edge (%d,%d): got %v want %v", e.i, e.j, got, want)
+		}
+	}
+	// Self is never meshable even with disjoint-with-itself zero string.
+	z := strSpans("00000000")[0]
+	if MeshableSpans(z, z) {
+		t.Error("span meshable with itself")
+	}
+}
+
+func TestSplitMesherFindsObviousMeshes(t *testing.T) {
+	// Left half all "1000", right half all "0001": every cross pair meshes,
+	// so SplitMesher must pair everything in the first pass.
+	var spans []*Span
+	for i := 0; i < 8; i++ {
+		spans = append(spans, strSpans("10000000")[0])
+	}
+	for i := 0; i < 8; i++ {
+		spans = append(spans, strSpans("00000001")[0])
+	}
+	res := SplitMesher(spans, 4, MeshableSpans)
+	if len(res.Pairs) != 8 {
+		t.Fatalf("found %d pairs, want 8", len(res.Pairs))
+	}
+}
+
+func TestSplitMesherNoFalsePairs(t *testing.T) {
+	// All spans identical and fully conflicting: no pair may be reported.
+	var spans []*Span
+	for i := 0; i < 16; i++ {
+		spans = append(spans, strSpans("11110000")[0])
+	}
+	res := SplitMesher(spans, 64, MeshableSpans)
+	if len(res.Pairs) != 0 {
+		t.Fatalf("found %d pairs among unmeshable spans", len(res.Pairs))
+	}
+}
+
+func TestSplitMesherEachSpanAtMostOnce(t *testing.T) {
+	rnd := rng.New(42)
+	spans := RandomSpans(64, 32, 8, rnd)
+	res := SplitMesher(spans, 64, MeshableSpans)
+	seen := map[*Span]bool{}
+	for _, p := range res.Pairs {
+		if seen[p.Left] || seen[p.Right] {
+			t.Fatal("span appears in two pairs")
+		}
+		seen[p.Left] = true
+		seen[p.Right] = true
+		if !MeshableSpans(p.Left, p.Right) {
+			t.Fatal("reported pair does not mesh")
+		}
+	}
+}
+
+func TestSplitMesherProbeBound(t *testing.T) {
+	// Probes must not exceed t · |Sl| (§3.3: "repeats until it has checked
+	// t·|Sl| pairs of spans").
+	rnd := rng.New(7)
+	for _, n := range []int{2, 10, 64, 200} {
+		spans := RandomSpans(n, 32, 16, rnd)
+		tParam := 8
+		res := SplitMesher(spans, tParam, MeshableSpans)
+		if res.Probes > tParam*(n/2) {
+			t.Fatalf("n=%d: %d probes exceeds bound %d", n, res.Probes, tParam*(n/2))
+		}
+	}
+}
+
+func TestSplitMesherDegenerateInputs(t *testing.T) {
+	if r := SplitMesher(nil, 64, MeshableSpans); len(r.Pairs) != 0 {
+		t.Fatal("pairs from empty input")
+	}
+	one := RandomSpans(1, 8, 1, rng.New(1))
+	if r := SplitMesher(one, 64, MeshableSpans); len(r.Pairs) != 0 {
+		t.Fatal("pairs from single span")
+	}
+	if r := SplitMesher(RandomSpans(4, 8, 1, rng.New(1)), 0, MeshableSpans); len(r.Pairs) != 0 {
+		t.Fatal("pairs with t=0")
+	}
+}
+
+func TestHoundScanMaximal(t *testing.T) {
+	// HoundScan yields a maximal matching: afterwards no two unmatched
+	// spans may mesh.
+	rnd := rng.New(3)
+	spans := RandomSpans(40, 32, 10, rnd)
+	res := HoundScan(spans, MeshableSpans)
+	matched := map[*Span]bool{}
+	for _, p := range res.Pairs {
+		matched[p.Left] = true
+		matched[p.Right] = true
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if !matched[spans[i]] && !matched[spans[j]] && MeshableSpans(spans[i], spans[j]) {
+				t.Fatal("HoundScan left a meshable unmatched pair")
+			}
+		}
+	}
+}
+
+func TestOptimalMatchingSmallCases(t *testing.T) {
+	// Path graph a-b-c: maximum matching is 1.
+	// a=100, b=010 would overlap? construct explicitly:
+	// a: 1000, b: 0100, c: 1100 -> edges a-b, a-c? a&c share bit0 → no.
+	// Use explicit meshability function over an adjacency list instead.
+	edges := map[[2]int]bool{{0, 1}: true, {1, 2}: true}
+	meshable := func(a, b int) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return edges[[2]int{a, b}]
+	}
+	if got := OptimalMatching([]int{0, 1, 2}, meshable); got != 1 {
+		t.Fatalf("path P3 matching = %d, want 1", got)
+	}
+	// Perfect matching on K4.
+	all := func(a, b int) bool { return a != b }
+	if got := OptimalMatching([]int{0, 1, 2, 3}, all); got != 2 {
+		t.Fatalf("K4 matching = %d, want 2", got)
+	}
+	// Star K1,3: only 1.
+	star := func(a, b int) bool { return a == 0 || b == 0 }
+	if got := OptimalMatching([]int{0, 1, 2, 3}, star); got != 1 {
+		t.Fatalf("star matching = %d, want 1", got)
+	}
+	if got := OptimalMatching([]int{}, all); got != 0 {
+		t.Fatalf("empty matching = %d", got)
+	}
+}
+
+func TestSplitMesherNearOptimalOnRandomHeaps(t *testing.T) {
+	// §5.3: where significant meshing opportunity exists, SplitMesher with
+	// t=64 should find at least half the optimal matching w.h.p. Use small
+	// n so OptimalMatching is feasible, and average over trials.
+	rnd := rng.New(99)
+	trials := 20
+	totalSplit, totalOpt := 0, 0
+	for tr := 0; tr < trials; tr++ {
+		spans := RandomSpans(16, 32, 6, rnd)
+		res := SplitMesher(spans, 64, MeshableSpans)
+		opt := OptimalMatching(spans, MeshableSpans)
+		totalSplit += len(res.Pairs)
+		totalOpt += opt
+	}
+	if totalOpt == 0 {
+		t.Skip("no meshing opportunity in any trial")
+	}
+	ratio := float64(totalSplit) / float64(totalOpt)
+	if ratio < 0.5 {
+		t.Fatalf("SplitMesher/optimal = %.2f, want ≥ 0.5", ratio)
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(70) // cross word boundary
+	g.AddEdge(0, 69)
+	g.AddEdge(1, 2)
+	if !g.HasEdge(69, 0) || !g.HasEdge(2, 1) {
+		t.Fatal("edges not symmetric")
+	}
+	if g.HasEdge(0, 1) {
+		t.Fatal("phantom edge")
+	}
+	if g.Edges() != 2 {
+		t.Fatalf("Edges = %d", g.Edges())
+	}
+}
+
+func TestTriangleCount(t *testing.T) {
+	g := NewGraph(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2) // triangle 0-1-2
+	g.AddEdge(2, 3) // no new triangle
+	if got := g.Triangles(); got != 1 {
+		t.Fatalf("Triangles = %d, want 1", got)
+	}
+	g.AddEdge(3, 4)
+	g.AddEdge(2, 4) // triangle 2-3-4
+	if got := g.Triangles(); got != 2 {
+		t.Fatalf("Triangles = %d, want 2", got)
+	}
+}
+
+func TestTriangleCountAgainstBruteForce(t *testing.T) {
+	rnd := rng.New(5)
+	spans := RandomSpans(40, 16, 4, rnd)
+	g := BuildMeshGraph(spans)
+	brute := 0
+	for i := 0; i < g.N; i++ {
+		for j := i + 1; j < g.N; j++ {
+			for k := j + 1; k < g.N; k++ {
+				if g.HasEdge(i, j) && g.HasEdge(j, k) && g.HasEdge(i, k) {
+					brute++
+				}
+			}
+		}
+	}
+	if got := g.Triangles(); got != brute {
+		t.Fatalf("Triangles = %d, brute force = %d", got, brute)
+	}
+}
+
+func TestMeshProbabilityClosedForm(t *testing.T) {
+	// b=4, r1=r2=1: q = C(3,1)/C(4,1) = 3/4.
+	if q := MeshProbability(4, 1, 1); math.Abs(q-0.75) > 1e-12 {
+		t.Fatalf("q = %f, want 0.75", q)
+	}
+	// Impossible case.
+	if q := MeshProbability(8, 5, 5); q != 0 {
+		t.Fatalf("q = %f, want 0", q)
+	}
+	// Empty spans always mesh.
+	if q := MeshProbability(8, 0, 0); math.Abs(q-1) > 1e-12 {
+		t.Fatalf("q = %f, want 1", q)
+	}
+}
+
+func TestMeshProbabilityMonteCarlo(t *testing.T) {
+	// Empirical mesh rate of random spans must match the closed form.
+	rnd := rng.New(13)
+	b, r := 32, 8
+	want := MeshProbability(b, r, r)
+	hits, trials := 0, 20000
+	for i := 0; i < trials; i++ {
+		s := RandomSpans(2, b, r, rnd)
+		if MeshableSpans(s[0], s[1]) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(trials)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("empirical q = %.4f, theory %.4f", got, want)
+	}
+}
+
+func TestPaperTriangleNumbers(t *testing.T) {
+	// §5.2: b=32, r=10, n=1000 → expected triangles < 2 under the true
+	// model but ≈167 under the independent-edge model.
+	dep := ExpectedTriangles(1000, 32, 10)
+	ind := ExpectedTrianglesIndependent(1000, 32, 10)
+	if dep >= 2 {
+		t.Fatalf("dependent-model triangles = %.2f, paper says < 2", dep)
+	}
+	if ind < 150 || ind > 185 {
+		t.Fatalf("independent-model triangles = %.1f, paper says ≈167", ind)
+	}
+}
+
+func TestUnmeshableProbabilityPaperExample(t *testing.T) {
+	// §2.2: 64 spans of 256 slots, one object each → 10^-152 chance of
+	// being unable to mesh any. log10 = -(n-1)·log10(b) = -63·2.408 ≈ -151.7.
+	got := UnmeshableProbabilityLog10(256, 64)
+	if got > -151 || got < -153 {
+		t.Fatalf("log10 P = %.1f, want ≈ -152", got)
+	}
+}
+
+func TestSplitMesherLowerBoundSanity(t *testing.T) {
+	// k = t·q; with t=64 and q=0.5, k=32 → bound ≈ n/4.
+	n := 1000
+	bound := SplitMesherLowerBound(n, 0.5, 64)
+	if math.Abs(bound-250) > 1 {
+		t.Fatalf("bound = %f, want ≈ 250", bound)
+	}
+	if SplitMesherLowerBound(n, 0, 64) != 0 {
+		t.Fatal("bound with q=0 must be 0")
+	}
+}
+
+func TestLemma53EmpiricalValidation(t *testing.T) {
+	// Generate random heaps and check SplitMesher beats the Lemma 5.3
+	// lower bound (it holds w.h.p.; seeds are fixed so this is stable).
+	rnd := rng.New(2024)
+	b, r, n := 64, 8, 400
+	q := MeshProbability(b, r, r)
+	tParam := 64
+	spans := RandomSpans(n, b, r, rnd)
+	res := SplitMesher(spans, tParam, MeshableSpans)
+	bound := SplitMesherLowerBound(n, q, tParam)
+	if float64(len(res.Pairs)) < bound {
+		t.Fatalf("SplitMesher found %d pairs, Lemma 5.3 bound %.1f (q=%.3f)",
+			len(res.Pairs), bound, q)
+	}
+}
+
+func BenchmarkSplitMesher1000(b *testing.B) {
+	rnd := rng.New(1)
+	spans := RandomSpans(1000, 256, 64, rnd)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SplitMesher(spans, 64, MeshableSpans)
+	}
+}
+
+func BenchmarkHoundScan1000(b *testing.B) {
+	rnd := rng.New(1)
+	spans := RandomSpans(1000, 256, 64, rnd)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HoundScan(spans, MeshableSpans)
+	}
+}

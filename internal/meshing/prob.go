@@ -1,0 +1,73 @@
+package meshing
+
+import "math"
+
+// logChoose returns log(C(n, k)) computed stably via log-gamma.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln - lk - lnk
+}
+
+// MeshProbability returns the probability that two spans of b slots with r1
+// and r2 uniformly random objects mesh (§5.2):
+//
+//	q = C(b−r1, r2) / C(b, r2).
+func MeshProbability(b, r1, r2 int) float64 {
+	if r1+r2 > b {
+		return 0
+	}
+	return math.Exp(logChoose(b-r1, r2) - logChoose(b, r2))
+}
+
+// TripleMeshProbability returns the probability that three spans with
+// occupancies r1, r2, r3 mutually mesh (§5.2):
+//
+//	C(b−r1, r2)/C(b, r2) × C(b−r1−r2, r3)/C(b, r3).
+func TripleMeshProbability(b, r1, r2, r3 int) float64 {
+	if r1+r2+r3 > b {
+		return 0
+	}
+	return math.Exp(logChoose(b-r1, r2)-logChoose(b, r2)) *
+		math.Exp(logChoose(b-r1-r2, r3)-logChoose(b, r3))
+}
+
+// ExpectedTriangles returns the expected number of triangles in a meshing
+// graph over n spans of b slots each holding r random objects, under the
+// true (dependent-edge) distribution: C(n,3) · P(mutual mesh).
+func ExpectedTriangles(n, b, r int) float64 {
+	return math.Exp(logChoose(n, 3)) * TripleMeshProbability(b, r, r, r)
+}
+
+// ExpectedTrianglesIndependent returns what the triangle count would be if
+// edges were independent with the pairwise probability (the Erdős–Rényi
+// model §5.2 shows is wrong — and the flawed assumption in the DRM paper's
+// analysis, §7): C(n,3) · q³.
+func ExpectedTrianglesIndependent(n, b, r int) float64 {
+	q := MeshProbability(b, r, r)
+	return math.Exp(logChoose(n, 3)) * q * q * q
+}
+
+// UnmeshableProbability returns the probability of the §2.2 worst case: n
+// spans each holding a single object, all at identical offsets, so nothing
+// meshes. With uniform random placement this is (1/b)^(n−1); the paper's
+// example (b=256, n=64) gives ~10⁻¹⁵². Returned as log10 to stay
+// representable.
+func UnmeshableProbabilityLog10(b, n int) float64 {
+	return -float64(n-1) * math.Log10(float64(b))
+}
+
+// SplitMesherLowerBound returns the matching size Lemma 5.3 guarantees with
+// high probability: for t = k/q probes per span, at least n(1−e^(−2k))/4
+// pairs among n spans with pairwise mesh probability q.
+func SplitMesherLowerBound(n int, q float64, t int) float64 {
+	if q <= 0 {
+		return 0
+	}
+	k := float64(t) * q
+	return float64(n) * (1 - math.Exp(-2*k)) / 4
+}

@@ -1,0 +1,145 @@
+// Package meshing implements Mesh's span-matching algorithms: the
+// randomized SplitMesher procedure of §3.3 (Figure 2), the baseline
+// meshers it is evaluated against, mesh-graph construction for the §5
+// analysis, and the closed-form probability results the paper's theory
+// rests on.
+//
+// Meshing is, formally, graph matching: spans are nodes, and an edge joins
+// two spans whose allocation bitmaps do not overlap (Definition 5.1).
+// MinCliqueCover would be optimal but is NP-hard to approximate; §5.2 shows
+// that on Mesh's randomized heaps triangles are rare, so finding a maximum
+// Matching (cliques of size 2) is nearly as good — and SplitMesher finds,
+// with high probability, a matching within a factor ~1/2 of maximum in
+// O(n/q) time, where q is the pairwise mesh probability (Lemma 5.3).
+package meshing
+
+// Pair is one mesh candidate found by a mesher: two spans whose live
+// objects occupy disjoint offsets.
+type Pair[S any] struct {
+	Left, Right S
+}
+
+// Result carries a mesher's output plus the probe count, which the §5
+// benchmarks use to verify the O(n/q) runtime bound.
+type Result[S any] struct {
+	Pairs  []Pair[S]
+	Probes int
+}
+
+// SplitMesher implements Figure 2 of the paper. It splits the span list
+// into halves Sl and Sr (callers pass spans in random order; the global
+// heap shuffles before calling), then performs t passes; pass i probes
+// Sl[j] against Sr[(j+i) mod |Sr|]. Each discovered pair is removed from
+// both halves so every span is meshed at most once. Each span is probed at
+// most t times, giving the space/time trade-off the paper tunes with t=64.
+//
+// meshable must be symmetric and false for identical spans.
+func SplitMesher[S any](spans []S, t int, meshable func(a, b S) bool) Result[S] {
+	n := len(spans)
+	if n < 2 || t <= 0 {
+		return Result[S]{}
+	}
+	left := append([]S(nil), spans[:n/2]...)
+	right := append([]S(nil), spans[n/2:]...)
+
+	var res Result[S]
+	for i := 0; i < t; i++ {
+		if len(left) == 0 || len(right) == 0 {
+			break
+		}
+		for j := 0; j < len(left); j++ {
+			if len(right) == 0 {
+				break
+			}
+			r := (j + i) % len(right)
+			res.Probes++
+			if meshable(left[j], right[r]) {
+				res.Pairs = append(res.Pairs, Pair[S]{Left: left[j], Right: right[r]})
+				left = append(left[:j], left[j+1:]...)
+				right = append(right[:r], right[r+1:]...)
+				j--
+			}
+		}
+	}
+	return res
+}
+
+// HoundScan is the meshing search used by the Hound leak detector (§1, §7):
+// a straightforward first-fit linear scan over all pairs. It finds a
+// maximal matching but probes O(n²) pairs, which is what made meshing too
+// expensive for a general-purpose allocator before SplitMesher.
+func HoundScan[S any](spans []S, meshable func(a, b S) bool) Result[S] {
+	var res Result[S]
+	used := make([]bool, len(spans))
+	for i := range spans {
+		if used[i] {
+			continue
+		}
+		for j := i + 1; j < len(spans); j++ {
+			if used[j] {
+				continue
+			}
+			res.Probes++
+			if meshable(spans[i], spans[j]) {
+				res.Pairs = append(res.Pairs, Pair[S]{Left: spans[i], Right: spans[j]})
+				used[i], used[j] = true, true
+				break
+			}
+		}
+	}
+	return res
+}
+
+// OptimalMatching computes a maximum matching exactly by dynamic
+// programming over subsets. It is exponential (O(2^n · n)) and intended
+// only for the evaluation harness's quality comparisons on small n (≤ 22).
+// It returns the maximum number of disjoint meshable pairs.
+func OptimalMatching[S any](spans []S, meshable func(a, b S) bool) int {
+	n := len(spans)
+	if n > 22 {
+		panic("meshing: OptimalMatching limited to 22 spans")
+	}
+	// adj[i] is a bitmask of js meshable with i.
+	adj := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if meshable(spans[i], spans[j]) {
+				adj[i] |= 1 << j
+				adj[j] |= 1 << i
+			}
+		}
+	}
+	memo := make([]int8, 1<<n)
+	for i := range memo {
+		memo[i] = -1
+	}
+	var solve func(mask uint32) int8
+	solve = func(mask uint32) int8 {
+		if mask == 0 {
+			return 0
+		}
+		if memo[mask] >= 0 {
+			return memo[mask]
+		}
+		// Lowest remaining span: either stays unmatched...
+		var i int
+		for i = 0; mask&(1<<i) == 0; i++ {
+		}
+		rest := mask &^ (1 << i)
+		best := solve(rest)
+		// ...or pairs with some meshable partner.
+		cands := adj[i] & rest
+		for cands != 0 {
+			j := 0
+			for ; cands&(1<<j) == 0; j++ {
+			}
+			cands &^= 1 << j
+			if v := 1 + solve(rest&^(1<<j)); v > best {
+				best = v
+			}
+		}
+		memo[mask] = best
+		return best
+	}
+	return int(solve(uint32(1<<n) - 1))
+}

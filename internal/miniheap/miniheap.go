@@ -1,0 +1,244 @@
+// Package miniheap implements MiniHeaps, the per-span metadata objects at
+// the center of Mesh's heap organization (§4.1 of the paper).
+//
+// A MiniHeap tracks one physical span: its object size, span length, an
+// atomic allocation bitmap, and the list of virtual spans currently mapped
+// onto the physical span. A freshly allocated MiniHeap has exactly one
+// virtual span; each successful mesh adds the source MiniHeap's virtual
+// spans to the destination's list. MiniHeaps are either attached (owned by
+// one thread-local heap, the only state in which new objects are allocated
+// from them) or detached (reachable only from the global heap, the only
+// state in which they are meshing candidates — spans have a single owner,
+// §4.5.3).
+package miniheap
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/bitmap"
+	"repro/internal/sizeclass"
+	"repro/internal/vm"
+)
+
+// MiniHeap is the metadata record for one physical span. Bitmap operations
+// are safe for concurrent use (remote frees); structural fields (virtual
+// span list, physical span id) are guarded by the global heap's lock during
+// meshing and must not be read concurrently with it except through the
+// owning heap.
+type MiniHeap struct {
+	id        uint64 // unique, for deterministic ordering and debugging
+	sizeClass int    // -1 for large (page-multiple) singleton MiniHeaps
+	objSize   int
+	spanPages int
+	objCount  int
+
+	bm   *bitmap.Bitmap
+	phys vm.PhysID
+
+	// spans lists the base virtual addresses mapped onto phys. spans[0]
+	// is the span new allocations are addressed through.
+	spans []uint64
+
+	attached atomic.Bool
+}
+
+var nextID atomic.Uint64
+
+// New creates a MiniHeap for a size-classed span backed by physical span
+// phys and mapped at virtual base vbase.
+func New(class int, vbase uint64, phys vm.PhysID) *MiniHeap {
+	return &MiniHeap{
+		id:        nextID.Add(1),
+		sizeClass: class,
+		objSize:   sizeclass.Size(class),
+		spanPages: sizeclass.SpanPages(class),
+		objCount:  sizeclass.ObjectCount(class),
+		bm:        bitmap.New(sizeclass.ObjectCount(class)),
+		phys:      phys,
+		spans:     []uint64{vbase},
+	}
+}
+
+// NewLarge creates a singleton MiniHeap accounting for one large object
+// occupying pages whole pages (§4.4.3). Large MiniHeaps are never meshed.
+func NewLarge(pages int, vbase uint64, phys vm.PhysID) *MiniHeap {
+	mh := &MiniHeap{
+		id:        nextID.Add(1),
+		sizeClass: -1,
+		objSize:   pages * vm.PageSize,
+		spanPages: pages,
+		objCount:  1,
+		bm:        bitmap.New(1),
+		phys:      phys,
+		spans:     []uint64{vbase},
+	}
+	mh.bm.TryToSet(0)
+	return mh
+}
+
+// ID returns the MiniHeap's unique id.
+func (m *MiniHeap) ID() uint64 { return m.id }
+
+// SizeClass returns the size-class index, or -1 for large objects.
+func (m *MiniHeap) SizeClass() int { return m.sizeClass }
+
+// IsLarge reports whether this is a large-object singleton MiniHeap.
+func (m *MiniHeap) IsLarge() bool { return m.sizeClass < 0 }
+
+// ObjectSize returns the size in bytes of each object slot.
+func (m *MiniHeap) ObjectSize() int { return m.objSize }
+
+// SpanPages returns the span length in pages.
+func (m *MiniHeap) SpanPages() int { return m.spanPages }
+
+// SpanBytes returns the span length in bytes.
+func (m *MiniHeap) SpanBytes() int { return m.spanPages * vm.PageSize }
+
+// ObjectCount returns the number of object slots in the span.
+func (m *MiniHeap) ObjectCount() int { return m.objCount }
+
+// Bitmap exposes the allocation bitmap.
+func (m *MiniHeap) Bitmap() *bitmap.Bitmap { return m.bm }
+
+// Phys returns the backing physical span.
+func (m *MiniHeap) Phys() vm.PhysID { return m.phys }
+
+// SetPhys repoints the MiniHeap at a new physical span; only meshing (under
+// the global lock) uses this.
+func (m *MiniHeap) SetPhys(p vm.PhysID) { m.phys = p }
+
+// Spans returns the virtual spans mapped onto the physical span. The slice
+// must not be mutated by callers.
+func (m *MiniHeap) Spans() []uint64 { return m.spans }
+
+// SpanStart returns the primary virtual base address — the one used to
+// mint addresses for new allocations.
+func (m *MiniHeap) SpanStart() uint64 { return m.spans[0] }
+
+// AbsorbSpans appends the virtual spans of a meshed-away source MiniHeap.
+func (m *MiniHeap) AbsorbSpans(src *MiniHeap) {
+	m.spans = append(m.spans, src.spans...)
+}
+
+// MeshCount returns the number of virtual spans mapped to this MiniHeap's
+// physical span (1 means never meshed).
+func (m *MiniHeap) MeshCount() int { return len(m.spans) }
+
+// Attach marks the MiniHeap as owned by a thread-local heap. It panics on
+// double attach, which would violate the single-owner invariant (§4.5.3).
+func (m *MiniHeap) Attach() {
+	if !m.attached.CompareAndSwap(false, true) {
+		panic("miniheap: double attach")
+	}
+}
+
+// Detach releases thread ownership.
+func (m *MiniHeap) Detach() {
+	if !m.attached.CompareAndSwap(true, false) {
+		panic("miniheap: detach of unattached MiniHeap")
+	}
+}
+
+// IsAttached reports whether a thread-local heap owns this MiniHeap.
+func (m *MiniHeap) IsAttached() bool { return m.attached.Load() }
+
+// Contains reports whether addr falls inside any of the MiniHeap's virtual
+// spans.
+func (m *MiniHeap) Contains(addr uint64) bool {
+	for _, base := range m.spans {
+		if addr >= base && addr < base+uint64(m.SpanBytes()) {
+			return true
+		}
+	}
+	return false
+}
+
+// OffsetOf translates a virtual address within any of the MiniHeap's spans
+// to an object slot index. The address must point at the start of an object
+// slot; interior or foreign pointers return an error (invalid frees are
+// "easily discovered and discarded", §4.4.4).
+func (m *MiniHeap) OffsetOf(addr uint64) (int, error) {
+	for _, base := range m.spans {
+		if addr >= base && addr < base+uint64(m.SpanBytes()) {
+			rel := int(addr - base)
+			if rel%m.objSize != 0 {
+				return 0, fmt.Errorf("miniheap: interior pointer %#x", addr)
+			}
+			off := rel / m.objSize
+			if off >= m.objCount {
+				return 0, fmt.Errorf("miniheap: pointer %#x past last object", addr)
+			}
+			return off, nil
+		}
+	}
+	return 0, fmt.Errorf("miniheap: address %#x not in any span", addr)
+}
+
+// AddrOf returns the virtual address of slot off through the primary span.
+func (m *MiniHeap) AddrOf(off int) uint64 {
+	if off < 0 || off >= m.objCount {
+		panic(fmt.Sprintf("miniheap: offset %d out of range", off))
+	}
+	return m.spans[0] + uint64(off*m.objSize)
+}
+
+// InUse returns the number of allocated objects.
+func (m *MiniHeap) InUse() int { return m.bm.InUse() }
+
+// IsEmpty reports whether no objects are allocated.
+func (m *MiniHeap) IsEmpty() bool { return m.bm.InUse() == 0 }
+
+// IsFull reports whether every slot is allocated.
+func (m *MiniHeap) IsFull() bool { return m.bm.InUse() == m.objCount }
+
+// Occupancy returns the fraction of slots in use, in [0,1].
+func (m *MiniHeap) Occupancy() float64 {
+	return float64(m.bm.InUse()) / float64(m.objCount)
+}
+
+// NumBins is the number of occupancy bins the global heap keeps per size
+// class (§3.1: "bins organized by decreasing occupancy (e.g., 75-99% full
+// in one bin, 50-74% in the next)").
+const NumBins = 4
+
+// Bin returns the occupancy bin index for the MiniHeap's current occupancy:
+// 0 for (75%,100%), 1 for (50%,75%], 2 for (25%,50%], 3 for (0%,25%].
+// Completely full and completely empty MiniHeaps are not binned (the caller
+// handles them separately), but Bin still maps them to 0 and NumBins-1.
+func (m *MiniHeap) Bin() int {
+	occ := m.Occupancy()
+	switch {
+	case occ > 0.75:
+		return 0
+	case occ > 0.50:
+		return 1
+	case occ > 0.25:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Meshable reports whether two MiniHeaps can be meshed: same shape, both
+// size-classed (not large), distinct physical spans, and non-overlapping
+// allocation bitmaps (Definition 5.1). Attached MiniHeaps are never
+// meshable — only the global heap's detached spans are candidates.
+func (m *MiniHeap) Meshable(o *MiniHeap) bool {
+	if m == o || m.IsLarge() || o.IsLarge() {
+		return false
+	}
+	if m.sizeClass != o.sizeClass || m.phys == o.phys {
+		return false
+	}
+	if m.IsAttached() || o.IsAttached() {
+		return false
+	}
+	return !m.bm.Overlaps(o.bm)
+}
+
+// String renders a compact description for debugging.
+func (m *MiniHeap) String() string {
+	return fmt.Sprintf("MiniHeap{id=%d class=%d objSize=%d inUse=%d/%d spans=%d}",
+		m.id, m.sizeClass, m.objSize, m.InUse(), m.objCount, len(m.spans))
+}

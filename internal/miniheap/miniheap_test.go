@@ -1,0 +1,208 @@
+package miniheap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sizeclass"
+	"repro/internal/vm"
+)
+
+// class16 is the 16-byte size class index.
+func class16(t *testing.T) int {
+	t.Helper()
+	c, ok := sizeclass.ClassForSize(16)
+	if !ok {
+		t.Fatal("no class for 16")
+	}
+	return c
+}
+
+func TestNewGeometry(t *testing.T) {
+	c := class16(t)
+	mh := New(c, vm.ArenaBase, 1)
+	if mh.ObjectSize() != 16 || mh.ObjectCount() != 256 || mh.SpanPages() != 1 {
+		t.Fatalf("geometry: %v", mh)
+	}
+	if mh.IsLarge() {
+		t.Fatal("size-classed MiniHeap reported large")
+	}
+	if !mh.IsEmpty() || mh.IsFull() {
+		t.Fatal("fresh MiniHeap not empty")
+	}
+	if mh.MeshCount() != 1 {
+		t.Fatalf("MeshCount = %d", mh.MeshCount())
+	}
+}
+
+func TestLargeSingleton(t *testing.T) {
+	mh := NewLarge(5, vm.ArenaBase, 2)
+	if !mh.IsLarge() || mh.ObjectCount() != 1 || mh.SpanPages() != 5 {
+		t.Fatalf("large geometry: %v", mh)
+	}
+	if !mh.IsFull() {
+		t.Fatal("large MiniHeap must be born full")
+	}
+	if mh.SizeClass() != -1 {
+		t.Fatal("large size class must be -1")
+	}
+}
+
+func TestAddrOffsetRoundTrip(t *testing.T) {
+	c, _ := sizeclass.ClassForSize(256)
+	base := uint64(vm.ArenaBase)
+	mh := New(c, base, 1)
+	f := func(raw uint8) bool {
+		off := int(raw) % mh.ObjectCount()
+		addr := mh.AddrOf(off)
+		got, err := mh.OffsetOf(addr)
+		return err == nil && got == off
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOffsetOfRejectsBadPointers(t *testing.T) {
+	c, _ := sizeclass.ClassForSize(256)
+	base := uint64(vm.ArenaBase)
+	mh := New(c, base, 1)
+	if _, err := mh.OffsetOf(base + 1); err == nil {
+		t.Fatal("interior pointer accepted")
+	}
+	if _, err := mh.OffsetOf(base - 4096); err == nil {
+		t.Fatal("foreign pointer accepted")
+	}
+	if mh.Contains(base + uint64(mh.SpanBytes())) {
+		t.Fatal("Contains accepted one-past-end")
+	}
+}
+
+func TestAttachDetach(t *testing.T) {
+	mh := New(class16(t), vm.ArenaBase, 1)
+	mh.Attach()
+	if !mh.IsAttached() {
+		t.Fatal("not attached")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double attach did not panic")
+			}
+		}()
+		mh.Attach()
+	}()
+	mh.Detach()
+	if mh.IsAttached() {
+		t.Fatal("still attached")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double detach did not panic")
+			}
+		}()
+		mh.Detach()
+	}()
+}
+
+func TestOccupancyAndBins(t *testing.T) {
+	mh := New(class16(t), vm.ArenaBase, 1)
+	n := mh.ObjectCount()
+	fill := func(target float64) {
+		mh.Bitmap().Reset()
+		for i := 0; i < int(target*float64(n)); i++ {
+			mh.Bitmap().TryToSet(i)
+		}
+	}
+	cases := []struct {
+		occ float64
+		bin int
+	}{
+		{0.90, 0}, {0.76, 0}, {0.60, 1}, {0.51, 1}, {0.40, 2}, {0.26, 2}, {0.10, 3}, {0.0, 3},
+	}
+	for _, c := range cases {
+		fill(c.occ)
+		if got := mh.Bin(); got != c.bin {
+			t.Errorf("occupancy %.2f: bin %d, want %d", c.occ, got, c.bin)
+		}
+	}
+}
+
+func TestMeshablePredicate(t *testing.T) {
+	c := class16(t)
+	a := New(c, vm.ArenaBase, 1)
+	b := New(c, vm.ArenaBase+0x10000, 2)
+	// Disjoint bitmaps mesh.
+	a.Bitmap().TryToSet(0)
+	b.Bitmap().TryToSet(1)
+	if !a.Meshable(b) || !b.Meshable(a) {
+		t.Fatal("disjoint spans not meshable")
+	}
+	// Overlapping offset blocks meshing.
+	b.Bitmap().TryToSet(0)
+	if a.Meshable(b) {
+		t.Fatal("overlapping spans meshable")
+	}
+	b.Bitmap().Unset(0)
+	// Self and same-phys never mesh.
+	if a.Meshable(a) {
+		t.Fatal("self-mesh")
+	}
+	samePhys := New(c, vm.ArenaBase+0x20000, 1)
+	if a.Meshable(samePhys) {
+		t.Fatal("same physical span meshable")
+	}
+	// Attached spans never mesh.
+	b.Attach()
+	if a.Meshable(b) {
+		t.Fatal("attached span meshable")
+	}
+	b.Detach()
+	// Different size classes never mesh.
+	c2, _ := sizeclass.ClassForSize(48)
+	other := New(c2, vm.ArenaBase+0x30000, 3)
+	if a.Meshable(other) {
+		t.Fatal("cross-class mesh")
+	}
+	// Large objects never mesh.
+	lg1 := NewLarge(1, vm.ArenaBase+0x40000, 4)
+	lg2 := NewLarge(1, vm.ArenaBase+0x50000, 5)
+	if lg1.Meshable(lg2) {
+		t.Fatal("large objects meshable")
+	}
+}
+
+func TestAbsorbSpansAndContains(t *testing.T) {
+	c := class16(t)
+	dst := New(c, vm.ArenaBase, 1)
+	src := New(c, vm.ArenaBase+0x10000, 2)
+	srcAddr := src.AddrOf(7)
+	dst.AbsorbSpans(src)
+	if dst.MeshCount() != 2 {
+		t.Fatalf("MeshCount = %d", dst.MeshCount())
+	}
+	if !dst.Contains(srcAddr) {
+		t.Fatal("absorbed span address not contained")
+	}
+	off, err := dst.OffsetOf(srcAddr)
+	if err != nil || off != 7 {
+		t.Fatalf("OffsetOf absorbed addr = %d, %v", off, err)
+	}
+	// New allocations still mint addresses from the primary span.
+	if dst.AddrOf(7) != dst.SpanStart()+7*16 {
+		t.Fatal("AddrOf not using primary span")
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	c := class16(t)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		mh := New(c, vm.ArenaBase, vm.PhysID(i+1))
+		if seen[mh.ID()] {
+			t.Fatal("duplicate MiniHeap id")
+		}
+		seen[mh.ID()] = true
+	}
+}

@@ -1,0 +1,269 @@
+// Package redissim reproduces the paper's Redis experiment (§6.2.2,
+// Figure 7): Redis configured as an LRU cache with a 100 MB object limit,
+// filled with 700,000 random keys carrying 240-byte values, followed by
+// 170,000 insertions of 492-byte values. The value sizes are the paper's
+// own choice, picked so every allocator under test lands in comparable size
+// classes (240 → 256, 492 → 512).
+//
+// Each cache entry models Redis's allocation pattern for a set: a key
+// string (sds), a dict entry + robj header (metadata), and the value
+// string. Eviction follows Redis's approximated LRU: sample five random
+// entries, evict the oldest — which is exactly why entry deaths scatter
+// across spans and sparse spans accumulate.
+//
+// The package also implements Redis 4.0's "activedefrag": a pass that
+// reallocates every live object and copies its contents, in the hope the
+// allocator places the copies contiguously. Run under the jemalloc-like
+// baseline it reproduces the paper's comparison: Mesh achieves the same
+// savings automatically, in less time, with no allocator-specific API.
+package redissim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config parameterizes the experiment. Zero fields take the paper's values
+// via Default.
+type Config struct {
+	MaxMemory  int64 // LRU cap on summed object sizes (100 MB)
+	Phase1Keys int   // 700,000
+	Phase1Val  int   // 240 B
+	Phase2Keys int   // 170,000
+	Phase2Val  int   // 492 B
+	KeySize    int   // sds key string bytes
+	MetaSize   int   // dictEntry + robj bytes
+	LRUSamples int   // Redis maxmemory-samples (5)
+	Seed       uint64
+
+	SamplePeriod time.Duration // RSS sampling period (logical)
+	IdleTail     time.Duration // idle time after the load, as in the test
+
+	// ActiveDefrag enables the defragmentation pass during the idle tail
+	// (the paper enables it for jemalloc after all objects are added).
+	ActiveDefrag bool
+	// DefragTrigger is the fragmentation ratio (RSS / live bytes) above
+	// which the defrag pass runs.
+	DefragTrigger float64
+}
+
+// Default returns the paper's configuration, optionally scaled down by
+// factor scale ≥ 1 (sizes stay fixed; counts and the cap shrink) so tests
+// can run quickly.
+func Default(scale int) Config {
+	if scale < 1 {
+		scale = 1
+	}
+	return Config{
+		MaxMemory:     100 << 20 / int64(scale),
+		Phase1Keys:    700_000 / scale,
+		Phase1Val:     240,
+		Phase2Keys:    170_000 / scale,
+		Phase2Val:     492,
+		KeySize:       24,
+		MetaSize:      48,
+		LRUSamples:    5,
+		Seed:          42,
+		SamplePeriod:  50 * time.Millisecond,
+		IdleTail:      2 * time.Second,
+		DefragTrigger: 1.10,
+	}
+}
+
+// entry is one cached key/value with its three allocations.
+type entry struct {
+	key     uint64
+	meta    uint64
+	val     uint64
+	valSize int
+	size    int // summed requested bytes, for the maxmemory accounting
+	seq     uint64
+}
+
+// Result reports the run: the RSS series for Figure 7 and the timing split
+// of §6.2.2.
+type Result struct {
+	Series     stats.Series
+	InsertTime time.Duration // wall time of both insert phases
+	DefragTime time.Duration // wall time spent in activedefrag passes
+	MeshTime   time.Duration // wall time spent meshing (Mesh only)
+	Evictions  int
+	FinalRSS   int64
+	PeakRSS    int64
+	MeanRSS    float64
+}
+
+// Run executes the experiment against a; clock must be the logical clock
+// the allocator was built with (or a fresh one for baselines).
+func Run(cfg Config, a alloc.Allocator, clock *core.LogicalClock) (*Result, error) {
+	h := workload.NewHarness(a, clock, cfg.SamplePeriod)
+	heap := a.NewThread()
+	rnd := rng.New(cfg.Seed)
+	mem := a.Memory()
+
+	var entries []entry
+	var liveBytes int64
+	var seq uint64
+	var evictions int
+
+	evict := func() error {
+		// Redis approximated LRU: sample, evict oldest of the sample.
+		best := int(rnd.UintN(uint64(len(entries))))
+		for i := 1; i < cfg.LRUSamples; i++ {
+			c := int(rnd.UintN(uint64(len(entries))))
+			if entries[c].seq < entries[best].seq {
+				best = c
+			}
+		}
+		e := entries[best]
+		last := len(entries) - 1
+		entries[best] = entries[last]
+		entries = entries[:last]
+		for _, p := range []uint64{e.key, e.meta, e.val} {
+			if err := heap.Free(p); err != nil {
+				return err
+			}
+		}
+		liveBytes -= int64(e.size)
+		evictions++
+		h.Step(3)
+		return nil
+	}
+
+	valBuf := make([]byte, 4096)
+	insert := func(valSize int) error {
+		e := entry{valSize: valSize, size: cfg.KeySize + cfg.MetaSize + valSize, seq: seq}
+		seq++
+		var err error
+		if e.key, err = heap.Malloc(cfg.KeySize); err != nil {
+			return err
+		}
+		if e.meta, err = heap.Malloc(cfg.MetaSize); err != nil {
+			return err
+		}
+		if e.val, err = heap.Malloc(valSize); err != nil {
+			return err
+		}
+		// Write the value so defrag and meshing must preserve real data.
+		for i := 0; i < valSize; i++ {
+			valBuf[i] = byte(e.seq + uint64(i))
+		}
+		if err := mem.Write(e.val, valBuf[:valSize]); err != nil {
+			return err
+		}
+		entries = append(entries, e)
+		liveBytes += int64(e.size)
+		h.Step(3)
+		for liveBytes > cfg.MaxMemory {
+			if err := evict(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	res := &Result{}
+	wallStart := time.Now()
+	for i := 0; i < cfg.Phase1Keys; i++ {
+		if err := insert(cfg.Phase1Val); err != nil {
+			return nil, fmt.Errorf("phase1 insert %d: %w", i, err)
+		}
+	}
+	for i := 0; i < cfg.Phase2Keys; i++ {
+		if err := insert(cfg.Phase2Val); err != nil {
+			return nil, fmt.Errorf("phase2 insert %d: %w", i, err)
+		}
+	}
+	res.InsertTime = time.Since(wallStart)
+
+	// Idle tail: Redis sits idle; activedefrag (if enabled) or Mesh's
+	// background meshing does its work here. We slice the tail so the
+	// sampler keeps recording.
+	slices := int(cfg.IdleTail / cfg.SamplePeriod)
+	if slices < 1 {
+		slices = 1
+	}
+	for i := 0; i < slices; i++ {
+		if cfg.ActiveDefrag && i == 0 {
+			frag := fragRatio(a)
+			if frag > cfg.DefragTrigger {
+				t0 := time.Now()
+				if err := defragPass(cfg, heap, entries, mem); err != nil {
+					return nil, err
+				}
+				res.DefragTime = time.Since(t0)
+			}
+		}
+		if m, ok := a.(alloc.Mesher); ok && i == 0 && !cfg.ActiveDefrag {
+			// Give Mesh one explicit quiescent-point pass, standing in
+			// for the rate-limited passes the idle period would run.
+			m.Mesh()
+		}
+		h.Idle(cfg.SamplePeriod)
+	}
+
+	res.Series = h.Finish()
+	res.Evictions = evictions
+	res.FinalRSS = a.RSS()
+	res.PeakRSS = res.Series.PeakRSS()
+	res.MeanRSS = res.Series.MeanRSS()
+	if ma, ok := a.(interface{ Stats() core.HeapStats }); ok {
+		res.MeshTime = ma.Stats().Mesh.TotalTime
+	}
+	return res, nil
+}
+
+// fragRatio is Redis's fragmentation metric: RSS over live bytes.
+func fragRatio(a alloc.Allocator) float64 {
+	live := a.Live()
+	if live == 0 {
+		return 1
+	}
+	return float64(a.RSS()) / float64(live)
+}
+
+// defragPass reallocates every live object and copies its contents — the
+// mechanism behind Redis's activedefrag (§6.2.2, §7). It mutates entries
+// in place with the new addresses.
+func defragPass(cfg Config, heap alloc.Heap, entries []entry, mem interface {
+	Read(uint64, []byte) error
+	Write(uint64, []byte) error
+}) error {
+	buf := make([]byte, 4096)
+	realloc := func(p uint64, size int) (uint64, error) {
+		np, err := heap.Malloc(size)
+		if err != nil {
+			return 0, err
+		}
+		if err := mem.Read(p, buf[:size]); err != nil {
+			return 0, err
+		}
+		if err := mem.Write(np, buf[:size]); err != nil {
+			return 0, err
+		}
+		if err := heap.Free(p); err != nil {
+			return 0, err
+		}
+		return np, nil
+	}
+	for i := range entries {
+		e := &entries[i]
+		var err error
+		if e.key, err = realloc(e.key, cfg.KeySize); err != nil {
+			return err
+		}
+		if e.meta, err = realloc(e.meta, cfg.MetaSize); err != nil {
+			return err
+		}
+		if e.val, err = realloc(e.val, e.valSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+// Package rng provides the deterministic pseudo-random number generation
+// used throughout the Mesh allocator.
+//
+// Mesh's guarantees (§5 of the paper) rest on randomized allocation; the
+// allocator needs a generator that is fast, has no locks, and can be seeded
+// so experiments are reproducible. We use the xoshiro256** generator, which
+// has a 256-bit state, passes BigCrush, and needs only a handful of
+// arithmetic operations per output. Each thread-local heap owns its own
+// generator (mirroring the per-thread RNG in the C++ implementation), so no
+// synchronization is required.
+package rng
+
+import "math/bits"
+
+// RNG is a seedable xoshiro256** pseudo-random generator. The zero value is
+// not usable; construct with New. RNG is not safe for concurrent use; give
+// each thread its own instance.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via SplitMix64, which guarantees
+// a well-distributed non-zero internal state for any seed value, including
+// zero.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state as if freshly constructed with New(seed).
+func (r *RNG) Seed(seed uint64) {
+	// SplitMix64 expansion of the seed into 256 bits of state.
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r.s[0] = next()
+	r.s[1] = next()
+	r.s[2] = next()
+	r.s[3] = next()
+}
+
+// Uint64 returns the next 64 bits from the generator.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+
+	return result
+}
+
+// Uint32 returns the next 32 bits from the generator.
+func (r *RNG) Uint32() uint32 {
+	return uint32(r.Uint64() >> 32)
+}
+
+// UintN returns a uniformly distributed integer in [0, n). It panics if
+// n == 0. Uses Lemire's multiply-shift rejection method to avoid modulo
+// bias without a divide in the common case.
+func (r *RNG) UintN(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: UintN called with n == 0")
+	}
+	// Lemire's nearly-divisionless algorithm.
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// InRange returns a uniformly distributed integer in [lo, hi] (inclusive on
+// both ends, matching the paper's pseudocode `_rng.inRange(_off,
+// maxCount()-1)`). It panics if lo > hi.
+func (r *RNG) InRange(lo, hi int) int {
+	if lo > hi {
+		panic("rng: InRange called with lo > hi")
+	}
+	return lo + int(r.UintN(uint64(hi-lo+1)))
+}
+
+// Float64 returns a uniformly distributed float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Shuffle performs a Knuth–Fisher–Yates shuffle of n elements using swap,
+// exactly as §4.2 of the paper initializes shuffle vectors.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := int(r.UintN(uint64(i + 1)))
+		swap(i, j)
+	}
+}
+
+// ShuffleBytes shuffles a byte slice in place.
+func (r *RNG) ShuffleBytes(b []byte) {
+	r.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+}
+
+// ShuffleUint16 shuffles a []uint16 in place.
+func (r *RNG) ShuffleUint16(v []uint16) {
+	r.Shuffle(len(v), func(i, j int) { v[i], v[j] = v[j], v[i] })
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

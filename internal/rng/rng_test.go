@@ -1,0 +1,239 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedZeroUsable(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("seed 0 produced too many repeats: %d distinct of 100", len(seen))
+	}
+}
+
+func TestReseed(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Seed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("reseed mismatch at %d: got %d want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical outputs of 64", same)
+	}
+}
+
+func TestUintNBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []uint64{1, 2, 3, 7, 256, 1 << 20} {
+		for i := 0; i < 2000; i++ {
+			if v := r.UintN(n); v >= n {
+				t.Fatalf("UintN(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUintNPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for UintN(0)")
+		}
+	}()
+	New(1).UintN(0)
+}
+
+func TestInRangeInclusive(t *testing.T) {
+	r := New(11)
+	sawLo, sawHi := false, false
+	for i := 0; i < 10000; i++ {
+		v := r.InRange(3, 10)
+		if v < 3 || v > 10 {
+			t.Fatalf("InRange(3,10) = %d", v)
+		}
+		if v == 3 {
+			sawLo = true
+		}
+		if v == 10 {
+			sawHi = true
+		}
+	}
+	if !sawLo || !sawHi {
+		t.Fatalf("InRange never hit endpoints: lo=%v hi=%v", sawLo, sawHi)
+	}
+	if got := r.InRange(5, 5); got != 5 {
+		t.Fatalf("InRange(5,5) = %d", got)
+	}
+}
+
+func TestInRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for InRange(2,1)")
+		}
+	}()
+	New(1).InRange(2, 1)
+}
+
+func TestUintNUniformity(t *testing.T) {
+	// Chi-square style sanity check: 16 buckets, 160k samples.
+	r := New(99)
+	const buckets = 16
+	const samples = 160000
+	var counts [buckets]int
+	for i := 0; i < samples; i++ {
+		counts[r.UintN(buckets)]++
+	}
+	expect := float64(samples) / buckets
+	for i, c := range counts {
+		if math.Abs(float64(c)-expect) > expect*0.05 {
+			t.Fatalf("bucket %d count %d deviates >5%% from %f", i, c, expect)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	var sum float64
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+		sum += f
+	}
+	if mean := sum / 100000; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %f not near 0.5", mean)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(8)
+	f := func(seed uint64, n8 uint8) bool {
+		n := int(n8)
+		r.Seed(seed)
+		v := make([]int, n)
+		for i := range v {
+			v[i] = i
+		}
+		r.Shuffle(n, func(i, j int) { v[i], v[j] = v[j], v[i] })
+		seen := make([]bool, n)
+		for _, x := range v {
+			if x < 0 || x >= n || seen[x] {
+				return false
+			}
+			seen[x] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleUniformFirstElement(t *testing.T) {
+	// Each element should land in position 0 with probability ~1/n.
+	r := New(123)
+	const n = 8
+	const trials = 80000
+	var counts [n]int
+	for tr := 0; tr < trials; tr++ {
+		v := [n]int{0, 1, 2, 3, 4, 5, 6, 7}
+		r.Shuffle(n, func(i, j int) { v[i], v[j] = v[j], v[i] })
+		counts[v[0]]++
+	}
+	expect := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-expect) > expect*0.06 {
+			t.Fatalf("element %d in slot 0 %d times, expect ~%f", i, c, expect)
+		}
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(77)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, x := range p {
+		if seen[x] {
+			t.Fatalf("duplicate %d in Perm", x)
+		}
+		seen[x] = true
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(4)
+	hits := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / trials
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) frequency %f", frac)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkUintN(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.UintN(256)
+	}
+	_ = sink
+}
+
+func BenchmarkShuffle256(b *testing.B) {
+	r := New(1)
+	v := make([]byte, 256)
+	for i := range v {
+		v[i] = byte(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ShuffleBytes(v)
+	}
+}

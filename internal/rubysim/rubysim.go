@@ -1,0 +1,145 @@
+// Package rubysim reproduces the paper's Ruby microbenchmark (§6.3,
+// Figure 8): a synthetic workload with a deliberately regular allocation
+// pattern, built to show that randomization is what makes meshing effective
+// when allocation order is not already effectively random.
+//
+// The benchmark "repeatedly performs a sequence of string allocations and
+// deallocations, simulating the effect of accumulating results from an API
+// and periodically filtering some out. It allocates a number of strings of
+// a fixed size, then retains references to 25% of the strings while
+// dropping references to the rest. Each iteration the length of the strings
+// is doubled. The test requires only a fixed 128 MB to hold the string
+// contents." (MRI Ruby allocates large strings directly with malloc, which
+// is why this exercises the C allocator despite Ruby's GC.)
+//
+// The retained quarter of each batch survives until the *next* batch has
+// been processed — the "periodically filtering" — so at every moment the
+// heap carries a sparse residue of the previous size class. A conventional
+// allocator keeps all those spans resident; Mesh with randomization meshes
+// them away.
+package rubysim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config parameterizes the microbenchmark.
+type Config struct {
+	ContentBytes int64 // string contents per iteration (128 MB in the paper)
+	StartLen     int   // initial string length
+	Iterations   int   // doublings; StartLen<<(Iterations-1) should stay ≤ 16 KiB
+	// RetainStride keeps every RetainStride-th string of a batch (4 → the
+	// paper's 25%). Retention is deliberately REGULAR, not random: the
+	// benchmark exists to show what happens to meshing when the
+	// application's own behaviour provides no randomness (§6.3). Under a
+	// deterministic allocator every span then keeps survivors at identical
+	// offsets, which never mesh; randomized allocation scatters them.
+	RetainStride int
+	Seed         uint64
+	SamplePeriod time.Duration
+}
+
+// Default returns the paper-shaped configuration scaled down by scale.
+func Default(scale int) Config {
+	if scale < 1 {
+		scale = 1
+	}
+	return Config{
+		ContentBytes: 128 << 20 / int64(scale),
+		StartLen:     64,
+		Iterations:   8, // 64 B … 8 KiB
+		RetainStride: 4,
+		Seed:         7,
+		SamplePeriod: 20 * time.Millisecond,
+	}
+}
+
+// Result carries the Figure 8 series and summary metrics.
+type Result struct {
+	Series   stats.Series
+	MeanRSS  float64
+	PeakRSS  int64
+	WallTime time.Duration
+}
+
+// Run executes the benchmark against a.
+func Run(cfg Config, a alloc.Allocator, clock *core.LogicalClock) (*Result, error) {
+	h := workload.NewHarness(a, clock, cfg.SamplePeriod)
+	heap := a.NewThread()
+	mem := a.Memory()
+
+	var prevRetained []uint64
+	wallStart := time.Now()
+	one := []byte{0xAA}
+
+	for it := 0; it < cfg.Iterations; it++ {
+		strLen := cfg.StartLen << it
+		n := int(cfg.ContentBytes / int64(strLen))
+		if n < 4 {
+			n = 4
+		}
+		batch := make([]uint64, 0, n)
+		for i := 0; i < n; i++ {
+			p, err := heap.Malloc(strLen)
+			if err != nil {
+				return nil, fmt.Errorf("iteration %d alloc %d: %w", it, i, err)
+			}
+			// Touch the string so spans are really dirtied.
+			if err := mem.Write(p, one); err != nil {
+				return nil, err
+			}
+			batch = append(batch, p)
+			h.Step(1)
+		}
+		// The previous iteration's retained strings are filtered out now
+		// that the new batch has arrived.
+		for _, p := range prevRetained {
+			if err := heap.Free(p); err != nil {
+				return nil, err
+			}
+			h.Step(1)
+		}
+		// Drop references to 75% of this batch: the filter keeps every
+		// RetainStride-th string, a regular pattern with no randomness of
+		// its own (§6.3).
+		prevRetained = prevRetained[:0]
+		for i, p := range batch {
+			if i%cfg.RetainStride == 0 {
+				prevRetained = append(prevRetained, p)
+				continue
+			}
+			if err := heap.Free(p); err != nil {
+				return nil, err
+			}
+			h.Step(1)
+		}
+		// End-of-iteration quiescent point: Ruby would be between API
+		// pages here; give rate-limited meshing a chance, as the running
+		// process would.
+		h.Idle(cfg.SamplePeriod)
+		if m, ok := a.(alloc.Mesher); ok {
+			m.Mesh()
+		}
+		h.Idle(cfg.SamplePeriod)
+	}
+	for _, p := range prevRetained {
+		if err := heap.Free(p); err != nil {
+			return nil, err
+		}
+		h.Step(1)
+	}
+
+	series := h.Finish()
+	return &Result{
+		Series:   series,
+		MeanRSS:  series.MeanRSS(),
+		PeakRSS:  series.PeakRSS(),
+		WallTime: time.Since(wallStart),
+	}, nil
+}

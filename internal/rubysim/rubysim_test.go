@@ -1,0 +1,115 @@
+package rubysim
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/mesh"
+)
+
+func run(t *testing.T, cfg Config, build func(*core.LogicalClock) alloc.Allocator) *Result {
+	t.Helper()
+	clock := core.NewLogicalClock()
+	res, err := Run(cfg, build(clock), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// meshBuild constructs a Mesh allocator for a scaled-down run. The arena's
+// dirty-page punch threshold (64 MiB at production scale, §4.4.1) must
+// shrink with the workload or released-but-parked spans dominate RSS in a
+// way that full-size heaps never see.
+func meshBuild(scale int, opts ...mesh.Option) func(*core.LogicalClock) alloc.Allocator {
+	return func(clock *core.LogicalClock) alloc.Allocator {
+		all := append([]mesh.Option{
+			mesh.WithSeed(11), mesh.WithClock(clock),
+			mesh.WithDirtyPageThreshold((64 << 20) / scale / 4096),
+		}, opts...)
+		return mesh.NewAdapter("mesh", all...)
+	}
+}
+
+func jemallocBuild(*core.LogicalClock) alloc.Allocator { return baseline.NewJemalloc() }
+
+func TestRunCompletes(t *testing.T) {
+	res := run(t, Default(64), meshBuild(64))
+	if res.PeakRSS == 0 || len(res.Series.Samples) < 8 {
+		t.Fatalf("degenerate run: %+v", res)
+	}
+}
+
+// TestFigure8Ordering asserts the paper's §6.3 ranking of mean heap size:
+//
+//	Mesh (rand+mesh)  <  Mesh (no rand)  ≈  Mesh (no mesh)  ≈  jemalloc
+//
+// with randomization providing the bulk of the savings (19% in the paper).
+func TestFigure8Ordering(t *testing.T) {
+	cfg := Default(32)
+	full := run(t, cfg, meshBuild(32))
+	noRand := run(t, cfg, meshBuild(32, mesh.WithRandomization(false)))
+	noMesh := run(t, cfg, meshBuild(32, mesh.WithMeshing(false)))
+	jm := run(t, cfg, jemallocBuild)
+
+	t.Logf("mean RSS: mesh=%.0f norand=%.0f nomesh=%.0f jemalloc=%.0f",
+		full.MeanRSS, noRand.MeanRSS, noMesh.MeanRSS, jm.MeanRSS)
+
+	// Randomized meshing must beat the no-rand configuration distinctly.
+	if full.MeanRSS >= noRand.MeanRSS*0.95 {
+		t.Fatalf("randomization ineffective: %.0f vs %.0f", full.MeanRSS, noRand.MeanRSS)
+	}
+	// And beat non-compacting configurations.
+	if full.MeanRSS >= noMesh.MeanRSS*0.95 {
+		t.Fatalf("meshing ineffective: %.0f vs %.0f", full.MeanRSS, noMesh.MeanRSS)
+	}
+	// Without randomization, the regular allocation pattern leaves little
+	// to mesh: no-rand must be within 10% of no-mesh (the paper: 3% apart).
+	ratio := noRand.MeanRSS / noMesh.MeanRSS
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("no-rand unexpectedly far from no-mesh: ratio %.2f", ratio)
+	}
+	// Mesh-with-meshing-disabled should behave like jemalloc (paper:
+	// "similar runtime and heap size to jemalloc").
+	jr := noMesh.MeanRSS / jm.MeanRSS
+	if jr < 0.7 || jr > 1.4 {
+		t.Fatalf("no-mesh vs jemalloc ratio %.2f outside sanity band", jr)
+	}
+}
+
+func TestRegularPatternTrulyRegular(t *testing.T) {
+	// Core premise of the benchmark: under the non-randomized allocator,
+	// survivors sit at identical offsets in every span, so a meshing pass
+	// releases (almost) nothing.
+	cfg := Default(64)
+	clock := core.NewLogicalClock()
+	a := mesh.NewAdapter("mesh-norand", mesh.WithSeed(3), mesh.WithClock(clock),
+		mesh.WithDirtyPageThreshold((64<<20)/64/4096),
+		mesh.WithRandomization(false))
+	res, err := Run(cfg, a, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	// Some incidental meshing can occur at span boundaries; it must be a
+	// tiny fraction of the heap.
+	if st.Mesh.BytesFreed > uint64(res.PeakRSS)/10 {
+		t.Fatalf("no-rand meshed %d bytes of a %d-byte peak heap",
+			st.Mesh.BytesFreed, res.PeakRSS)
+	}
+}
+
+func TestRandomizedMeshingActuallyMeshes(t *testing.T) {
+	cfg := Default(64)
+	clock := core.NewLogicalClock()
+	a := mesh.NewAdapter("mesh", mesh.WithSeed(3), mesh.WithClock(clock),
+		mesh.WithDirtyPageThreshold((64<<20)/64/4096))
+	if _, err := Run(cfg, a, clock); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().Mesh.SpansMeshed == 0 {
+		t.Fatal("randomized run never meshed a span")
+	}
+}

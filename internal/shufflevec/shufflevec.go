@@ -1,0 +1,125 @@
+// Package shufflevec implements Mesh's shuffle vectors (§4.2 of the paper):
+// a data structure that performs randomized allocation out of a MiniHeap in
+// worst-case O(1) time per malloc and free, with one byte of overhead per
+// object and no overprovisioning.
+//
+// Earlier randomized allocators (DieHard, DieHarder) probe random bitmap
+// indices until they hit a free slot; that is O(1) only in expectation and
+// requires keeping the heap under ~50% occupancy. A shuffle vector instead
+// keeps the span's free offsets in an array maintained in uniformly random
+// order: allocation pops from the head (bump-pointer speed), and free pushes
+// the offset at the head and swaps it with a uniformly chosen element —
+// one step of Knuth–Fisher–Yates, which preserves the all-orders-equally-
+// likely invariant.
+//
+// A shuffle vector is owned by exactly one thread and is intentionally NOT
+// safe for concurrent use; cross-thread frees go through the MiniHeap's
+// atomic bitmap instead (§3.2).
+package shufflevec
+
+import (
+	"repro/internal/bitmap"
+	"repro/internal/rng"
+	"repro/internal/sizeclass"
+)
+
+// Vector is a shuffle vector for one size class. The zero value is an empty,
+// detached vector; use New to configure randomization.
+type Vector struct {
+	list   [sizeclass.MaxObjectCount]uint8
+	off    int // allocation index: list[off:max] are available offsets
+	max    int // object count of the attached span
+	rnd    *rng.RNG
+	random bool
+}
+
+// New returns a detached shuffle vector. If randomize is false the vector
+// degrades to a deterministic LIFO freelist — the "Mesh (no rand)"
+// configuration of §6.3.
+func New(r *rng.RNG, randomize bool) *Vector {
+	return &Vector{rnd: r, random: randomize}
+}
+
+// IsExhausted reports whether no offsets remain to allocate.
+func (v *Vector) IsExhausted() bool { return v.off >= v.max }
+
+// Remaining returns the number of offsets still available.
+func (v *Vector) Remaining() int { return v.max - v.off }
+
+// Attach fills the vector from a MiniHeap's allocation bitmap: every bit it
+// atomically flips from 0 to 1 becomes an available offset, reserved for
+// this thread (§4.1). The available region is then shuffled so allocation
+// order is uniformly random. Attach panics if the vector still holds
+// offsets (callers must Detach first) or if the bitmap exceeds the 256-slot
+// limit that keeps offsets in one byte.
+func (v *Vector) Attach(bm *bitmap.Bitmap) {
+	if !v.IsExhausted() {
+		panic("shufflevec: Attach with offsets still available")
+	}
+	n := bm.Len()
+	if n > sizeclass.MaxObjectCount {
+		panic("shufflevec: span exceeds 256 objects")
+	}
+	v.max = n
+	v.off = n
+	for i := 0; i < n; i++ {
+		if bm.TryToSet(i) {
+			v.off--
+			v.list[v.off] = uint8(i)
+		}
+	}
+	if v.random {
+		avail := v.list[v.off:v.max]
+		v.rnd.Shuffle(len(avail), func(i, j int) {
+			avail[i], avail[j] = avail[j], avail[i]
+		})
+	}
+}
+
+// Detach empties the vector and returns the offsets that were still
+// available. The caller must clear the corresponding bitmap bits so the
+// span's occupancy again reflects only live objects before the MiniHeap is
+// returned to the global heap.
+func (v *Vector) Detach() []uint8 {
+	rem := make([]uint8, v.max-v.off)
+	copy(rem, v.list[v.off:v.max])
+	v.off = v.max
+	v.max = 0
+	v.off = 0
+	return rem
+}
+
+// Malloc pops the next offset. ok is false when the vector is exhausted.
+// This is the entire small-allocation fast path: one load, one increment.
+func (v *Vector) Malloc() (offset int, ok bool) {
+	if v.off >= v.max {
+		return 0, false
+	}
+	o := v.list[v.off]
+	v.off++
+	return int(o), true
+}
+
+// Free pushes offset back and re-randomizes its position with a single
+// Fisher–Yates step (§4.2, Figure 3c–d). The offset must belong to the
+// attached span and must currently be allocated; Vector cannot check this —
+// the owning thread-local heap does.
+func (v *Vector) Free(offset int) {
+	if v.off == 0 {
+		panic("shufflevec: Free on full vector")
+	}
+	v.off--
+	v.list[v.off] = uint8(offset)
+	if v.random && v.off < v.max-1 {
+		swap := v.rnd.InRange(v.off, v.max-1)
+		v.list[v.off], v.list[swap] = v.list[swap], v.list[v.off]
+	}
+}
+
+// Available returns a copy of the currently available offsets, for tests
+// and the randomization-quality experiments.
+func (v *Vector) Available() []uint8 {
+	out := make([]uint8, v.max-v.off)
+	copy(out, v.list[v.off:v.max])
+	return out
+}

@@ -1,0 +1,246 @@
+package shufflevec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitmap"
+	"repro/internal/rng"
+)
+
+func TestAttachReservesAllFreeSlots(t *testing.T) {
+	bm := bitmap.New(64)
+	bm.TryToSet(3)
+	bm.TryToSet(40)
+	v := New(rng.New(1), true)
+	v.Attach(bm)
+	if v.Remaining() != 62 {
+		t.Fatalf("Remaining = %d, want 62", v.Remaining())
+	}
+	// Attach set every bit (reserved for the owner thread).
+	if bm.InUse() != 64 {
+		t.Fatalf("bitmap InUse after attach = %d, want 64", bm.InUse())
+	}
+	// Offsets 3 and 40 must not be available.
+	for _, o := range v.Available() {
+		if o == 3 || o == 40 {
+			t.Fatalf("allocated offset %d handed out", o)
+		}
+	}
+}
+
+func TestMallocDrainsExactlyOnce(t *testing.T) {
+	bm := bitmap.New(100)
+	v := New(rng.New(2), true)
+	v.Attach(bm)
+	seen := make([]bool, 100)
+	for i := 0; i < 100; i++ {
+		off, ok := v.Malloc()
+		if !ok {
+			t.Fatalf("exhausted after %d allocations", i)
+		}
+		if seen[off] {
+			t.Fatalf("offset %d returned twice", off)
+		}
+		seen[off] = true
+	}
+	if _, ok := v.Malloc(); ok {
+		t.Fatal("Malloc succeeded on exhausted vector")
+	}
+	if !v.IsExhausted() {
+		t.Fatal("IsExhausted false after drain")
+	}
+}
+
+func TestFreeMakesOffsetAvailableAgain(t *testing.T) {
+	bm := bitmap.New(16)
+	v := New(rng.New(3), true)
+	v.Attach(bm)
+	off, _ := v.Malloc()
+	before := v.Remaining()
+	v.Free(off)
+	if v.Remaining() != before+1 {
+		t.Fatal("Free did not grow available region")
+	}
+	// The freed offset must eventually be returned.
+	found := false
+	for range [16]int{} {
+		o, ok := v.Malloc()
+		if !ok {
+			break
+		}
+		if o == off {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("freed offset %d never reallocated", off)
+	}
+}
+
+func TestDetachReturnsRemainingOffsets(t *testing.T) {
+	bm := bitmap.New(8)
+	v := New(rng.New(4), true)
+	v.Attach(bm)
+	v.Malloc()
+	v.Malloc()
+	rem := v.Detach()
+	if len(rem) != 6 {
+		t.Fatalf("Detach returned %d offsets, want 6", len(rem))
+	}
+	if !v.IsExhausted() {
+		t.Fatal("vector not empty after Detach")
+	}
+	// Simulate the local heap clearing reserved bits; occupancy then
+	// reflects only the two live objects.
+	for _, o := range rem {
+		bm.Unset(int(o))
+	}
+	if bm.InUse() != 2 {
+		t.Fatalf("bitmap InUse after detach = %d, want 2", bm.InUse())
+	}
+}
+
+func TestAttachPanicsWhenNonEmpty(t *testing.T) {
+	bm := bitmap.New(8)
+	v := New(rng.New(5), true)
+	v.Attach(bm)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	v.Attach(bitmap.New(8))
+}
+
+func TestNonRandomizedIsLIFO(t *testing.T) {
+	bm := bitmap.New(8)
+	v := New(rng.New(6), false)
+	v.Attach(bm)
+	// Without randomization, attach yields descending offsets from the
+	// construction loop; record the order, then free two and verify LIFO.
+	a, _ := v.Malloc()
+	b, _ := v.Malloc()
+	v.Free(a)
+	v.Free(b)
+	x, _ := v.Malloc()
+	y, _ := v.Malloc()
+	if x != b || y != a {
+		t.Fatalf("LIFO violated: freed %d,%d got %d,%d", a, b, x, y)
+	}
+}
+
+func TestRandomizedAllocationIsUniform(t *testing.T) {
+	// §2.2 relies on objects being scattered uniformly: the first offset
+	// allocated from a fresh 16-slot span should be uniform over 16.
+	r := rng.New(7)
+	const slots = 16
+	const trials = 32000
+	var counts [slots]int
+	for i := 0; i < trials; i++ {
+		v := New(r, true)
+		v.Attach(bitmap.New(slots))
+		off, _ := v.Malloc()
+		counts[off]++
+	}
+	expect := float64(trials) / slots
+	for i, c := range counts {
+		if math.Abs(float64(c)-expect) > expect*0.08 {
+			t.Fatalf("offset %d chosen %d times, expect ~%.0f", i, c, expect)
+		}
+	}
+}
+
+func TestFreePlacementIsUniform(t *testing.T) {
+	// After a free, the freed offset should be equally likely to come back
+	// at any future allocation position (Figure 3c: push + random swap).
+	r := rng.New(8)
+	const slots = 8
+	const trials = 40000
+	positions := make([]int, slots)
+	for tr := 0; tr < trials; tr++ {
+		v := New(r, true)
+		v.Attach(bitmap.New(slots))
+		off, _ := v.Malloc() // 7 remain
+		v.Free(off)          // 8 again
+		for pos := 0; ; pos++ {
+			got, ok := v.Malloc()
+			if !ok {
+				t.Fatal("offset vanished")
+			}
+			if got == off {
+				positions[pos]++
+				break
+			}
+		}
+	}
+	expect := float64(trials) / slots
+	for pos, c := range positions {
+		if math.Abs(float64(c)-expect) > expect*0.10 {
+			t.Fatalf("freed offset reappeared at position %d %d times, expect ~%.0f", pos, c, expect)
+		}
+	}
+}
+
+func TestMallocFreeChurnNeverDuplicates(t *testing.T) {
+	// Property-style churn: the set of live offsets and available offsets
+	// must always partition [0, n).
+	r := rng.New(9)
+	bm := bitmap.New(32)
+	v := New(r, true)
+	v.Attach(bm)
+	live := map[int]bool{}
+	for step := 0; step < 20000; step++ {
+		if r.Bool(0.6) && !v.IsExhausted() {
+			off, _ := v.Malloc()
+			if live[off] {
+				t.Fatalf("step %d: double allocation of %d", step, off)
+			}
+			live[off] = true
+		} else if len(live) > 0 {
+			for off := range live {
+				delete(live, off)
+				v.Free(off)
+				break
+			}
+		}
+		if len(live)+v.Remaining() != 32 {
+			t.Fatalf("step %d: live %d + avail %d != 32", step, len(live), v.Remaining())
+		}
+	}
+}
+
+func BenchmarkMallocFree(b *testing.B) {
+	v := New(rng.New(1), true)
+	v.Attach(bitmap.New(256))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off, ok := v.Malloc()
+		if !ok {
+			b.Fatal("exhausted")
+		}
+		v.Free(off)
+	}
+}
+
+// BenchmarkRandomProbingComparison implements the bitmap random-probing
+// allocation strategy of DieHard-style allocators (§4.2's comparison) so the
+// bench suite can contrast its cost at high occupancy with shuffle vectors.
+func BenchmarkRandomProbing90PercentFull(b *testing.B) {
+	r := rng.New(1)
+	bm := bitmap.New(256)
+	for i := 0; i < 230; i++ { // ~90% full
+		bm.TryToSet(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			idx := int(r.UintN(256))
+			if bm.TryToSet(idx) {
+				bm.Unset(idx)
+				break
+			}
+		}
+	}
+}

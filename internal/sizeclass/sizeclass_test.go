@@ -1,0 +1,126 @@
+package sizeclass
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassForSizeExamples(t *testing.T) {
+	// The paper's example: objects of size 33–48 bytes are served from the
+	// 48-byte size class.
+	cases := []struct {
+		size int
+		want int // object size of expected class
+	}{
+		{1, 16}, {16, 16}, {17, 32}, {32, 32}, {33, 48}, {48, 48},
+		{49, 64}, {100, 112}, {128, 128}, {129, 160}, {240, 256},
+		{492, 512}, {1000, 1024}, {1024, 1024}, {1025, 2048},
+		{2048, 2048}, {2049, 4096}, {4097, 8192}, {8193, 16384}, {16384, 16384},
+	}
+	for _, c := range cases {
+		idx, ok := ClassForSize(c.size)
+		if !ok {
+			t.Fatalf("ClassForSize(%d) not ok", c.size)
+		}
+		if got := Size(idx); got != c.want {
+			t.Errorf("ClassForSize(%d) -> class size %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestLargeAndInvalidSizes(t *testing.T) {
+	for _, sz := range []int{0, -1, MaxSize + 1, 1 << 20} {
+		if _, ok := ClassForSize(sz); ok {
+			t.Errorf("ClassForSize(%d) unexpectedly ok", sz)
+		}
+	}
+}
+
+func TestSmallestFitProperty(t *testing.T) {
+	// Property: for every valid size, the chosen class fits and the
+	// next-smaller class does not.
+	f := func(raw uint16) bool {
+		size := int(raw%MaxSize) + 1
+		idx, ok := ClassForSize(size)
+		if !ok {
+			return false
+		}
+		if Size(idx) < size {
+			return false
+		}
+		if idx > 0 && Size(idx-1) >= size {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectCountBounds(t *testing.T) {
+	for c := 0; c < NumClasses; c++ {
+		n := ObjectCount(c)
+		if n < MinObjectCount || n > MaxObjectCount {
+			t.Errorf("class %d: %d objects per span", c, n)
+		}
+		if SpanBytes(c) != SpanPages(c)*PageSize {
+			t.Errorf("class %d: inconsistent span bytes", c)
+		}
+		if n*Size(c) > SpanBytes(c) {
+			t.Errorf("class %d: objects overflow span", c)
+		}
+	}
+}
+
+func TestSixteenByteSpanGeometry(t *testing.T) {
+	// §2.2: "the number of objects b in a 4K span is 256" for 16-byte
+	// objects — the smallest class must be exactly one page of 256 slots.
+	idx, _ := ClassForSize(16)
+	if SpanPages(idx) != 1 {
+		t.Fatalf("16B span pages = %d, want 1", SpanPages(idx))
+	}
+	if ObjectCount(idx) != 256 {
+		t.Fatalf("16B span object count = %d, want 256", ObjectCount(idx))
+	}
+}
+
+func TestRedisSizesShareClassBehaviour(t *testing.T) {
+	// §6.2.2 picks 240 and 492 bytes so allocators use similar classes;
+	// verify both land in well-defined classes with modest waste.
+	for _, sz := range []int{240, 492} {
+		if frag := InternalFragmentation(sz); frag > 0.10 {
+			t.Errorf("size %d internal fragmentation %.3f > 10%%", sz, frag)
+		}
+	}
+}
+
+func TestInternalFragmentationLarge(t *testing.T) {
+	if frag := InternalFragmentation(PageSize*2 + 1); frag <= 0 || frag >= 1 {
+		t.Fatalf("large-object fragmentation = %f", frag)
+	}
+	if frag := InternalFragmentation(PageSize * 5); frag != 0 {
+		t.Fatalf("page-multiple fragmentation = %f, want 0", frag)
+	}
+}
+
+func TestNumClasses(t *testing.T) {
+	if NumClasses != 24 {
+		t.Fatalf("NumClasses = %d, want 24 (paper §4.2)", NumClasses)
+	}
+}
+
+func BenchmarkClassForSize(b *testing.B) {
+	var sink int
+	for i := 0; i < b.N; i++ {
+		c, _ := ClassForSize(i%MaxSize + 1)
+		sink += c
+	}
+	_ = sink
+}

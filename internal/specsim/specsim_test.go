@@ -1,0 +1,74 @@
+package specsim
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/mesh"
+)
+
+func runProfile(t *testing.T, p Profile, build func(*core.LogicalClock) alloc.Allocator) *RunResult {
+	t.Helper()
+	clock := core.NewLogicalClock()
+	res, err := Run(p, build(clock), clock, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func meshBuild(clock *core.LogicalClock) alloc.Allocator {
+	return mesh.NewAdapter("mesh", mesh.WithSeed(2), mesh.WithClock(clock))
+}
+
+func glibcBuild(*core.LogicalClock) alloc.Allocator { return baseline.NewGlibc() }
+
+func TestAllProfilesComplete(t *testing.T) {
+	for _, p := range Profiles(40) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			res := runProfile(t, p, meshBuild)
+			if res.PeakRSS == 0 || res.Ops == 0 {
+				t.Fatalf("degenerate: %+v", res)
+			}
+		})
+	}
+}
+
+// TestPerlbenchReduction asserts §6.2.3's headline: the allocation-
+// intensive benchmark sees a substantial peak-RSS reduction under Mesh
+// (15% in the paper), while the suite geomean stays a small change.
+func TestPerlbenchReduction(t *testing.T) {
+	profiles := Profiles(40)
+	perl := profiles[0]
+	if perl.Name != "400.perlbench" {
+		t.Fatal("profile order changed")
+	}
+	m := runProfile(t, perl, meshBuild)
+	g := runProfile(t, perl, glibcBuild)
+	t.Logf("perlbench peak: mesh=%d glibc=%d (%.1f%%)", m.PeakRSS, g.PeakRSS,
+		100*float64(m.PeakRSS-g.PeakRSS)/float64(g.PeakRSS))
+	if m.PeakRSS >= g.PeakRSS {
+		t.Fatalf("mesh peak %d not below glibc %d on perlbench", m.PeakRSS, g.PeakRSS)
+	}
+}
+
+func TestSuiteGeomeanModest(t *testing.T) {
+	// Across the whole suite the memory change should be a modest
+	// improvement (the paper: geomean −2.4%); certainly Mesh must not
+	// inflate memory broadly.
+	var ratios []float64
+	for _, p := range Profiles(40) {
+		m := runProfile(t, p, meshBuild)
+		g := runProfile(t, p, glibcBuild)
+		ratios = append(ratios, float64(m.PeakRSS)/float64(g.PeakRSS))
+	}
+	geo := stats.Geomean(ratios)
+	t.Logf("suite peak-RSS geomean ratio mesh/glibc = %.3f", geo)
+	if geo > 1.10 {
+		t.Fatalf("mesh inflates suite memory: geomean ratio %.3f", geo)
+	}
+}

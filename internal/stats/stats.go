@@ -1,0 +1,153 @@
+// Package stats is the reproduction's analogue of the paper's mstat utility
+// (§6.1): it records resident-set-size over time for a workload running
+// under a chosen allocator, and computes the summary statistics the
+// evaluation reports (average RSS over a run, peak RSS, geometric means).
+//
+// Real mstat polls a memory control group at a constant wall-clock
+// frequency. Here workloads advance a logical clock as they execute, and
+// the sampler records RSS whenever a sampling period has elapsed, giving
+// deterministic, reproducible series.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Sample is one (time, memory) observation.
+type Sample struct {
+	T    time.Duration
+	RSS  int64
+	Live int64
+}
+
+// Series is a named sequence of samples from one run.
+type Series struct {
+	Name    string
+	Samples []Sample
+}
+
+// Record appends a sample.
+func (s *Series) Record(t time.Duration, rss, live int64) {
+	s.Samples = append(s.Samples, Sample{T: t, RSS: rss, Live: live})
+}
+
+// PeakRSS returns the maximum RSS observed.
+func (s *Series) PeakRSS() int64 {
+	var peak int64
+	for _, x := range s.Samples {
+		if x.RSS > peak {
+			peak = x.RSS
+		}
+	}
+	return peak
+}
+
+// MeanRSS returns the time-weighted mean RSS over the run — the paper's
+// "average memory usage recorded by mstat" (§6.2.1). Each sample holds
+// until the next; a simple average would overweight bursts of activity.
+func (s *Series) MeanRSS() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	if len(s.Samples) == 1 {
+		return float64(s.Samples[0].RSS)
+	}
+	var area float64
+	var span float64
+	for i := 0; i+1 < len(s.Samples); i++ {
+		dt := float64(s.Samples[i+1].T - s.Samples[i].T)
+		area += float64(s.Samples[i].RSS) * dt
+		span += dt
+	}
+	if span == 0 {
+		return float64(s.Samples[len(s.Samples)-1].RSS)
+	}
+	return area / span
+}
+
+// FinalRSS returns the last observation (0 if empty).
+func (s *Series) FinalRSS() int64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	return s.Samples[len(s.Samples)-1].RSS
+}
+
+// WriteCSV emits "series,seconds,rss_bytes,live_bytes" rows.
+func (s *Series) WriteCSV(w io.Writer) error {
+	for _, x := range s.Samples {
+		if _, err := fmt.Fprintf(w, "%s,%.6f,%d,%d\n",
+			s.Name, x.T.Seconds(), x.RSS, x.Live); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MemorySource is anything whose memory can be sampled.
+type MemorySource interface {
+	RSS() int64
+	Live() int64
+}
+
+// Sampler polls a MemorySource at a fixed logical period.
+type Sampler struct {
+	src    MemorySource
+	period time.Duration
+	last   time.Duration
+	first  bool
+	Series Series
+}
+
+// NewSampler creates a sampler recording into a series with the given name.
+func NewSampler(name string, src MemorySource, period time.Duration) *Sampler {
+	return &Sampler{src: src, period: period, first: true, Series: Series{Name: name}}
+}
+
+// Poll records a sample if at least one period has elapsed since the last
+// one (and always on the first call).
+func (s *Sampler) Poll(now time.Duration) {
+	if !s.first && now-s.last < s.period {
+		return
+	}
+	s.first = false
+	s.last = now
+	s.Series.Record(now, s.src.RSS(), s.src.Live())
+}
+
+// Final forces a closing sample at time now.
+func (s *Sampler) Final(now time.Duration) {
+	s.Series.Record(now, s.src.RSS(), s.src.Live())
+}
+
+// Geomean returns the geometric mean of xs; it ignores non-positive values
+// the way the SPEC reporting convention does.
+func Geomean(xs []float64) float64 {
+	var sum float64
+	n := 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		sum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// MiB formats a byte count in mebibytes.
+func MiB(b int64) float64 { return float64(b) / (1 << 20) }
+
+// PercentChange returns (b-a)/a × 100.
+func PercentChange(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (b - a) / a * 100
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+type fakeSource struct {
+	rss, live int64
+}
+
+func (f *fakeSource) RSS() int64  { return f.rss }
+func (f *fakeSource) Live() int64 { return f.live }
+
+func TestSamplerPeriod(t *testing.T) {
+	src := &fakeSource{rss: 100}
+	s := NewSampler("x", src, 10*time.Millisecond)
+	s.Poll(0) // first poll always records
+	s.Poll(time.Millisecond)
+	s.Poll(5 * time.Millisecond)
+	if len(s.Series.Samples) != 1 {
+		t.Fatalf("samples = %d, want 1", len(s.Series.Samples))
+	}
+	s.Poll(10 * time.Millisecond)
+	s.Poll(11 * time.Millisecond)
+	s.Poll(25 * time.Millisecond)
+	if len(s.Series.Samples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(s.Series.Samples))
+	}
+	s.Final(30 * time.Millisecond)
+	if len(s.Series.Samples) != 4 {
+		t.Fatal("Final did not record")
+	}
+}
+
+func TestPeakAndFinal(t *testing.T) {
+	var s Series
+	s.Record(0, 10, 1)
+	s.Record(1, 50, 2)
+	s.Record(2, 30, 3)
+	if s.PeakRSS() != 50 {
+		t.Fatalf("peak = %d", s.PeakRSS())
+	}
+	if s.FinalRSS() != 30 {
+		t.Fatalf("final = %d", s.FinalRSS())
+	}
+}
+
+func TestMeanRSSTimeWeighted(t *testing.T) {
+	var s Series
+	// RSS 100 for 9 units, then 200 for 1 unit.
+	s.Record(0, 100, 0)
+	s.Record(9, 200, 0)
+	s.Record(10, 200, 0)
+	want := (100.0*9 + 200.0*1) / 10
+	if got := s.MeanRSS(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean = %f, want %f", got, want)
+	}
+}
+
+func TestMeanRSSDegenerate(t *testing.T) {
+	var s Series
+	if s.MeanRSS() != 0 {
+		t.Fatal("empty mean")
+	}
+	s.Record(5, 42, 0)
+	if s.MeanRSS() != 42 {
+		t.Fatal("single-sample mean")
+	}
+	s.Record(5, 99, 0) // zero elapsed time
+	if s.MeanRSS() != 99 {
+		t.Fatalf("zero-span mean = %f", s.MeanRSS())
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("geomean = %f", g)
+	}
+	if g := Geomean([]float64{5, 0, -3}); math.Abs(g-5) > 1e-9 {
+		t.Fatalf("geomean with non-positives = %f", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Fatalf("empty geomean = %f", g)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var s Series
+	s.Name = "mesh"
+	s.Record(1500*time.Millisecond, 1024, 512)
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != "mesh,1.500000,1024,512\n" {
+		t.Fatalf("csv = %q", got)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if MiB(1<<20) != 1 {
+		t.Fatal("MiB")
+	}
+	if PercentChange(100, 84) != -16 {
+		t.Fatalf("PercentChange = %f", PercentChange(100, 84))
+	}
+	if PercentChange(0, 5) != 0 {
+		t.Fatal("PercentChange from zero")
+	}
+}

@@ -1,0 +1,520 @@
+// Package vm simulates the operating-system virtual-memory facilities Mesh
+// relies on: a per-process page table, physical page frames, mmap-style
+// mapping and remapping, fallocate-style hole punching, and mprotect-style
+// write protection with a fault hook.
+//
+// The real Mesh allocator (PLDI 2019, §4.5.1) backs its arena with a
+// memfd-created temporary file so that one file offset (a physical span) can
+// be mapped at several virtual addresses at once; meshing is nothing more
+// than a page-table update plus a hole punch. A Go library cannot perform
+// those operations on its own address space, so this package models them
+// explicitly: physical spans are byte buffers, virtual pages are entries in
+// a page table, and "RSS" is the count of physical pages not yet punched.
+// Because meshing is purely a page-table transformation, running the
+// identical algorithms against this model preserves every behaviour the
+// paper measures — and makes the central invariant (virtual addresses and
+// their contents never change across a mesh) directly checkable.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// PageSize is the simulated hardware page size (x86-64 default, §4.4.3).
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// PhysID identifies a physical span (a run of contiguous physical page
+// frames, analogous to a file-offset range in Mesh's memfd arena). Zero is
+// never a valid id, so it can be used as a sentinel.
+type PhysID uint64
+
+// Prot describes page protection.
+type Prot uint8
+
+const (
+	// ReadWrite is the default protection for mapped pages.
+	ReadWrite Prot = iota
+	// ReadOnly marks pages write-protected; writes invoke the fault hook
+	// (Mesh's write barrier during object relocation, §4.5.2).
+	ReadOnly
+)
+
+// Common errors returned by memory operations.
+var (
+	ErrUnmapped     = errors.New("vm: address not mapped")
+	ErrBadPhys      = errors.New("vm: unknown physical span")
+	ErrPhysLive     = errors.New("vm: physical span still mapped")
+	ErrMisaligned   = errors.New("vm: address not page aligned")
+	ErrDoubleMap    = errors.New("vm: virtual range already mapped")
+	ErrPhysReleased = errors.New("vm: physical span already punched")
+	// ErrOutOfMemory is returned by Commit when a physical page budget is
+	// set (SetMemoryLimit) and the request would exceed it — the
+	// simulation of a cgroup limit or a memory-constrained device, §1's
+	// motivating scenario.
+	ErrOutOfMemory = errors.New("vm: physical memory limit exceeded")
+)
+
+// physSpan is a run of physical page frames.
+type physSpan struct {
+	data  []byte
+	pages int
+	refs  int // number of virtual spans currently mapped to it
+}
+
+// pte is a page-table entry: which physical span backs a virtual page, at
+// which page offset inside that span, and with what protection.
+type pte struct {
+	phys PhysID
+	off  int // page index within the physical span
+	prot Prot
+}
+
+// Stats counts VM operations; the benchmark harness reports these to explain
+// where meshing's overhead comes from (system calls and copies, §6.3).
+type Stats struct {
+	Commits     uint64 // fresh physical spans created (mmap)
+	Reuses      uint64 // dirty spans reused without zeroing
+	Remaps      uint64 // virtual spans repointed (meshing mmap calls)
+	Unmaps      uint64 // virtual spans unmapped
+	Punches     uint64 // physical spans released (fallocate PUNCH_HOLE)
+	Faults      uint64 // write-protection faults taken
+	BytesCopied uint64 // bytes copied between physical spans (meshing)
+}
+
+// OS is the simulated kernel memory subsystem. All methods are safe for
+// concurrent use.
+type OS struct {
+	mu        sync.RWMutex
+	pageTable map[uint64]pte // virtual page number -> entry
+	phys      map[PhysID]*physSpan
+	nextPhys  uint64
+	nextVirt  uint64 // bump pointer for Reserve, in pages
+
+	rssPages    atomic.Int64
+	mappedPages atomic.Int64
+	limitPages  atomic.Int64 // 0 = unlimited
+
+	statCommits     atomic.Uint64
+	statReuses      atomic.Uint64
+	statRemaps      atomic.Uint64
+	statUnmaps      atomic.Uint64
+	statPunches     atomic.Uint64
+	statFaults      atomic.Uint64
+	statBytesCopied atomic.Uint64
+
+	// faultHook is invoked (outside the page-table lock) when a write hits
+	// a read-only page. It should block until the page becomes writable
+	// again (Mesh's segfault handler waits on the mesh lock). After it
+	// returns, the write is retried.
+	faultHook atomic.Value // func(addr uint64)
+}
+
+// ArenaBase is where reserved virtual address space begins. A high, clearly
+// non-zero base makes stray small-integer "pointers" detectable, like real
+// mmap placement.
+const ArenaBase = 0x1_0000_0000
+
+// NewOS returns an empty simulated memory subsystem.
+func NewOS() *OS {
+	return &OS{
+		pageTable: make(map[uint64]pte),
+		phys:      make(map[PhysID]*physSpan),
+		nextVirt:  ArenaBase >> PageShift,
+	}
+}
+
+// SetFaultHook installs the write-protection fault handler.
+func (o *OS) SetFaultHook(h func(addr uint64)) {
+	o.faultHook.Store(h)
+}
+
+// Reserve allocates a fresh range of virtual address space, pages pages
+// long, with no backing (like PROT_NONE mmap). It returns the base address.
+func (o *OS) Reserve(pages int) uint64 {
+	if pages <= 0 {
+		panic("vm: Reserve of non-positive page count")
+	}
+	o.mu.Lock()
+	base := o.nextVirt
+	// Leave a one-page guard gap between reservations so adjacent spans
+	// cannot be confused by off-by-one pointer arithmetic in tests.
+	o.nextVirt += uint64(pages) + 1
+	o.mu.Unlock()
+	return base << PageShift
+}
+
+// Commit backs [vaddr, vaddr+pages*PageSize) with a fresh, zeroed physical
+// span and returns its id. The range must be reserved and unmapped.
+func (o *OS) Commit(vaddr uint64, pages int) (PhysID, error) {
+	if vaddr%PageSize != 0 {
+		return 0, ErrMisaligned
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	vpn := vaddr >> PageShift
+	for i := uint64(0); i < uint64(pages); i++ {
+		if _, ok := o.pageTable[vpn+i]; ok {
+			return 0, fmt.Errorf("%w: page %#x", ErrDoubleMap, (vpn+i)<<PageShift)
+		}
+	}
+	if limit := o.limitPages.Load(); limit > 0 && o.rssPages.Load()+int64(pages) > limit {
+		return 0, fmt.Errorf("%w: %d pages resident, %d requested, limit %d",
+			ErrOutOfMemory, o.rssPages.Load(), pages, limit)
+	}
+	o.nextPhys++
+	id := PhysID(o.nextPhys)
+	o.phys[id] = &physSpan{data: make([]byte, pages*PageSize), pages: pages, refs: 1}
+	for i := 0; i < pages; i++ {
+		o.pageTable[vpn+uint64(i)] = pte{phys: id, off: i, prot: ReadWrite}
+	}
+	o.rssPages.Add(int64(pages))
+	o.mappedPages.Add(int64(pages))
+	o.statCommits.Add(1)
+	return id, nil
+}
+
+// MapExisting maps [vaddr, vaddr+pages) onto an existing physical span
+// (whole-span mapping at offset 0). This models reusing a dirty span from
+// the arena's used bins without zeroing (§4.4.1): the previous contents are
+// preserved, exactly as with real mmap of an existing file offset.
+func (o *OS) MapExisting(vaddr uint64, id PhysID) error {
+	if vaddr%PageSize != 0 {
+		return ErrMisaligned
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ps, ok := o.phys[id]
+	if !ok {
+		return ErrBadPhys
+	}
+	if ps.data == nil {
+		return ErrPhysReleased
+	}
+	vpn := vaddr >> PageShift
+	for i := 0; i < ps.pages; i++ {
+		if _, exists := o.pageTable[vpn+uint64(i)]; exists {
+			return fmt.Errorf("%w: page %#x", ErrDoubleMap, (vpn+uint64(i))<<PageShift)
+		}
+	}
+	for i := 0; i < ps.pages; i++ {
+		o.pageTable[vpn+uint64(i)] = pte{phys: id, off: i, prot: ReadWrite}
+	}
+	ps.refs++
+	o.mappedPages.Add(int64(ps.pages))
+	o.statReuses.Add(1)
+	return nil
+}
+
+// Remap atomically repoints the already-mapped virtual span at vaddr (pages
+// long, currently mapped to some physical span at offset 0) to physical span
+// dst, also at offset 0. It returns the previously backing span's id and its
+// remaining reference count. This is the meshing page-table update (§4.5.1):
+// after Remap, reads of vaddr observe dst's contents; the virtual addresses
+// themselves never change.
+func (o *OS) Remap(vaddr uint64, pages int, dst PhysID) (old PhysID, oldRefs int, err error) {
+	if vaddr%PageSize != 0 {
+		return 0, 0, ErrMisaligned
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	vpn := vaddr >> PageShift
+	first, ok := o.pageTable[vpn]
+	if !ok {
+		return 0, 0, ErrUnmapped
+	}
+	dstSpan, ok := o.phys[dst]
+	if !ok {
+		return 0, 0, ErrBadPhys
+	}
+	if dstSpan.data == nil {
+		return 0, 0, ErrPhysReleased
+	}
+	if dstSpan.pages != pages {
+		return 0, 0, fmt.Errorf("vm: remap size mismatch: %d pages onto %d-page span", pages, dstSpan.pages)
+	}
+	old = first.phys
+	oldSpan := o.phys[old]
+	for i := 0; i < pages; i++ {
+		e, ok := o.pageTable[vpn+uint64(i)]
+		if !ok || e.phys != old {
+			return 0, 0, fmt.Errorf("vm: remap range not a single span at %#x", vaddr)
+		}
+	}
+	for i := 0; i < pages; i++ {
+		o.pageTable[vpn+uint64(i)] = pte{phys: dst, off: i, prot: ReadWrite}
+	}
+	if old != dst {
+		oldSpan.refs--
+		dstSpan.refs++
+	}
+	o.statRemaps.Add(1)
+	return old, oldSpan.refs, nil
+}
+
+// Unmap removes the mapping for [vaddr, vaddr+pages). It returns the backing
+// physical span and its remaining refcount so the caller (the arena) can
+// decide whether to bin or punch it.
+func (o *OS) Unmap(vaddr uint64, pages int) (PhysID, int, error) {
+	if vaddr%PageSize != 0 {
+		return 0, 0, ErrMisaligned
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	vpn := vaddr >> PageShift
+	first, ok := o.pageTable[vpn]
+	if !ok {
+		return 0, 0, ErrUnmapped
+	}
+	id := first.phys
+	for i := 0; i < pages; i++ {
+		e, ok := o.pageTable[vpn+uint64(i)]
+		if !ok || e.phys != id {
+			return 0, 0, fmt.Errorf("vm: unmap range not a single span at %#x", vaddr)
+		}
+	}
+	for i := 0; i < pages; i++ {
+		delete(o.pageTable, vpn+uint64(i))
+	}
+	ps := o.phys[id]
+	ps.refs--
+	o.mappedPages.Add(int64(-pages))
+	o.statUnmaps.Add(1)
+	return id, ps.refs, nil
+}
+
+// Punch releases the physical memory of span id (fallocate
+// FALLOC_FL_PUNCH_HOLE, §4.4.1). The span must have no live mappings. Its id
+// remains known but unusable.
+func (o *OS) Punch(id PhysID) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ps, ok := o.phys[id]
+	if !ok {
+		return ErrBadPhys
+	}
+	if ps.refs > 0 {
+		return ErrPhysLive
+	}
+	if ps.data == nil {
+		return ErrPhysReleased
+	}
+	ps.data = nil
+	o.rssPages.Add(int64(-ps.pages))
+	o.statPunches.Add(1)
+	delete(o.phys, id)
+	return nil
+}
+
+// Protect sets the protection on [vaddr, vaddr+pages) (mprotect).
+func (o *OS) Protect(vaddr uint64, pages int, p Prot) error {
+	if vaddr%PageSize != 0 {
+		return ErrMisaligned
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	vpn := vaddr >> PageShift
+	for i := 0; i < pages; i++ {
+		e, ok := o.pageTable[vpn+uint64(i)]
+		if !ok {
+			return ErrUnmapped
+		}
+		e.prot = p
+		o.pageTable[vpn+uint64(i)] = e
+	}
+	return nil
+}
+
+// translate resolves one virtual address to (span, byte offset) under the
+// read lock. Returns the page's protection.
+func (o *OS) translate(addr uint64) (*physSpan, int, Prot, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	e, ok := o.pageTable[addr>>PageShift]
+	if !ok {
+		return nil, 0, ReadWrite, fmt.Errorf("%w: %#x", ErrUnmapped, addr)
+	}
+	ps := o.phys[e.phys]
+	if ps == nil || ps.data == nil {
+		return nil, 0, ReadWrite, fmt.Errorf("%w: %#x", ErrPhysReleased, addr)
+	}
+	return ps, e.off*PageSize + int(addr%PageSize), e.prot, nil
+}
+
+// Read copies len(buf) bytes from virtual address addr into buf. Reads may
+// cross page (and span) boundaries. Reads are always permitted — the first
+// meshing invariant (§4.5.2): reads of objects being relocated are always
+// correct and available to concurrent threads.
+func (o *OS) Read(addr uint64, buf []byte) error {
+	done := 0
+	for done < len(buf) {
+		a := addr + uint64(done)
+		ps, off, _, err := o.translate(a)
+		if err != nil {
+			return err
+		}
+		n := PageSize - int(a%PageSize)
+		if rem := len(buf) - done; n > rem {
+			n = rem
+		}
+		o.mu.RLock()
+		copy(buf[done:done+n], ps.data[off:off+n])
+		o.mu.RUnlock()
+		done += n
+	}
+	return nil
+}
+
+// Write copies data to virtual address addr, page by page. If a page is
+// write-protected, the fault hook is invoked (once per fault) and the write
+// retried — Mesh's write barrier: the handler blocks until meshing completes
+// and the page is remapped read-write (§4.5.2).
+func (o *OS) Write(addr uint64, data []byte) error {
+	done := 0
+	for done < len(data) {
+		a := addr + uint64(done)
+		ps, off, prot, err := o.translate(a)
+		if err != nil {
+			return err
+		}
+		if prot == ReadOnly {
+			o.statFaults.Add(1)
+			h, ok := o.faultHook.Load().(func(uint64))
+			if !ok || h == nil {
+				return fmt.Errorf("vm: write to read-only page %#x with no fault handler", a)
+			}
+			h(a)
+			continue // retry translation; meshing has remapped the page
+		}
+		n := PageSize - int(a%PageSize)
+		if rem := len(data) - done; n > rem {
+			n = rem
+		}
+		o.mu.Lock()
+		copy(ps.data[off:off+n], data[done:done+n])
+		o.mu.Unlock()
+		done += n
+	}
+	return nil
+}
+
+// ByteAt reads a single byte at addr.
+func (o *OS) ByteAt(addr uint64) (byte, error) {
+	var b [1]byte
+	err := o.Read(addr, b[:])
+	return b[0], err
+}
+
+// SetByte writes a single byte at addr.
+func (o *OS) SetByte(addr uint64, v byte) error {
+	return o.Write(addr, []byte{v})
+}
+
+// Memset fills n bytes starting at addr with v.
+func (o *OS) Memset(addr uint64, v byte, n int) error {
+	const chunk = PageSize
+	buf := make([]byte, chunk)
+	if v != 0 {
+		for i := range buf {
+			buf[i] = v
+		}
+	}
+	for n > 0 {
+		c := chunk
+		if n < c {
+			c = n
+		}
+		if err := o.Write(addr, buf[:c]); err != nil {
+			return err
+		}
+		addr += uint64(c)
+		n -= c
+	}
+	return nil
+}
+
+// PhysSlice returns a writable view of physical span id's memory. This is
+// the allocator-internal escape hatch meshing uses to copy object contents
+// between spans at the physical layer, below page protections (§4.5: "Mesh
+// copies data at the physical span layer").
+func (o *OS) PhysSlice(id PhysID) ([]byte, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	ps, ok := o.phys[id]
+	if !ok {
+		return nil, ErrBadPhys
+	}
+	if ps.data == nil {
+		return nil, ErrPhysReleased
+	}
+	return ps.data, nil
+}
+
+// CopyPhys copies n bytes from span src at srcOff to span dst at dstOff,
+// tracking the copy volume in Stats.
+func (o *OS) CopyPhys(dst PhysID, dstOff int, src PhysID, srcOff, n int) error {
+	d, err := o.PhysSlice(dst)
+	if err != nil {
+		return err
+	}
+	s, err := o.PhysSlice(src)
+	if err != nil {
+		return err
+	}
+	o.mu.Lock()
+	copy(d[dstOff:dstOff+n], s[srcOff:srcOff+n])
+	o.mu.Unlock()
+	o.statBytesCopied.Add(uint64(n))
+	return nil
+}
+
+// Refs returns the current mapping count of a physical span (for tests).
+func (o *OS) Refs(id PhysID) int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if ps, ok := o.phys[id]; ok {
+		return ps.refs
+	}
+	return 0
+}
+
+// SetMemoryLimit caps resident physical memory at limitPages pages;
+// Commit requests that would exceed the cap fail with ErrOutOfMemory.
+// Pass 0 to remove the cap. Models a memory control group — the
+// environment where fragmentation kills processes (§1).
+func (o *OS) SetMemoryLimit(limitPages int64) {
+	o.limitPages.Store(limitPages)
+}
+
+// MemoryLimit returns the current cap in pages (0 = unlimited).
+func (o *OS) MemoryLimit() int64 { return o.limitPages.Load() }
+
+// RSS returns resident memory in bytes: all physical pages allocated and not
+// yet punched. Dirty spans parked in arena bins count, mirroring §4.4.1
+// ("used pages are not immediately returned to the OS").
+func (o *OS) RSS() int64 { return o.rssPages.Load() * PageSize }
+
+// RSSPages returns resident memory in pages.
+func (o *OS) RSSPages() int64 { return o.rssPages.Load() }
+
+// MappedBytes returns the total size of live virtual mappings in bytes; with
+// meshing this exceeds RSS (several virtual spans per physical span).
+func (o *OS) MappedBytes() int64 { return o.mappedPages.Load() * PageSize }
+
+// Snapshot returns the operation counters.
+func (o *OS) Snapshot() Stats {
+	return Stats{
+		Commits:     o.statCommits.Load(),
+		Reuses:      o.statReuses.Load(),
+		Remaps:      o.statRemaps.Load(),
+		Unmaps:      o.statUnmaps.Load(),
+		Punches:     o.statPunches.Load(),
+		Faults:      o.statFaults.Load(),
+		BytesCopied: o.statBytesCopied.Load(),
+	}
+}

@@ -1,0 +1,459 @@
+package vm
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestReserveDistinct(t *testing.T) {
+	o := NewOS()
+	a := o.Reserve(4)
+	b := o.Reserve(4)
+	if a == b {
+		t.Fatal("Reserve returned overlapping ranges")
+	}
+	if a%PageSize != 0 || b%PageSize != 0 {
+		t.Fatal("Reserve not page aligned")
+	}
+	if b < a+4*PageSize {
+		t.Fatalf("ranges overlap: a=%#x b=%#x", a, b)
+	}
+}
+
+func TestCommitReadWrite(t *testing.T) {
+	o := NewOS()
+	v := o.Reserve(2)
+	id, err := o.Commit(v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Fatal("zero PhysID")
+	}
+	// Fresh pages are zeroed.
+	buf := make([]byte, 2*PageSize)
+	if err := o.Read(v, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("fresh page not zeroed")
+		}
+	}
+	// Page-crossing write/read round trip.
+	msg := []byte("hello across the page boundary")
+	addr := v + PageSize - 10
+	if err := o.Write(addr, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := o.Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+	if o.RSS() != 2*PageSize {
+		t.Fatalf("RSS = %d, want %d", o.RSS(), 2*PageSize)
+	}
+}
+
+func TestCommitDoubleMapFails(t *testing.T) {
+	o := NewOS()
+	v := o.Reserve(1)
+	if _, err := o.Commit(v, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Commit(v, 1); !errors.Is(err, ErrDoubleMap) {
+		t.Fatalf("expected ErrDoubleMap, got %v", err)
+	}
+}
+
+func TestUnmappedAccess(t *testing.T) {
+	o := NewOS()
+	if err := o.Read(ArenaBase, make([]byte, 8)); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("expected ErrUnmapped, got %v", err)
+	}
+	if err := o.Write(ArenaBase, []byte{1}); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("expected ErrUnmapped on write, got %v", err)
+	}
+}
+
+func TestMisaligned(t *testing.T) {
+	o := NewOS()
+	if _, err := o.Commit(ArenaBase+1, 1); !errors.Is(err, ErrMisaligned) {
+		t.Fatalf("expected ErrMisaligned, got %v", err)
+	}
+}
+
+// TestMeshRemapPreservesContents models the core meshing sequence of
+// Figure 1: copy live objects from span B into span A's free slots, remap
+// B's virtual span onto A's physical span, punch B's physical span — and
+// verify both virtual addresses still read the right bytes while RSS halves.
+func TestMeshRemapPreservesContents(t *testing.T) {
+	o := NewOS()
+	const pages = 1
+	vA := o.Reserve(pages)
+	vB := o.Reserve(pages)
+	pA, err := o.Commit(vA, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pB, err := o.Commit(vB, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Object layout: A holds object at offset 0, B at offset 128.
+	objA := []byte("object-in-A")
+	objB := []byte("object-in-B")
+	if err := o.Write(vA, objA); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Write(vB+128, objB); err != nil {
+		t.Fatal(err)
+	}
+	rssBefore := o.RSS()
+
+	// 1. Copy B's object into A's physical span at the same offset.
+	if err := o.CopyPhys(pA, 128, pB, 128, len(objB)); err != nil {
+		t.Fatal(err)
+	}
+	// 2. Remap B's virtual span to A's physical span.
+	old, refs, err := o.Remap(vB, pages, pA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != pB || refs != 0 {
+		t.Fatalf("Remap returned old=%d refs=%d", old, refs)
+	}
+	// 3. Punch B's physical span.
+	if err := o.Punch(pB); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both virtual addresses still read correct contents.
+	got := make([]byte, len(objA))
+	if err := o.Read(vA, got); err != nil || !bytes.Equal(got, objA) {
+		t.Fatalf("A content lost: %q err=%v", got, err)
+	}
+	got = make([]byte, len(objB))
+	if err := o.Read(vB+128, got); err != nil || !bytes.Equal(got, objB) {
+		t.Fatalf("B content lost after mesh: %q err=%v", got, err)
+	}
+	// Writes through either virtual span alias the same physical memory.
+	if err := o.Write(vA+512, []byte{0xAB}); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := o.ByteAt(vB + 512)
+	if b != 0xAB {
+		t.Fatal("virtual spans do not alias after remap")
+	}
+	if o.RSS() != rssBefore-pages*PageSize {
+		t.Fatalf("RSS = %d, want %d", o.RSS(), rssBefore-pages*PageSize)
+	}
+	if o.MappedBytes() != 2*pages*PageSize {
+		t.Fatalf("MappedBytes = %d, want %d", o.MappedBytes(), 2*pages*PageSize)
+	}
+	if o.Refs(pA) != 2 {
+		t.Fatalf("Refs(pA) = %d, want 2", o.Refs(pA))
+	}
+}
+
+func TestPunchGuards(t *testing.T) {
+	o := NewOS()
+	v := o.Reserve(1)
+	id, _ := o.Commit(v, 1)
+	if err := o.Punch(id); !errors.Is(err, ErrPhysLive) {
+		t.Fatalf("Punch of mapped span: %v", err)
+	}
+	if _, _, err := o.Unmap(v, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Punch(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Punch(id); !errors.Is(err, ErrBadPhys) {
+		t.Fatalf("double punch: %v", err)
+	}
+	if err := o.Read(v, make([]byte, 1)); err == nil {
+		t.Fatal("read of unmapped+punched address succeeded")
+	}
+}
+
+func TestMapExistingPreservesDirtyContents(t *testing.T) {
+	o := NewOS()
+	v1 := o.Reserve(1)
+	id, _ := o.Commit(v1, 1)
+	if err := o.Write(v1, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := o.Unmap(v1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Reuse the dirty span at a new virtual address; contents survive.
+	v2 := o.Reserve(1)
+	if err := o.MapExisting(v2, id); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3)
+	if err := o.Read(v2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("dirty reuse lost contents: %v", got)
+	}
+}
+
+func TestWriteBarrierFaultHook(t *testing.T) {
+	o := NewOS()
+	v := o.Reserve(1)
+	if _, err := o.Commit(v, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Protect(v, 1, ReadOnly); err != nil {
+		t.Fatal(err)
+	}
+	// Reads still succeed on a protected page (first mesh invariant).
+	if _, err := o.ByteAt(v); err != nil {
+		t.Fatalf("read of protected page failed: %v", err)
+	}
+	// Without a hook, writes fail loudly.
+	if err := o.SetByte(v, 1); err == nil {
+		t.Fatal("write to protected page without hook succeeded")
+	}
+	// With a hook that unprotects (as meshing's final step does), the
+	// write is retried and lands.
+	faults := 0
+	o.SetFaultHook(func(addr uint64) {
+		faults++
+		if err := o.Protect(v, 1, ReadWrite); err != nil {
+			t.Errorf("unprotect failed: %v", err)
+		}
+	})
+	if err := o.SetByte(v, 0x7F); err != nil {
+		t.Fatal(err)
+	}
+	if faults != 1 {
+		t.Fatalf("faults = %d, want 1", faults)
+	}
+	b, _ := o.ByteAt(v)
+	if b != 0x7F {
+		t.Fatal("write after fault lost")
+	}
+	// Two faults total: the hookless write above and the hooked one.
+	if o.Snapshot().Faults != 2 {
+		t.Fatalf("stats faults = %d", o.Snapshot().Faults)
+	}
+}
+
+func TestRemapValidation(t *testing.T) {
+	o := NewOS()
+	v1, v2 := o.Reserve(2), o.Reserve(1)
+	p1, _ := o.Commit(v1, 2)
+	if _, _, err := o.Remap(v2, 1, p1); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("remap of unmapped range: %v", err)
+	}
+	if _, err := o.Commit(v2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := o.Remap(v2, 1, p1); err == nil {
+		t.Fatal("remap with size mismatch succeeded")
+	}
+	if _, _, err := o.Remap(v2, 1, PhysID(9999)); !errors.Is(err, ErrBadPhys) {
+		t.Fatalf("remap to bad phys: %v", err)
+	}
+}
+
+func TestRSSAccounting(t *testing.T) {
+	o := NewOS()
+	var ids []PhysID
+	var addrs []uint64
+	for i := 1; i <= 5; i++ {
+		v := o.Reserve(i)
+		id, err := o.Commit(v, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		addrs = append(addrs, v)
+	}
+	if o.RSSPages() != 1+2+3+4+5 {
+		t.Fatalf("RSSPages = %d", o.RSSPages())
+	}
+	for i, id := range ids {
+		if _, _, err := o.Unmap(addrs[i], i+1); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Punch(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.RSSPages() != 0 {
+		t.Fatalf("RSSPages after punch-all = %d", o.RSSPages())
+	}
+	st := o.Snapshot()
+	if st.Commits != 5 || st.Punches != 5 || st.Unmaps != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReadWriteRoundTripProperty(t *testing.T) {
+	o := NewOS()
+	v := o.Reserve(4)
+	if _, err := o.Commit(v, 4); err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		addr := v + uint64(off)%(4*PageSize-uint64(len(data)%(3*PageSize))-1)
+		if len(data) > 3*PageSize {
+			data = data[:3*PageSize]
+		}
+		if err := o.Write(addr, data); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := o.Read(addr, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	o := NewOS()
+	v := o.Reserve(8)
+	if _, err := o.Commit(v, 8); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			region := v + uint64(w)*PageSize
+			pattern := byte(w + 1)
+			buf := []byte{pattern, pattern, pattern}
+			for i := 0; i < 2000; i++ {
+				if err := o.Write(region, buf); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				got := make([]byte, 3)
+				if err := o.Read(region, got); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				if got[0] != pattern {
+					t.Errorf("worker %d read %v", w, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestMemset(t *testing.T) {
+	o := NewOS()
+	v := o.Reserve(2)
+	if _, err := o.Commit(v, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Memset(v+100, 0xEE, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := o.ByteAt(v + 100 + PageSize - 1)
+	if b != 0xEE {
+		t.Fatal("memset did not cover range")
+	}
+	b, _ = o.ByteAt(v + 100 + PageSize)
+	if b != 0 {
+		t.Fatal("memset overran")
+	}
+}
+
+func BenchmarkTranslateRead(b *testing.B) {
+	o := NewOS()
+	v := o.Reserve(16)
+	if _, err := o.Commit(v, 16); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := v + uint64(i%15)*PageSize
+		if err := o.Read(addr, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRemap(b *testing.B) {
+	o := NewOS()
+	v1, v2 := o.Reserve(1), o.Reserve(1)
+	p1, _ := o.Commit(v1, 1)
+	p2, _ := o.Commit(v2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			if _, _, err := o.Remap(v2, 1, p1); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, _, err := o.Remap(v2, 1, p2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestMemoryLimit(t *testing.T) {
+	o := NewOS()
+	o.SetMemoryLimit(4)
+	v1 := o.Reserve(3)
+	id, err := o.Commit(v1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2-page commit would exceed the 4-page budget.
+	v2 := o.Reserve(2)
+	if _, err := o.Commit(v2, 2); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+	// Exactly filling the budget is allowed.
+	v3 := o.Reserve(1)
+	id3, err := o.Commit(v3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Punching pages frees budget for new commits.
+	if _, _, err := o.Unmap(v1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Punch(id); err != nil {
+		t.Fatal(err)
+	}
+	v4 := o.Reserve(2)
+	if _, err := o.Commit(v4, 2); err != nil {
+		t.Fatalf("commit after punch: %v", err)
+	}
+	// Removing the limit removes enforcement.
+	o.SetMemoryLimit(0)
+	v5 := o.Reserve(100)
+	if _, err := o.Commit(v5, 100); err != nil {
+		t.Fatal(err)
+	}
+	if o.MemoryLimit() != 0 {
+		t.Fatal("limit not cleared")
+	}
+	_ = id3
+}

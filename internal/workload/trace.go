@@ -1,0 +1,262 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/alloc"
+	"repro/internal/rng"
+)
+
+// This file implements allocation traces: a serializable record of the
+// allocator-visible behaviour of a program (the sequence of mallocs and
+// frees with sizes and lifetimes, but no data). Traces make experiments
+// portable — capture once, replay under any allocator — the same way the
+// paper's evaluation replays fixed workloads across allocators.
+//
+// The format is line-oriented text, dense enough for million-op traces yet
+// diffable:
+//
+//	# comment
+//	a <id> <size>      allocate object <id> of <size> bytes
+//	f <id>             free object <id>
+//	t <n>              advance logical time by n ticks
+//
+// Object ids are arbitrary non-negative integers assigned by the producer;
+// each id must be allocated before it is freed and freed at most once.
+
+// OpKind discriminates trace operations.
+type OpKind uint8
+
+// Trace operation kinds.
+const (
+	OpAlloc OpKind = iota
+	OpFree
+	OpTick
+)
+
+// Op is one trace operation.
+type Op struct {
+	Kind OpKind
+	ID   uint64 // object id (alloc/free)
+	Size int    // bytes (alloc) or ticks (tick)
+}
+
+// Trace is a replayable operation sequence.
+type Trace []Op
+
+// WriteTo serializes the trace in the text format.
+func (tr Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	for _, op := range tr {
+		var n int
+		var err error
+		switch op.Kind {
+		case OpAlloc:
+			n, err = fmt.Fprintf(bw, "a %d %d\n", op.ID, op.Size)
+		case OpFree:
+			n, err = fmt.Fprintf(bw, "f %d\n", op.ID)
+		case OpTick:
+			n, err = fmt.Fprintf(bw, "t %d\n", op.Size)
+		default:
+			err = fmt.Errorf("workload: unknown op kind %d", op.Kind)
+		}
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// ParseTrace reads the text format. Malformed lines are reported with
+// their line number.
+func ParseTrace(r io.Reader) (Trace, error) {
+	var tr Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func() (Trace, error) {
+			return nil, fmt.Errorf("workload: malformed trace line %d: %q", lineNo, line)
+		}
+		switch fields[0] {
+		case "a":
+			if len(fields) != 3 {
+				return bad()
+			}
+			id, err1 := strconv.ParseUint(fields[1], 10, 64)
+			size, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || size <= 0 {
+				return bad()
+			}
+			tr = append(tr, Op{Kind: OpAlloc, ID: id, Size: size})
+		case "f":
+			if len(fields) != 2 {
+				return bad()
+			}
+			id, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return bad()
+			}
+			tr = append(tr, Op{Kind: OpFree, ID: id})
+		case "t":
+			if len(fields) != 2 {
+				return bad()
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return bad()
+			}
+			tr = append(tr, Op{Kind: OpTick, Size: n})
+		default:
+			return bad()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Validate checks trace well-formedness: every free refers to a currently
+// live id, no id is allocated twice while live. It returns the number of
+// objects still live at the end.
+func (tr Trace) Validate() (leaked int, err error) {
+	live := map[uint64]bool{}
+	for i, op := range tr {
+		switch op.Kind {
+		case OpAlloc:
+			if live[op.ID] {
+				return 0, fmt.Errorf("workload: op %d reallocates live id %d", i, op.ID)
+			}
+			if op.Size <= 0 {
+				return 0, fmt.Errorf("workload: op %d has size %d", i, op.Size)
+			}
+			live[op.ID] = true
+		case OpFree:
+			if !live[op.ID] {
+				return 0, fmt.Errorf("workload: op %d frees dead id %d", i, op.ID)
+			}
+			delete(live, op.ID)
+		}
+	}
+	return len(live), nil
+}
+
+// Replay runs the trace against heap, stepping the harness per operation
+// and ticking it for OpTick entries. Objects live at trace end are freed
+// afterwards (so RSS comparisons across allocators end at a common state).
+func (tr Trace) Replay(h *Harness, heap alloc.Heap) error {
+	addrs := make(map[uint64]uint64, 1024)
+	for i, op := range tr {
+		switch op.Kind {
+		case OpAlloc:
+			p, err := heap.Malloc(op.Size)
+			if err != nil {
+				return fmt.Errorf("workload: replay op %d: %w", i, err)
+			}
+			addrs[op.ID] = p
+			h.Step(1)
+		case OpFree:
+			p, ok := addrs[op.ID]
+			if !ok {
+				return fmt.Errorf("workload: replay op %d frees unknown id %d", i, op.ID)
+			}
+			delete(addrs, op.ID)
+			if err := heap.Free(p); err != nil {
+				return fmt.Errorf("workload: replay op %d: %w", i, err)
+			}
+			h.Step(1)
+		case OpTick:
+			h.Step(op.Size)
+		}
+	}
+	for _, p := range addrs {
+		if err := heap.Free(p); err != nil {
+			return err
+		}
+		h.Step(1)
+	}
+	return nil
+}
+
+// Recorder wraps a Heap and records every operation into a Trace,
+// assigning sequential object ids.
+type Recorder struct {
+	Heap  alloc.Heap
+	trace Trace
+	ids   map[uint64]uint64 // addr -> id
+	next  uint64
+}
+
+// NewRecorder wraps heap.
+func NewRecorder(heap alloc.Heap) *Recorder {
+	return &Recorder{Heap: heap, ids: make(map[uint64]uint64)}
+}
+
+// Malloc implements alloc.Heap, recording the allocation.
+func (r *Recorder) Malloc(size int) (uint64, error) {
+	p, err := r.Heap.Malloc(size)
+	if err != nil {
+		return 0, err
+	}
+	id := r.next
+	r.next++
+	r.ids[p] = id
+	r.trace = append(r.trace, Op{Kind: OpAlloc, ID: id, Size: size})
+	return p, nil
+}
+
+// Free implements alloc.Heap, recording the free.
+func (r *Recorder) Free(addr uint64) error {
+	id, ok := r.ids[addr]
+	if !ok {
+		return fmt.Errorf("workload: recorder saw free of unknown address %#x", addr)
+	}
+	if err := r.Heap.Free(addr); err != nil {
+		return err
+	}
+	delete(r.ids, addr)
+	r.trace = append(r.trace, Op{Kind: OpFree, ID: id})
+	return nil
+}
+
+// Trace returns the recorded operations.
+func (r *Recorder) Trace() Trace { return r.trace }
+
+// GenerateChurn synthesizes a generic churn trace: ops operations with the
+// given allocation probability, sizes from dist, random-victim frees. It
+// is the quick way to produce replayable fragmentation workloads.
+func GenerateChurn(ops int, allocProb float64, dist SizeDist, seed uint64) Trace {
+	rnd := rng.New(seed)
+	var tr Trace
+	var live []uint64
+	next := uint64(0)
+	for i := 0; i < ops; i++ {
+		if rnd.Float64() < allocProb || len(live) == 0 {
+			tr = append(tr, Op{Kind: OpAlloc, ID: next, Size: dist.Sample(rnd)})
+			live = append(live, next)
+			next++
+		} else {
+			idx := int(rnd.UintN(uint64(len(live))))
+			tr = append(tr, Op{Kind: OpFree, ID: live[idx]})
+			live[idx] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if i%256 == 255 {
+			tr = append(tr, Op{Kind: OpTick, Size: 256})
+		}
+	}
+	return tr
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := Trace{
+		{Kind: OpAlloc, ID: 0, Size: 64},
+		{Kind: OpAlloc, ID: 1, Size: 128},
+		{Kind: OpTick, Size: 100},
+		{Kind: OpFree, ID: 0},
+		{Kind: OpFree, ID: 1},
+	}
+	var sb strings.Builder
+	if _, err := tr.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("parsed %d ops, want %d", len(got), len(tr))
+	}
+	for i := range tr {
+		if got[i] != tr[i] {
+			t.Fatalf("op %d: %+v != %+v", i, got[i], tr[i])
+		}
+	}
+}
+
+func TestParseTraceCommentsAndErrors(t *testing.T) {
+	good := "# header\n\na 1 64\n  f 1  \nt 5\n"
+	tr, err := ParseTrace(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 3 {
+		t.Fatalf("ops = %d", len(tr))
+	}
+	for _, bad := range []string{
+		"a 1\n", "a x 64\n", "a 1 -5\n", "f\n", "f x\n", "t -1\n", "z 1\n",
+	} {
+		if _, err := ParseTrace(strings.NewReader(bad)); err == nil {
+			t.Fatalf("accepted malformed trace %q", bad)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := Trace{
+		{Kind: OpAlloc, ID: 1, Size: 8},
+		{Kind: OpFree, ID: 1},
+		{Kind: OpAlloc, ID: 1, Size: 8}, // id reuse after free is fine
+	}
+	leaked, err := ok.Validate()
+	if err != nil || leaked != 1 {
+		t.Fatalf("leaked=%d err=%v", leaked, err)
+	}
+	doubleFree := Trace{{Kind: OpAlloc, ID: 1, Size: 8}, {Kind: OpFree, ID: 1}, {Kind: OpFree, ID: 1}}
+	if _, err := doubleFree.Validate(); err == nil {
+		t.Fatal("double free validated")
+	}
+	reAlloc := Trace{{Kind: OpAlloc, ID: 1, Size: 8}, {Kind: OpAlloc, ID: 1, Size: 8}}
+	if _, err := reAlloc.Validate(); err == nil {
+		t.Fatal("live realloc validated")
+	}
+}
+
+func TestGenerateChurnIsValid(t *testing.T) {
+	tr := GenerateChurn(5000, 0.6, Uniform{Lo: 16, Hi: 512}, 42)
+	if _, err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic for a fixed seed.
+	tr2 := GenerateChurn(5000, 0.6, Uniform{Lo: 16, Hi: 512}, 42)
+	if len(tr) != len(tr2) {
+		t.Fatal("same seed produced different traces")
+	}
+	for i := range tr {
+		if tr[i] != tr2[i] {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+}
+
+func TestReplayAgainstAllocator(t *testing.T) {
+	tr := GenerateChurn(8000, 0.55, Uniform{Lo: 16, Hi: 2048}, 7)
+	a := baseline.NewJemalloc()
+	h := NewHarness(a, core.NewLogicalClock(), time.Millisecond)
+	if err := tr.Replay(h, a.NewThread()); err != nil {
+		t.Fatal(err)
+	}
+	// Replay frees leftovers, so the heap ends empty.
+	if a.Live() != 0 {
+		t.Fatalf("live = %d after replay", a.Live())
+	}
+	if len(h.Finish().Samples) == 0 {
+		t.Fatal("no RSS samples recorded")
+	}
+}
+
+func TestRecorderCapturesReplayableTrace(t *testing.T) {
+	// Record a run against one allocator, then replay the trace against
+	// another; both must complete cleanly.
+	src := baseline.NewJemalloc()
+	rec := NewRecorder(src.NewThread())
+	var live []uint64
+	for i := 0; i < 2000; i++ {
+		if i%3 != 2 || len(live) == 0 {
+			p, err := rec.Malloc(16 + (i%32)*8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, p)
+		} else {
+			p := live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := rec.Free(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tr := rec.Trace()
+	leaked, err := tr.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaked != len(live) {
+		t.Fatalf("leaked %d, live %d", leaked, len(live))
+	}
+	// Round-trip through the text format, then replay on glibc.
+	var sb strings.Builder
+	if _, err := tr.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := baseline.NewGlibc()
+	h := NewHarness(dst, core.NewLogicalClock(), time.Millisecond)
+	if err := parsed.Replay(h, dst.NewThread()); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Live() != 0 {
+		t.Fatalf("live = %d", dst.Live())
+	}
+}
+
+func TestRecorderRejectsUnknownFree(t *testing.T) {
+	rec := NewRecorder(baseline.NewJemalloc().NewThread())
+	if err := rec.Free(0x123000); err == nil {
+		t.Fatal("unknown free recorded")
+	}
+}

@@ -1,0 +1,184 @@
+// Package workload provides the shared machinery for the evaluation
+// workloads: a logical-clock harness that samples RSS as operations
+// execute, live-object tables with the eviction policies the application
+// simulations need, and reusable size distributions.
+//
+// Every workload in this repository follows the same pattern: it drives an
+// alloc.Allocator through a deterministic operation stream, advancing the
+// harness clock per operation so that Mesh's rate-limited background
+// meshing and the RSS sampling both happen at reproducible points.
+package workload
+
+import (
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// DefaultTick is the logical duration charged per allocator operation
+// (1 µs, so the paper's 100 ms mesh period corresponds to 100k operations).
+const DefaultTick = time.Microsecond
+
+// Harness couples an allocator, a logical clock, and an RSS sampler.
+type Harness struct {
+	Alloc   alloc.Allocator
+	Clock   *core.LogicalClock
+	Sampler *stats.Sampler
+	Tick    time.Duration
+}
+
+// NewHarness builds a harness sampling alloc's RSS with the given period.
+// The same clock must have been injected into the allocator (for Mesh) so
+// that rate limiting follows workload time; baselines ignore it.
+func NewHarness(a alloc.Allocator, clock *core.LogicalClock, samplePeriod time.Duration) *Harness {
+	return &Harness{
+		Alloc:   a,
+		Clock:   clock,
+		Sampler: stats.NewSampler(a.Name(), memSource{a}, samplePeriod),
+		Tick:    DefaultTick,
+	}
+}
+
+type memSource struct{ a alloc.Allocator }
+
+func (m memSource) RSS() int64  { return m.a.RSS() }
+func (m memSource) Live() int64 { return m.a.Live() }
+
+// Step advances logical time by n operations and polls the sampler.
+func (h *Harness) Step(n int) {
+	h.Clock.Advance(time.Duration(n) * h.Tick)
+	h.Sampler.Poll(h.Clock.Now())
+}
+
+// Idle advances logical time without operations (e.g. the Redis test's
+// idle tail where active defragmentation runs).
+func (h *Harness) Idle(d time.Duration) {
+	h.Clock.Advance(d)
+	h.Sampler.Poll(h.Clock.Now())
+}
+
+// Finish records a final sample and returns the completed series.
+func (h *Harness) Finish() stats.Series {
+	h.Sampler.Final(h.Clock.Now())
+	return h.Sampler.Series
+}
+
+// Obj is a live allocation tracked by a workload.
+type Obj struct {
+	Addr uint64
+	Size int
+	Seq  uint64 // insertion sequence, for LRU-style policies
+}
+
+// LiveSet tracks live objects and supports the eviction policies the
+// application simulations use. It is not safe for concurrent use.
+type LiveSet struct {
+	objs    []Obj
+	bytes   int64
+	nextSeq uint64
+}
+
+// Add records a live object and returns its index token.
+func (l *LiveSet) Add(addr uint64, size int) {
+	l.objs = append(l.objs, Obj{Addr: addr, Size: size, Seq: l.nextSeq})
+	l.nextSeq++
+	l.bytes += int64(size)
+}
+
+// Len returns the number of live objects.
+func (l *LiveSet) Len() int { return len(l.objs) }
+
+// Bytes returns the sum of requested sizes of live objects.
+func (l *LiveSet) Bytes() int64 { return l.bytes }
+
+// At returns the i-th live object.
+func (l *LiveSet) At(i int) Obj { return l.objs[i] }
+
+// RemoveAt removes and returns the i-th object (O(1), order not
+// preserved).
+func (l *LiveSet) RemoveAt(i int) Obj {
+	o := l.objs[i]
+	last := len(l.objs) - 1
+	l.objs[i] = l.objs[last]
+	l.objs = l.objs[:last]
+	l.bytes -= int64(o.Size)
+	return o
+}
+
+// RemoveRandom removes a uniformly random object.
+func (l *LiveSet) RemoveRandom(rnd *rng.RNG) Obj {
+	return l.RemoveAt(int(rnd.UintN(uint64(len(l.objs)))))
+}
+
+// EvictApproxLRU implements Redis's sampled-LRU policy: sample k random
+// objects and evict the one with the lowest sequence number (oldest).
+// Redis uses k=5 by default.
+func (l *LiveSet) EvictApproxLRU(rnd *rng.RNG, k int) Obj {
+	if len(l.objs) == 0 {
+		panic("workload: evict from empty LiveSet")
+	}
+	best := int(rnd.UintN(uint64(len(l.objs))))
+	for i := 1; i < k; i++ {
+		cand := int(rnd.UintN(uint64(len(l.objs))))
+		if l.objs[cand].Seq < l.objs[best].Seq {
+			best = cand
+		}
+	}
+	return l.RemoveAt(best)
+}
+
+// DrainInto frees every live object into heap, stepping the harness.
+func (l *LiveSet) DrainInto(h *Harness, heap alloc.Heap) error {
+	for _, o := range l.objs {
+		if err := heap.Free(o.Addr); err != nil {
+			return err
+		}
+		h.Step(1)
+	}
+	l.objs = l.objs[:0]
+	l.bytes = 0
+	return nil
+}
+
+// SizeDist is a distribution over allocation sizes.
+type SizeDist interface {
+	Sample(rnd *rng.RNG) int
+}
+
+// Fixed always returns the same size.
+type Fixed int
+
+// Sample implements SizeDist.
+func (f Fixed) Sample(*rng.RNG) int { return int(f) }
+
+// Uniform samples uniformly from [Lo, Hi].
+type Uniform struct{ Lo, Hi int }
+
+// Sample implements SizeDist.
+func (u Uniform) Sample(rnd *rng.RNG) int { return rnd.InRange(u.Lo, u.Hi) }
+
+// Choice samples from a weighted set of sizes — the mixed small-object
+// profile of browser and interpreter heaps.
+type Choice struct {
+	Sizes   []int
+	Weights []float64 // same length; need not be normalized
+}
+
+// Sample implements SizeDist.
+func (c Choice) Sample(rnd *rng.RNG) int {
+	var total float64
+	for _, w := range c.Weights {
+		total += w
+	}
+	x := rnd.Float64() * total
+	for i, w := range c.Weights {
+		x -= w
+		if x <= 0 {
+			return c.Sizes[i]
+		}
+	}
+	return c.Sizes[len(c.Sizes)-1]
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func TestHarnessStepAndSample(t *testing.T) {
+	a := baseline.NewJemalloc()
+	clock := core.NewLogicalClock()
+	h := NewHarness(a, clock, time.Millisecond)
+	heap := a.NewThread()
+	p, err := heap.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Step(1)
+	// 1 op = 1 µs; a full millisecond of ops triggers a second sample.
+	h.Step(1000)
+	if err := heap.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	series := h.Finish()
+	if len(series.Samples) < 3 {
+		t.Fatalf("samples = %d", len(series.Samples))
+	}
+	if series.Name != "jemalloc" {
+		t.Fatalf("series name = %q", series.Name)
+	}
+	if series.Samples[0].RSS == 0 {
+		t.Fatal("first sample missed the allocation")
+	}
+}
+
+func TestLiveSetBasics(t *testing.T) {
+	var l LiveSet
+	l.Add(0x1000, 64)
+	l.Add(0x2000, 32)
+	l.Add(0x3000, 16)
+	if l.Len() != 3 || l.Bytes() != 112 {
+		t.Fatalf("len=%d bytes=%d", l.Len(), l.Bytes())
+	}
+	o := l.RemoveAt(0)
+	if o.Addr != 0x1000 {
+		t.Fatalf("removed %#x", o.Addr)
+	}
+	if l.Len() != 2 || l.Bytes() != 48 {
+		t.Fatalf("after remove: len=%d bytes=%d", l.Len(), l.Bytes())
+	}
+}
+
+func TestEvictApproxLRUPrefersOld(t *testing.T) {
+	// With full sampling (k = n) the policy must be exact LRU.
+	var l LiveSet
+	for i := 0; i < 50; i++ {
+		l.Add(uint64(0x1000+i*16), 16)
+	}
+	rnd := rng.New(1)
+	o := l.EvictApproxLRU(rnd, 500)
+	if o.Seq != 0 {
+		t.Fatalf("full-sample LRU evicted seq %d", o.Seq)
+	}
+	// With k=5, evictions must still skew strongly towards older entries.
+	var l2 LiveSet
+	for i := 0; i < 1000; i++ {
+		l2.Add(uint64(0x100000+i*16), 16)
+	}
+	oldHits := 0
+	for i := 0; i < 200; i++ {
+		o := l2.EvictApproxLRU(rnd, 5)
+		if o.Seq < 500 {
+			oldHits++
+		}
+	}
+	if oldHits < 140 {
+		t.Fatalf("approx-LRU evicted old entries only %d/200 times", oldHits)
+	}
+}
+
+func TestSizeDists(t *testing.T) {
+	rnd := rng.New(2)
+	if Fixed(240).Sample(rnd) != 240 {
+		t.Fatal("Fixed")
+	}
+	u := Uniform{Lo: 10, Hi: 20}
+	for i := 0; i < 1000; i++ {
+		v := u.Sample(rnd)
+		if v < 10 || v > 20 {
+			t.Fatalf("Uniform out of range: %d", v)
+		}
+	}
+	c := Choice{Sizes: []int{16, 1024}, Weights: []float64{9, 1}}
+	small := 0
+	for i := 0; i < 10000; i++ {
+		switch c.Sample(rnd) {
+		case 16:
+			small++
+		case 1024:
+		default:
+			t.Fatal("Choice returned unknown size")
+		}
+	}
+	if small < 8500 || small > 9500 {
+		t.Fatalf("Choice weight skew: %d/10000 small", small)
+	}
+}
+
+func TestDrainInto(t *testing.T) {
+	a := baseline.NewJemalloc()
+	clock := core.NewLogicalClock()
+	h := NewHarness(a, clock, time.Millisecond)
+	heap := a.NewThread()
+	var l LiveSet
+	for i := 0; i < 100; i++ {
+		p, err := heap.Malloc(48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Add(p, 48)
+	}
+	if err := l.DrainInto(h, heap); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 0 || a.Live() != 0 {
+		t.Fatalf("drain incomplete: %d live objects, %d live bytes", l.Len(), a.Live())
+	}
+}

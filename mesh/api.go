@@ -1,0 +1,74 @@
+package mesh
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// This file carries the rest of the interposed libc surface (§4) and the
+// mallctl-style runtime controls (§4.5) on the public types.
+
+// Calloc allocates n objects of size bytes each, zeroed, on the default
+// thread.
+func (a *Allocator) Calloc(n, size int) (Ptr, error) { return a.main.Calloc(n, size) }
+
+// Realloc resizes the object at p, copying contents if it must move (C
+// realloc semantics, including Realloc(0, n) = Malloc and Realloc(p, 0) =
+// Free).
+func (a *Allocator) Realloc(p Ptr, size int) (Ptr, error) { return a.main.Realloc(p, size) }
+
+// AlignedAlloc allocates size bytes aligned to align (a power of two up to
+// the page size).
+func (a *Allocator) AlignedAlloc(align, size int) (Ptr, error) {
+	return a.main.AlignedAlloc(align, size)
+}
+
+// UsableSize reports the usable bytes of the object at p
+// (malloc_usable_size).
+func (a *Allocator) UsableSize(p Ptr) (int, error) { return a.main.UsableSize(p) }
+
+// Calloc allocates n objects of size bytes each, zeroed, on this thread.
+func (t *Thread) Calloc(n, size int) (Ptr, error) { return t.th.Calloc(n, size) }
+
+// Realloc resizes the object at p on this thread (C realloc semantics).
+func (t *Thread) Realloc(p Ptr, size int) (Ptr, error) { return t.th.Realloc(p, size) }
+
+// AlignedAlloc allocates size bytes aligned to align on this thread.
+func (t *Thread) AlignedAlloc(align, size int) (Ptr, error) {
+	return t.th.AlignedAlloc(align, size)
+}
+
+// UsableSize reports the usable bytes of the object at p.
+func (t *Thread) UsableSize(p Ptr) (int, error) { return t.th.UsableSize(p) }
+
+// SetMeshPeriod adjusts the meshing rate limit at runtime (the paper's
+// mallctl knob, §4.5).
+func (a *Allocator) SetMeshPeriod(d time.Duration) { a.g.SetMeshPeriod(d) }
+
+// SetMeshingEnabled toggles compaction at runtime.
+func (a *Allocator) SetMeshingEnabled(enabled bool) { a.g.SetMeshingEnabled(enabled) }
+
+// ClassStats describes one size class's spans.
+type ClassStats = core.ClassStats
+
+// ClassStats returns per-size-class span statistics (spans, attachment,
+// mesh counts, occupancy).
+func (a *Allocator) ClassStats() []ClassStats { return a.g.ClassStatsSnapshot() }
+
+// LargeStats summarizes large-object allocations.
+type LargeStats = core.LargeStats
+
+// LargeObjectStats returns the current large-object census.
+func (a *Allocator) LargeObjectStats() LargeStats { return a.g.LargeStatsSnapshot() }
+
+// CheckIntegrity validates heap invariants; see core.GlobalHeap.
+// CheckIntegrity. Intended for tests and debugging.
+func (a *Allocator) CheckIntegrity() error { return a.g.CheckIntegrity() }
+
+// SetMemoryLimit caps the simulated resident memory at limit bytes
+// (rounded down to whole pages); allocations beyond it fail, modeling a
+// memory control group or a constrained device (§1). Pass 0 to remove.
+func (a *Allocator) SetMemoryLimit(limit int64) {
+	a.g.OS().SetMemoryLimit(limit / PageSize)
+}

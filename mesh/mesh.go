@@ -1,0 +1,220 @@
+// Package mesh is the public API of this reproduction of "Mesh: Compacting
+// Memory Management for C/C++ Applications" (Powers, Tench, Berger,
+// McGregor; PLDI 2019).
+//
+// Mesh is a memory allocator that performs compaction without relocation:
+// it finds pairs of spans whose live objects occupy disjoint offsets,
+// copies them onto one physical span, remaps both virtual spans onto it,
+// and returns the other physical span to the OS. Object addresses never
+// change, so the technique works for address-exposing languages; randomized
+// allocation makes meshable pairs plentiful with high probability.
+//
+// Because a Go library cannot replace the process allocator or edit real
+// page tables, this implementation allocates from a simulated
+// virtual-memory arena: Malloc returns virtual addresses (type Ptr) whose
+// backing bytes are accessed through Read and Write. All of the paper's
+// machinery — shuffle vectors, MiniHeaps, occupancy bins, SplitMesher,
+// concurrent meshing with a write barrier — operates exactly as described.
+//
+// Basic usage:
+//
+//	a := mesh.New()
+//	p, _ := a.Malloc(100)
+//	a.Write(p, []byte("hello"))
+//	a.Free(p)
+//	fmt.Println(a.Stats().RSS)
+//
+// Multi-threaded programs give each worker its own Thread:
+//
+//	th := a.NewThread()
+//	defer th.Close()
+//	p, _ := th.Malloc(64)
+package mesh
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// Ptr is a virtual address in the allocator's simulated address space.
+// The zero Ptr is never a valid allocation.
+type Ptr = uint64
+
+// PageSize is the span granularity of the simulated hardware.
+const PageSize = vm.PageSize
+
+// MaxSmallSize is the largest size served from size-classed spans; larger
+// allocations are page-aligned large objects.
+const MaxSmallSize = 16384
+
+// Stats is a point-in-time snapshot of allocator state. RSS is the paper's
+// headline metric; Mapped exceeds RSS once meshing has consolidated spans.
+type Stats = core.HeapStats
+
+// MeshStats aggregates compaction activity.
+type MeshStats = core.MeshStats
+
+// Clock abstracts time for mesh rate limiting; see WithClock.
+type Clock = core.Clock
+
+// LogicalClock is a deterministic clock for reproducible experiments.
+type LogicalClock = core.LogicalClock
+
+// NewLogicalClock returns a LogicalClock at time zero.
+func NewLogicalClock() *LogicalClock { return core.NewLogicalClock() }
+
+// Option configures an Allocator.
+type Option func(*core.Config)
+
+// WithSeed fixes the seed of every RNG in the allocator, making runs
+// reproducible.
+func WithSeed(seed uint64) Option {
+	return func(c *core.Config) { c.Seed = seed }
+}
+
+// WithMeshing enables or disables compaction ("Mesh (no meshing)" in §6.3
+// of the paper when disabled).
+func WithMeshing(enabled bool) Option {
+	return func(c *core.Config) { c.Meshing = enabled }
+}
+
+// WithRandomization enables or disables randomized allocation ("Mesh (no
+// rand)" in §6.3 when disabled).
+func WithRandomization(enabled bool) Option {
+	return func(c *core.Config) { c.Randomize = enabled }
+}
+
+// WithMeshPeriod sets the minimum interval between automatic meshing
+// passes (the paper's default is 100 ms). Explicit Mesh calls ignore it.
+func WithMeshPeriod(d time.Duration) Option {
+	return func(c *core.Config) { c.MeshPeriod = d }
+}
+
+// WithMinMeshSavings sets the pass-productivity threshold below which the
+// mesh timer is disarmed until the next global free (default 1 MiB).
+func WithMinMeshSavings(bytes int) Option {
+	return func(c *core.Config) { c.MinMeshSavings = bytes }
+}
+
+// WithSplitMesherT sets the per-span probe budget of the SplitMesher
+// algorithm (the paper uses t=64).
+func WithSplitMesherT(t int) Option {
+	return func(c *core.Config) { c.SplitMesherT = t }
+}
+
+// WithClock injects a Clock (e.g. a LogicalClock) for deterministic mesh
+// rate limiting.
+func WithClock(clk Clock) Option {
+	return func(c *core.Config) { c.Clock = clk }
+}
+
+// WithDirtyPageThreshold overrides the arena's punch-hole batching
+// threshold in pages (default 64 MiB worth).
+func WithDirtyPageThreshold(pages int) Option {
+	return func(c *core.Config) { c.DirtyPageThreshold = pages }
+}
+
+// Allocator is a Mesh heap. It embeds a default thread heap so simple
+// single-threaded use needs no explicit Thread management; all methods on
+// Allocator other than NewThread are safe only from one goroutine at a
+// time, while distinct Threads may be used concurrently.
+type Allocator struct {
+	g      *core.GlobalHeap
+	main   *core.ThreadHeap
+	nextID atomic.Uint64
+}
+
+// New constructs an allocator with the paper's default configuration,
+// modified by opts.
+func New(opts ...Option) *Allocator {
+	cfg := core.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	g := core.NewGlobalHeap(cfg)
+	return &Allocator{g: g, main: core.NewThreadHeap(g, 0)}
+}
+
+// Malloc allocates size bytes on the allocator's default thread.
+func (a *Allocator) Malloc(size int) (Ptr, error) { return a.main.Malloc(size) }
+
+// Free releases an object allocated by any thread of this allocator.
+func (a *Allocator) Free(p Ptr) error { return a.main.Free(p) }
+
+// Read copies len(buf) bytes at p into buf.
+func (a *Allocator) Read(p Ptr, buf []byte) error { return a.g.OS().Read(p, buf) }
+
+// Write copies data to the memory at p. Writes participate in the meshing
+// write barrier: a write landing on a span mid-relocation blocks until the
+// mesh completes, exactly like the SIGSEGV handler in the paper (§4.5.2).
+func (a *Allocator) Write(p Ptr, data []byte) error { return a.g.OS().Write(p, data) }
+
+// Mesh forces a full compaction pass and returns the number of physical
+// spans released. Applications can call this at quiescent points; normally
+// meshing also triggers automatically on frees, rate limited by the mesh
+// period (§4.5).
+func (a *Allocator) Mesh() int { return a.g.Mesh() }
+
+// Stats returns a snapshot of allocator state.
+func (a *Allocator) Stats() Stats { return a.g.Stats() }
+
+// RSS returns resident physical memory in bytes.
+func (a *Allocator) RSS() int64 { return a.g.OS().RSS() }
+
+// Thread is a per-worker heap handle (the paper's thread-local heap). A
+// Thread must be used from one goroutine at a time; Close relinquishes its
+// spans to the global heap, making them meshing candidates.
+type Thread struct {
+	th *core.ThreadHeap
+}
+
+// NewThread creates a thread-local heap. Safe to call from any goroutine.
+func (a *Allocator) NewThread() *Thread {
+	return &Thread{th: core.NewThreadHeap(a.g, a.nextID.Add(1))}
+}
+
+// Malloc allocates size bytes from this thread's local heap.
+func (t *Thread) Malloc(size int) (Ptr, error) { return t.th.Malloc(size) }
+
+// Free releases an object; frees of other threads' objects are routed
+// through the global heap automatically.
+func (t *Thread) Free(p Ptr) error { return t.th.Free(p) }
+
+// Close returns the thread's attached spans to the global heap.
+func (t *Thread) Close() error { return t.th.Done() }
+
+// --- alloc.Allocator adapter, used by the workload harness ---
+
+// Adapter wraps an Allocator behind the harness interfaces.
+type Adapter struct {
+	*Allocator
+	name string
+}
+
+// NewAdapter returns a harness adapter with a report name.
+func NewAdapter(name string, opts ...Option) *Adapter {
+	return &Adapter{Allocator: New(opts...), name: name}
+}
+
+// Name implements alloc.Allocator.
+func (ad *Adapter) Name() string { return ad.name }
+
+// NewThread implements alloc.Allocator.
+func (ad *Adapter) NewThread() alloc.Heap { return ad.Allocator.NewThread() }
+
+// Live implements alloc.Allocator.
+func (ad *Adapter) Live() int64 { return ad.Stats().Live }
+
+// Memory implements alloc.Allocator.
+func (ad *Adapter) Memory() *vm.OS { return ad.g.OS() }
+
+var (
+	_ alloc.Allocator    = (*Adapter)(nil)
+	_ alloc.Mesher       = (*Adapter)(nil)
+	_ alloc.Heap         = (*Thread)(nil)
+	_ alloc.ThreadCloser = (*Thread)(nil)
+)
