@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/mesh"
 )
 
 // BenchmarkFig6Firefox regenerates Figure 6 (browser workload, Mesh vs
@@ -165,4 +166,182 @@ func BenchmarkRobson(b *testing.B) {
 		advantage = float64(res.Rows[0].RoundsCompleted) / float64(baseRounds)
 	}
 	b.ReportMetric(advantage, "survival-x")
+}
+
+// --- Public-API hot-path benchmarks: scalar vs batch, pooled vs thread ---
+//
+// Each iteration allocates and frees batchLen 64-byte objects, so ns/op is
+// directly comparable across the scalar and batch variants: the batch ones
+// amortize the pooled-heap hand-off, the accounting atomics, and (for
+// non-local frees) the global lock over the whole batch.
+
+const batchLen = 64
+
+var benchSizes = func() []int {
+	s := make([]int, batchLen)
+	for i := range s {
+		s[i] = 64
+	}
+	return s
+}()
+
+// BenchmarkScalarMallocFree drives the goroutine-safe pooled API one
+// object at a time.
+func BenchmarkScalarMallocFree(b *testing.B) {
+	a := mesh.New(mesh.WithSeed(1))
+	ptrs := make([]mesh.Ptr, batchLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range ptrs {
+			p, err := a.Malloc(64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ptrs[j] = p
+		}
+		for _, p := range ptrs {
+			if err := a.Free(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkBatchMallocFree drives the same traffic through MallocBatch /
+// FreeBatch. The acceptance bar: at or below the scalar ns/op.
+func BenchmarkBatchMallocFree(b *testing.B) {
+	a := mesh.New(mesh.WithSeed(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ptrs, err := a.MallocBatch(benchSizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.FreeBatch(ptrs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThreadScalarMallocFree is the explicit-Thread fast path, one
+// object at a time — the pre-redesign programming model.
+func BenchmarkThreadScalarMallocFree(b *testing.B) {
+	a := mesh.New(mesh.WithSeed(1))
+	th := a.NewThread()
+	defer th.Close()
+	ptrs := make([]mesh.Ptr, batchLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range ptrs {
+			p, err := th.Malloc(64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ptrs[j] = p
+		}
+		for _, p := range ptrs {
+			if err := th.Free(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkThreadBatchMallocFree batches on an explicit Thread.
+func BenchmarkThreadBatchMallocFree(b *testing.B) {
+	a := mesh.New(mesh.WithSeed(1))
+	th := a.NewThread()
+	defer th.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ptrs, err := th.MallocBatch(benchSizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := th.FreeBatch(ptrs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcurrentPooledScalar hammers one shared Allocator from
+// GOMAXPROCS goroutines through the pooled scalar API.
+func BenchmarkConcurrentPooledScalar(b *testing.B) {
+	a := mesh.New(mesh.WithSeed(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// b.Fatal must not be called off the benchmark goroutine; report
+		// with b.Error and bail out of this worker instead.
+		ptrs := make([]mesh.Ptr, batchLen)
+		for pb.Next() {
+			for j := range ptrs {
+				p, err := a.Malloc(64)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				ptrs[j] = p
+			}
+			for _, p := range ptrs {
+				if err := a.Free(p); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkConcurrentPooledBatch is the same traffic batched.
+func BenchmarkConcurrentPooledBatch(b *testing.B) {
+	a := mesh.New(mesh.WithSeed(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			ptrs, err := a.MallocBatch(benchSizes)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := a.FreeBatch(ptrs); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkConcurrentThreads gives each goroutine its own explicit Thread
+// — the ceiling the pooled API is measured against.
+func BenchmarkConcurrentThreads(b *testing.B) {
+	a := mesh.New(mesh.WithSeed(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		th := a.NewThread()
+		defer th.Close()
+		ptrs := make([]mesh.Ptr, batchLen)
+		for pb.Next() {
+			for j := range ptrs {
+				p, err := th.Malloc(64)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				ptrs[j] = p
+			}
+			for _, p := range ptrs {
+				if err := th.Free(p); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+	})
 }

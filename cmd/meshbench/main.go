@@ -16,6 +16,7 @@
 //	triangle  triangle scarcity in meshing graphs (§5.2)
 //	ablation  §6.3 randomization ablation table
 //	robson    §1 motivation: OOM survival under a memory budget
+//	conc      concurrent throughput: pooled vs thread heaps, scalar vs batch
 //	all       everything above
 //
 // -scale divides workload sizes (1 = the paper's full parameters; larger
@@ -39,7 +40,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: meshbench [-scale N] [-csv] <fig6|fig7|fig8|spec|prob|lemma53|triangle|ablation|robson|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: meshbench [-scale N] [-csv] <fig6|fig7|fig8|spec|prob|lemma53|triangle|ablation|robson|conc|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -76,8 +77,10 @@ func run(what string) error {
 		return ablation()
 	case "robson":
 		return robson()
+	case "conc":
+		return conc()
 	case "all":
-		for _, f := range []func() error{fig6, fig7, fig8, spec, ablation, robson} {
+		for _, f := range []func() error{fig6, fig7, fig8, spec, ablation, robson, conc} {
 			if err := f(); err != nil {
 				return err
 			}
@@ -248,6 +251,21 @@ func ablation() error {
 	fmt.Printf("%-22s %12s %14s\n", "configuration", "mean RSS MiB", "wall time")
 	for _, r := range res.Rows {
 		fmt.Printf("%-22s %12.2f %14v\n", r.Allocator, r.MeanRSS/(1<<20), r.WallTime.Round(1e6))
+	}
+	return nil
+}
+
+func conc() error {
+	header("Concurrency: shared-allocator throughput, pooled vs thread heaps, scalar vs batch")
+	res, err := experiments.Concurrent(*scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %8s %7s %10s %12s %14s %12s\n",
+		"configuration", "workers", "batch", "ops", "wall", "ops/sec", "final MiB")
+	for _, r := range res.Rows {
+		fmt.Printf("%-18s %8d %7d %10d %12v %14.0f %12.2f\n",
+			r.Config, r.Workers, r.Batch, r.Ops, r.Wall.Round(1e6), r.OpsPerSec, stats.MiB(r.FinalRSS))
 	}
 	return nil
 }

@@ -2,9 +2,14 @@
 // Memory Management for C/C++ Applications" (Powers, Tench, Berger,
 // McGregor; PLDI 2019).
 //
-// The public allocator API lives in package repro/mesh. The root package
-// exists to host the repository-level benchmark suite (bench_test.go),
-// which regenerates every table and figure of the paper's evaluation; see
-// DESIGN.md for the experiment index and EXPERIMENTS.md for
-// paper-vs-measured results.
+// The public allocator API lives in package repro/mesh: a
+// goroutine-safe Allocator backed by pooled thread heaps, explicit
+// Thread handles for pinned fast-path workers, batch malloc/free for
+// heavy-traffic callers, and a mallctl-style Control/ReadControl
+// surface for every runtime knob (see mesh/control.go for the key
+// table). The root package exists to host the repository-level
+// benchmark suite (bench_test.go): one benchmark per table/figure of
+// the paper's evaluation plus hot-path microbenchmarks of the public
+// API. See README.md for the architecture map and how to run the
+// evaluation at full scale.
 package repro

@@ -41,7 +41,9 @@ func survive(meshing bool) (rounds int, peakLive int64) {
 		mesh.WithMeshing(meshing),
 		mesh.WithDirtyPageThreshold(budget/8/mesh.PageSize),
 	)
-	a.SetMemoryLimit(budget)
+	if err := a.Control("os.memory_limit", int64(budget)); err != nil {
+		log.Fatal(err)
+	}
 
 	var survivors []mesh.Ptr
 	var liveBytes int64

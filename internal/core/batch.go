@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sizeclass"
+)
+
+// This file implements the batched hot-path operations. They exist to
+// amortize per-call overhead for heavy-traffic callers: one pooled-heap
+// hand-off, one pair of atomic accounting updates, and (for non-local
+// frees) one global-lock acquisition cover a whole batch instead of one
+// operation each. The allocation policy is identical to the scalar path —
+// every object still comes off a shuffle vector in randomized order.
+
+// MallocBatch allocates one object per entry of sizes, appending the
+// resulting addresses to out (which may be nil) and returning the extended
+// slice. The batch is atomic: if any allocation fails, every object
+// already allocated by this call is freed again and the error is returned
+// with no addresses delivered.
+func (t *ThreadHeap) MallocBatch(sizes []int, out []uint64) ([]uint64, error) {
+	if out == nil {
+		out = make([]uint64, 0, len(sizes))
+	}
+	start := len(out)
+	var bytes int64
+	var n uint64
+	flush := func() {
+		t.localAllocs.Add(n)
+		t.global.noteAllocN(bytes, n)
+	}
+	for _, size := range sizes {
+		class, ok := sizeclass.ClassForSize(size)
+		if !ok {
+			if size <= 0 {
+				flush()
+				_ = t.FreeBatch(out[start:])
+				return out[:start], fmt.Errorf("core: invalid allocation size %d", size)
+			}
+			// Large objects account for themselves inside AllocLarge.
+			addr, err := t.global.AllocLarge(size)
+			if err != nil {
+				flush()
+				_ = t.FreeBatch(out[start:])
+				return out[:start], err
+			}
+			out = append(out, addr)
+			continue
+		}
+		sv := t.svs[class]
+		for sv.IsExhausted() {
+			if err := t.refill(class); err != nil {
+				flush()
+				_ = t.FreeBatch(out[start:])
+				return out[:start], err
+			}
+		}
+		off, _ := sv.Malloc()
+		out = append(out, t.attached[class].AddrOf(off))
+		bytes += int64(sizeclass.Size(class))
+		n++
+	}
+	flush()
+	return out, nil
+}
+
+// FreeBatch releases every object in addrs. Frees local to this heap's
+// attached spans are handled by the shuffle vectors with one accounting
+// update for the whole batch; the rest are passed to the global heap in a
+// single FreeBatch call, under a single lock acquisition. Errors on
+// individual addresses are joined; valid addresses in the same batch are
+// still freed.
+func (t *ThreadHeap) FreeBatch(addrs []uint64) error {
+	var errs []error
+	var bytes int64
+	var n uint64
+	nonLocal := t.scratch[:0]
+	for _, addr := range addrs {
+		size, ok, err := t.freeLocal(addr)
+		switch {
+		case err != nil:
+			errs = append(errs, err)
+		case ok:
+			bytes += int64(size)
+			n++
+		default:
+			nonLocal = append(nonLocal, addr)
+		}
+	}
+	if n > 0 {
+		t.localFrees.Add(n)
+		t.global.noteLocalFreeN(bytes, n)
+	}
+	if len(nonLocal) > 0 {
+		if err := t.global.FreeBatch(nonLocal); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	t.scratch = nonLocal[:0]
+	return errors.Join(errs...)
+}

@@ -296,10 +296,47 @@ func (g *GlobalHeap) AllocLarge(size int) (uint64, error) {
 func (g *GlobalHeap) Free(addr uint64) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	reached, err := g.freeLocked(addr)
+	if reached {
+		g.maybeMeshLocked()
+	}
+	return err
+}
+
+// FreeBatch releases every address in addrs under a single acquisition of
+// the global lock, amortizing lock traffic for heavy-traffic callers. The
+// mesh trigger runs at most once, after the whole batch — one batch is one
+// "free that reaches the global heap" for §4.5's rate limiting. Invalid
+// frees are reported (joined) but do not stop the rest of the batch,
+// matching Mesh's tolerate-and-count treatment of memory errors (§4.4.4).
+func (g *GlobalHeap) FreeBatch(addrs []uint64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var errs []error
+	reachedGlobal := false
+	for _, addr := range addrs {
+		reached, err := g.freeLocked(addr)
+		if err != nil {
+			errs = append(errs, err)
+		}
+		reachedGlobal = reachedGlobal || reached
+	}
+	if reachedGlobal {
+		g.maybeMeshLocked()
+	}
+	return errors.Join(errs...)
+}
+
+// freeLocked performs one non-local free without running the mesh trigger.
+// It reports whether the free reached a detached span or large object —
+// the events that participate in mesh triggering and timer re-arming
+// (§4.5) — so callers can batch the maybeMeshLocked call. Caller holds
+// g.mu.
+func (g *GlobalHeap) freeLocked(addr uint64) (reachedGlobal bool, err error) {
 	mh := g.arena.Lookup(addr)
 	if mh == nil {
 		g.invalidFree.Add(1)
-		return fmt.Errorf("%w: %#x", ErrInvalidFree, addr)
+		return false, fmt.Errorf("%w: %#x", ErrInvalidFree, addr)
 	}
 	if mh.IsLarge() {
 		return g.freeLargeLocked(mh)
@@ -307,11 +344,11 @@ func (g *GlobalHeap) Free(addr uint64) error {
 	off, err := mh.OffsetOf(addr)
 	if err != nil {
 		g.invalidFree.Add(1)
-		return fmt.Errorf("%w: %v", ErrInvalidFree, err)
+		return false, fmt.Errorf("%w: %v", ErrInvalidFree, err)
 	}
 	if !mh.Bitmap().Unset(off) {
 		g.invalidFree.Add(1)
-		return fmt.Errorf("%w: %#x", ErrDoubleFree, addr)
+		return false, fmt.Errorf("%w: %#x", ErrDoubleFree, addr)
 	}
 	g.liveBytes.Add(int64(-mh.ObjectSize()))
 	g.frees.Add(1)
@@ -319,36 +356,31 @@ func (g *GlobalHeap) Free(addr uint64) error {
 	if mh.IsAttached() {
 		// Remote free to another thread's span: the bitmap update is all
 		// that happens; the owner's shuffle vector is not touched (§3.2).
-		return nil
+		return false, nil
 	}
 
-	// Object belonged to the global heap: update its occupancy bin; this
-	// may additionally trigger meshing (§3.2).
+	// Object belonged to the global heap: update its occupancy bin; the
+	// caller may additionally trigger meshing (§3.2).
 	g.unbinLocked(mh)
-	if err := g.placeDetachedLocked(mh); err != nil {
-		return err
-	}
-	g.maybeMeshLocked()
-	return nil
+	return true, g.placeDetachedLocked(mh)
 }
 
 // freeLargeLocked destroys a large-object MiniHeap and releases its span.
 // Caller holds g.mu.
-func (g *GlobalHeap) freeLargeLocked(mh *miniheap.MiniHeap) error {
+func (g *GlobalHeap) freeLargeLocked(mh *miniheap.MiniHeap) (bool, error) {
 	if !mh.Bitmap().Unset(0) {
 		g.invalidFree.Add(1)
-		return fmt.Errorf("%w: large object", ErrDoubleFree)
+		return false, fmt.Errorf("%w: large object", ErrDoubleFree)
 	}
 	g.liveBytes.Add(int64(-mh.SpanBytes()))
 	g.frees.Add(1)
 	delete(g.large, mh.SpanStart())
 	if err := g.destroyLocked(mh); err != nil {
-		return err
+		return false, err
 	}
 	// A large free also reaches the global heap, so it participates in
 	// mesh triggering and timer re-arming (§4.5).
-	g.maybeMeshLocked()
-	return nil
+	return true, nil
 }
 
 // noteAlloc records a small-object allocation by a thread heap.
@@ -357,10 +389,23 @@ func (g *GlobalHeap) noteAlloc(objSize int) {
 	g.allocs.Add(1)
 }
 
+// noteAllocN records n small-object allocations totalling bytes in two
+// atomic operations — the accounting half of the batch malloc path.
+func (g *GlobalHeap) noteAllocN(bytes int64, n uint64) {
+	g.liveBytes.Add(bytes)
+	g.allocs.Add(n)
+}
+
 // noteLocalFree records a free handled entirely by a thread heap.
 func (g *GlobalHeap) noteLocalFree(objSize int) {
 	g.liveBytes.Add(int64(-objSize))
 	g.frees.Add(1)
+}
+
+// noteLocalFreeN records n thread-local frees totalling bytes.
+func (g *GlobalHeap) noteLocalFreeN(bytes int64, n uint64) {
+	g.liveBytes.Add(-bytes)
+	g.frees.Add(n)
 }
 
 // Stats returns a snapshot of heap state.

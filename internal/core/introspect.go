@@ -73,8 +73,12 @@ func (g *GlobalHeap) LargeStatsSnapshot() LargeStats {
 
 // UsableSize returns the number of bytes usable at addr — the size class's
 // object size, or the whole page-rounded span for large objects (the
-// malloc_usable_size of the interposed API).
+// malloc_usable_size of the interposed API). It takes the global lock: a
+// concurrent meshing pass mutates detached MiniHeaps' span lists, and the
+// lookup must not observe one mid-remap.
 func (g *GlobalHeap) UsableSize(addr uint64) (int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	mh := g.arena.Lookup(addr)
 	if mh == nil {
 		return 0, fmt.Errorf("%w: %#x", ErrInvalidFree, addr)
@@ -109,6 +113,42 @@ func (g *GlobalHeap) MeshPeriod() time.Duration {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.cfg.MeshPeriod
+}
+
+// MeshingEnabled reports whether the compaction engine is on.
+func (g *GlobalHeap) MeshingEnabled() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cfg.Meshing
+}
+
+// SetMinMeshSavings adjusts the pass-productivity threshold (§4.5) at
+// runtime.
+func (g *GlobalHeap) SetMinMeshSavings(bytes int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cfg.MinMeshSavings = bytes
+}
+
+// MinMeshSavings returns the current pass-productivity threshold.
+func (g *GlobalHeap) MinMeshSavings() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cfg.MinMeshSavings
+}
+
+// SetSplitMesherT adjusts the SplitMesher probe budget (§3.3) at runtime.
+func (g *GlobalHeap) SetSplitMesherT(t int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cfg.SplitMesherT = t
+}
+
+// SplitMesherT returns the current SplitMesher probe budget.
+func (g *GlobalHeap) SplitMesherT() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cfg.SplitMesherT
 }
 
 // CheckIntegrity validates the global heap's structural invariants. It is

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/miniheap"
 	"repro/internal/rng"
@@ -15,17 +16,25 @@ import (
 // operations beyond the MiniHeap bitmap reservation protocol.
 //
 // Go has no hookable thread-local storage, so applications (and the
-// workload harness) hold one ThreadHeap per worker goroutine explicitly. A
-// ThreadHeap is not safe for concurrent use — that is the point of it.
+// workload harness) hold one ThreadHeap per worker goroutine explicitly,
+// or borrow one per call from the mesh package's heap pool. A ThreadHeap
+// is not safe for concurrent use — that is the point of it — but ownership
+// may move between goroutines as long as the hand-off synchronizes (the
+// pool's lock-free free-list provides that edge). The operation counters
+// are atomic so LocalStats can be read while the heap sits idle in a pool.
 type ThreadHeap struct {
 	global   *GlobalHeap
 	rnd      *rng.RNG
 	svs      [sizeclass.NumClasses]*shufflevec.Vector
 	attached [sizeclass.NumClasses]*miniheap.MiniHeap
 
-	localAllocs uint64
-	localFrees  uint64
-	refills     uint64
+	// scratch backs FreeBatch's non-local partition between calls so the
+	// batch path stays allocation free. Owned by whoever owns the heap.
+	scratch []uint64
+
+	localAllocs atomic.Uint64
+	localFrees  atomic.Uint64
+	refills     atomic.Uint64
 }
 
 // NewThreadHeap creates a thread-local heap bound to g. id distinguishes
@@ -77,7 +86,7 @@ func (t *ThreadHeap) refill(class int) error {
 	}
 	t.attached[class] = mh
 	sv.Attach(mh.Bitmap())
-	t.refills++
+	t.refills.Add(1)
 	return nil
 }
 
@@ -85,6 +94,23 @@ func (t *ThreadHeap) refill(class int) error {
 // thread's attached spans are handled locally by the shuffle vector
 // (Figure 4); everything else is passed to the global heap (§3.2).
 func (t *ThreadHeap) Free(addr uint64) error {
+	if size, ok, err := t.freeLocal(addr); ok || err != nil {
+		if err != nil {
+			return err
+		}
+		t.localFrees.Add(1)
+		t.global.noteLocalFree(size)
+		return nil
+	}
+	return t.global.Free(addr)
+}
+
+// freeLocal attempts the shuffle-vector fast path: if addr lies in one of
+// this heap's attached spans, the offset is pushed back onto the class's
+// shuffle vector and the object size is returned for accounting. ok is
+// false when the address is not local; err reports an interior or
+// out-of-range pointer inside an attached span.
+func (t *ThreadHeap) freeLocal(addr uint64) (objSize int, ok bool, err error) {
 	for c := range t.attached {
 		mh := t.attached[c]
 		if mh == nil || !mh.Contains(addr) {
@@ -92,14 +118,12 @@ func (t *ThreadHeap) Free(addr uint64) error {
 		}
 		off, err := mh.OffsetOf(addr)
 		if err != nil {
-			return err
+			return 0, false, err
 		}
 		t.svs[c].Free(off)
-		t.localFrees++
-		t.global.noteLocalFree(mh.ObjectSize())
-		return nil
+		return mh.ObjectSize(), true, nil
 	}
-	return t.global.Free(addr)
+	return 0, false, nil
 }
 
 // Done relinquishes every attached span back to the global heap; call it
@@ -123,7 +147,8 @@ func (t *ThreadHeap) Done() error {
 }
 
 // LocalStats reports the thread's operation counts: local allocations,
-// local frees, and shuffle-vector refills.
+// local frees, and shuffle-vector refills. Counters are atomic, so
+// LocalStats is safe to call while the heap is parked in a pool.
 func (t *ThreadHeap) LocalStats() (allocs, frees, refills uint64) {
-	return t.localAllocs, t.localFrees, t.refills
+	return t.localAllocs.Load(), t.localFrees.Load(), t.refills.Load()
 }

@@ -116,7 +116,7 @@ func (t *ThreadHeap) mallocFromClass(class int) (uint64, error) {
 		}
 	}
 	off, _ := sv.Malloc()
-	t.localAllocs++
+	t.localAllocs.Add(1)
 	t.global.noteAlloc(sizeclass.Size(class))
 	return t.attached[class].AddrOf(off), nil
 }

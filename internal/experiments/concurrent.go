@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/workload"
+	"repro/mesh"
+)
+
+// ConcRow is one configuration's result in the concurrency experiment.
+type ConcRow struct {
+	Config    string
+	Workers   int
+	Batch     int
+	Ops       int
+	Wall      time.Duration
+	OpsPerSec float64
+	FinalRSS  int64
+}
+
+// ConcResult reports the concurrent-throughput comparison.
+type ConcResult struct {
+	Rows []ConcRow
+}
+
+// Concurrent measures multi-goroutine malloc/free throughput on one
+// shared Mesh allocator in four configurations: the pooled goroutine-safe
+// API and the explicit per-worker Thread fast path, each scalar and
+// batched. This is the server-traffic shape the deterministic figure
+// experiments avoid; numbers are wall-clock and machine-dependent. After
+// every run the heap must drain to zero live bytes and pass an integrity
+// check.
+func Concurrent(scale int) (*ConcResult, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	const workers = 8
+	ops := 200_000 / scale
+	if ops < 1000 {
+		ops = 1000
+	}
+	cfg := workload.ConcurrentConfig{
+		Workers: workers,
+		Ops:     ops,
+		MaxLive: 4096,
+		Sizes:   workload.Choice{Sizes: []int{16, 32, 64, 256, 1024}, Weights: []float64{4, 3, 2, 1, 0.5}},
+		Seed:    1,
+	}
+
+	res := &ConcResult{}
+	for _, mode := range []struct {
+		name   string
+		batch  int
+		shared bool
+	}{
+		{"pooled scalar", 1, true},
+		{"pooled batch-64", 64, true},
+		{"thread scalar", 1, false},
+		{"thread batch-64", 64, false},
+	} {
+		ad := mesh.NewAdapter("mesh", mesh.WithSeed(1))
+		c := cfg
+		c.Batch = mode.batch
+		newHeap := func(int) alloc.Heap { return ad.Allocator }
+		if !mode.shared {
+			newHeap = func(int) alloc.Heap { return ad.Allocator.NewThread() }
+		}
+		r, err := workload.RunConcurrent(ad, newHeap, c)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", mode.name, err)
+		}
+		if err := ad.Allocator.Flush(); err != nil {
+			return nil, fmt.Errorf("%s: flush: %w", mode.name, err)
+		}
+		if err := ad.Allocator.CheckIntegrity(); err != nil {
+			return nil, fmt.Errorf("%s: integrity after run: %w", mode.name, err)
+		}
+		if live := ad.Live(); live != 0 {
+			return nil, fmt.Errorf("%s: %d live bytes after full drain", mode.name, live)
+		}
+		res.Rows = append(res.Rows, ConcRow{
+			Config:    mode.name,
+			Workers:   r.Workers,
+			Batch:     mode.batch,
+			Ops:       r.Ops,
+			Wall:      r.Wall,
+			OpsPerSec: r.OpsPerSec,
+			FinalRSS:  r.FinalRSS,
+		})
+	}
+	return res, nil
+}

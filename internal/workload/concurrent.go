@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/rng"
+)
+
+// This file drives allocators from many goroutines at once — the traffic
+// shape of a server handling concurrent requests, which the deterministic
+// figure experiments (single goroutine, logical clock) deliberately avoid.
+// It measures wall-clock throughput, so results are machine-dependent;
+// RSS and accounting invariants are still checked exactly.
+
+// ConcurrentConfig parameterizes a concurrent stress run.
+type ConcurrentConfig struct {
+	Workers int      // concurrent goroutines
+	Ops     int      // minimum malloc/free operations per worker
+	Batch   int      // operations per batch; <=1 uses the scalar API
+	MaxLive int      // per-worker live-object cap before it frees half
+	Sizes   SizeDist // allocation size distribution
+	Seed    uint64   // base RNG seed; worker w uses Seed+w
+}
+
+// ConcurrentResult reports one concurrent run.
+type ConcurrentResult struct {
+	Workers   int
+	Ops       int // operations actually executed across workers (mallocs + frees)
+	Wall      time.Duration
+	OpsPerSec float64
+	FinalRSS  int64
+	FinalLive int64
+}
+
+// batchBufs recycles the per-worker scratch slices across runs.
+var batchBufs = sync.Pool{
+	New: func() any { return new(batchBuf) },
+}
+
+type batchBuf struct {
+	sizes []int
+	addrs []uint64
+}
+
+// RunConcurrent drives Workers goroutines of malloc/free traffic against
+// the heaps produced by newHeap and reports aggregate throughput. Passing
+// a newHeap that returns one shared goroutine-safe heap for every worker
+// exercises a pooled allocator; returning a distinct heap per worker
+// exercises the explicit per-thread fast path. Batches go through
+// alloc.MallocBatch/FreeBatch, so heaps without a batch path are driven
+// scalar — the comparison the meshbench conc experiment prints. Every
+// object is freed before RunConcurrent returns.
+func RunConcurrent(a alloc.Allocator, newHeap func(worker int) alloc.Heap, cfg ConcurrentConfig) (ConcurrentResult, error) {
+	if cfg.Workers <= 0 || cfg.Ops <= 0 {
+		return ConcurrentResult{}, fmt.Errorf("workload: bad concurrent config %+v", cfg)
+	}
+	batch := cfg.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	maxLive := cfg.MaxLive
+	if maxLive < batch {
+		maxLive = 4 * batch
+	}
+
+	var wg sync.WaitGroup
+	var totalOps atomic.Int64
+	errc := make(chan error, cfg.Workers)
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			heap := newHeap(w)
+			rnd := rng.New(cfg.Seed + uint64(w))
+			buf := batchBufs.Get().(*batchBuf)
+			defer batchBufs.Put(buf)
+			live := buf.addrs[:0]
+			defer func() { buf.addrs = live[:0] }()
+			ops := 0
+			defer func() { totalOps.Add(int64(ops)) }()
+
+			// mallocSome / freeSome: batch > 1 goes through the batch API;
+			// batch == 1 stays on the scalar Malloc/Free methods so the
+			// scalar configurations really measure the scalar path.
+			mallocSome := func() error {
+				if batch == 1 {
+					addr, err := heap.Malloc(cfg.Sizes.Sample(rnd))
+					if err != nil {
+						return err
+					}
+					live = append(live, addr)
+					ops++
+					return nil
+				}
+				sizes := buf.sizes[:0]
+				for i := 0; i < batch; i++ {
+					sizes = append(sizes, cfg.Sizes.Sample(rnd))
+				}
+				buf.sizes = sizes
+				addrs, err := alloc.MallocBatch(heap, sizes)
+				if err != nil {
+					return err
+				}
+				live = append(live, addrs...)
+				ops += len(addrs)
+				return nil
+			}
+			freeSome := func(addrs []uint64) error {
+				if batch == 1 {
+					for _, addr := range addrs {
+						if err := heap.Free(addr); err != nil {
+							return err
+						}
+						ops++
+					}
+					return nil
+				}
+				if err := alloc.FreeBatch(heap, addrs); err != nil {
+					return err
+				}
+				ops += len(addrs)
+				return nil
+			}
+
+			for ops < cfg.Ops {
+				if err := mallocSome(); err != nil {
+					errc <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+				if len(live) >= maxLive {
+					// Free the older half; servers churn oldest state first.
+					n := len(live) / 2
+					if err := freeSome(live[:n]); err != nil {
+						errc <- fmt.Errorf("worker %d: %w", w, err)
+						return
+					}
+					live = append(live[:0], live[n:]...)
+				}
+			}
+			if err := freeSome(live); err != nil {
+				errc <- fmt.Errorf("worker %d: %w", w, err)
+				return
+			}
+			live = live[:0]
+			if tc, ok := heap.(alloc.ThreadCloser); ok {
+				if err := tc.Close(); err != nil {
+					errc <- fmt.Errorf("worker %d: %w", w, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		return ConcurrentResult{}, err
+	}
+
+	wall := time.Since(start)
+	total := int(totalOps.Load())
+	res := ConcurrentResult{
+		Workers:   cfg.Workers,
+		Ops:       total,
+		Wall:      wall,
+		OpsPerSec: float64(total) / wall.Seconds(),
+		FinalRSS:  a.RSS(),
+		FinalLive: a.Live(),
+	}
+	return res, nil
+}

@@ -6,27 +6,41 @@ import (
 	"repro/internal/core"
 )
 
-// This file carries the rest of the interposed libc surface (§4) and the
-// mallctl-style runtime controls (§4.5) on the public types.
+// This file carries the rest of the interposed libc surface (§4) on the
+// public types, plus the deprecated predecessors of the Control surface.
+// Allocator-level calls borrow a pooled heap and are safe for concurrent
+// use; Thread-level calls run on the pinned heap.
 
-// Calloc allocates n objects of size bytes each, zeroed, on the default
-// thread.
-func (a *Allocator) Calloc(n, size int) (Ptr, error) { return a.main.Calloc(n, size) }
+// Calloc allocates n objects of size bytes each, zeroed.
+func (a *Allocator) Calloc(n, size int) (Ptr, error) {
+	th := a.pool.acquire()
+	p, err := th.Calloc(n, size)
+	a.pool.release(th)
+	return p, err
+}
 
 // Realloc resizes the object at p, copying contents if it must move (C
 // realloc semantics, including Realloc(0, n) = Malloc and Realloc(p, 0) =
 // Free).
-func (a *Allocator) Realloc(p Ptr, size int) (Ptr, error) { return a.main.Realloc(p, size) }
+func (a *Allocator) Realloc(p Ptr, size int) (Ptr, error) {
+	th := a.pool.acquire()
+	q, err := th.Realloc(p, size)
+	a.pool.release(th)
+	return q, err
+}
 
 // AlignedAlloc allocates size bytes aligned to align (a power of two up to
 // the page size).
 func (a *Allocator) AlignedAlloc(align, size int) (Ptr, error) {
-	return a.main.AlignedAlloc(align, size)
+	th := a.pool.acquire()
+	p, err := th.AlignedAlloc(align, size)
+	a.pool.release(th)
+	return p, err
 }
 
 // UsableSize reports the usable bytes of the object at p
 // (malloc_usable_size).
-func (a *Allocator) UsableSize(p Ptr) (int, error) { return a.main.UsableSize(p) }
+func (a *Allocator) UsableSize(p Ptr) (int, error) { return a.g.UsableSize(p) }
 
 // Calloc allocates n objects of size bytes each, zeroed, on this thread.
 func (t *Thread) Calloc(n, size int) (Ptr, error) { return t.th.Calloc(n, size) }
@@ -42,18 +56,12 @@ func (t *Thread) AlignedAlloc(align, size int) (Ptr, error) {
 // UsableSize reports the usable bytes of the object at p.
 func (t *Thread) UsableSize(p Ptr) (int, error) { return t.th.UsableSize(p) }
 
-// SetMeshPeriod adjusts the meshing rate limit at runtime (the paper's
-// mallctl knob, §4.5).
-func (a *Allocator) SetMeshPeriod(d time.Duration) { a.g.SetMeshPeriod(d) }
-
-// SetMeshingEnabled toggles compaction at runtime.
-func (a *Allocator) SetMeshingEnabled(enabled bool) { a.g.SetMeshingEnabled(enabled) }
-
 // ClassStats describes one size class's spans.
 type ClassStats = core.ClassStats
 
 // ClassStats returns per-size-class span statistics (spans, attachment,
-// mesh counts, occupancy).
+// mesh counts, occupancy). Safe for concurrent use; counts for spans
+// attached to active heaps are instantaneous snapshots.
 func (a *Allocator) ClassStats() []ClassStats { return a.g.ClassStatsSnapshot() }
 
 // LargeStats summarizes large-object allocations.
@@ -66,9 +74,24 @@ func (a *Allocator) LargeObjectStats() LargeStats { return a.g.LargeStatsSnapsho
 // CheckIntegrity. Intended for tests and debugging.
 func (a *Allocator) CheckIntegrity() error { return a.g.CheckIntegrity() }
 
+// SetMeshPeriod adjusts the meshing rate limit at runtime.
+//
+// Deprecated: use Control("mesh.period", d).
+func (a *Allocator) SetMeshPeriod(d time.Duration) { _ = a.Control("mesh.period", d) }
+
+// SetMeshingEnabled toggles compaction at runtime.
+//
+// Deprecated: use Control("mesh.enabled", enabled).
+func (a *Allocator) SetMeshingEnabled(enabled bool) { _ = a.Control("mesh.enabled", enabled) }
+
 // SetMemoryLimit caps the simulated resident memory at limit bytes
 // (rounded down to whole pages); allocations beyond it fail, modeling a
 // memory control group or a constrained device (§1). Pass 0 to remove.
+//
+// Deprecated: use Control("os.memory_limit", limit).
 func (a *Allocator) SetMemoryLimit(limit int64) {
-	a.g.OS().SetMemoryLimit(limit / PageSize)
+	if limit < 0 {
+		limit = 0
+	}
+	_ = a.Control("os.memory_limit", limit)
 }

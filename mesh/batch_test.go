@@ -1,0 +1,173 @@
+package mesh
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMallocBatchBasics(t *testing.T) {
+	a := New(WithSeed(2))
+	sizes := []int{16, 100, 1024, MaxSmallSize, MaxSmallSize + 1, 5 * PageSize}
+	ptrs, err := a.MallocBatch(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ptrs) != len(sizes) {
+		t.Fatalf("got %d ptrs for %d sizes", len(ptrs), len(sizes))
+	}
+	seen := make(map[Ptr]bool)
+	for i, p := range ptrs {
+		if p == 0 || seen[p] {
+			t.Fatalf("ptr %d invalid or duplicated: %#x", i, p)
+		}
+		seen[p] = true
+		// Every object is usable: write and read back a byte.
+		if err := a.Write(p, []byte{byte(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+		u, err := a.UsableSize(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u < sizes[i] {
+			t.Fatalf("usable %d < requested %d", u, sizes[i])
+		}
+	}
+	st := a.Stats()
+	if st.Allocs != uint64(len(sizes)) {
+		t.Fatalf("Allocs = %d, want %d", st.Allocs, len(sizes))
+	}
+	if err := a.FreeBatch(ptrs); err != nil {
+		t.Fatal(err)
+	}
+	st = a.Stats()
+	if st.Frees != uint64(len(sizes)) || st.Live != 0 {
+		t.Fatalf("after FreeBatch: %+v", st)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMallocBatchUnwindsOnError pins the all-or-nothing contract: a bad
+// size mid-batch must fail the whole batch and leak nothing.
+func TestMallocBatchUnwindsOnError(t *testing.T) {
+	a := New(WithSeed(2))
+	ptrs, err := a.MallocBatch([]int{64, 64, -1, 64})
+	if err == nil {
+		t.Fatal("batch with invalid size succeeded")
+	}
+	if ptrs != nil {
+		t.Fatalf("failed batch returned ptrs %v", ptrs)
+	}
+	st := a.Stats()
+	if st.Live != 0 || st.Allocs != st.Frees {
+		t.Fatalf("failed batch leaked: %+v", st)
+	}
+
+	// Same under a memory limit hit partway through the batch.
+	if err := a.Control("os.memory_limit", int64(8*PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]int, 64)
+	for i := range big {
+		big[i] = 4 * PageSize // large objects, commit immediately
+	}
+	if _, err := a.MallocBatch(big); err == nil {
+		t.Fatal("batch exceeding the memory limit succeeded")
+	}
+	if st := a.Stats(); st.Live != 0 || st.Allocs != st.Frees {
+		t.Fatalf("OOM batch leaked: %+v", st)
+	}
+}
+
+// TestFreeBatchReportsInvalidButFreesValid: one bad pointer must not stop
+// the rest of the batch.
+func TestFreeBatchPartialErrors(t *testing.T) {
+	a := New(WithSeed(2))
+	ptrs, err := a.MallocBatch([]int{64, 64, 64, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := append([]Ptr{0xdeadbeef000}, ptrs...)
+	if err := a.FreeBatch(batch); !errors.Is(err, ErrInvalidFree) {
+		t.Fatalf("FreeBatch with bad ptr returned %v", err)
+	}
+	st := a.Stats()
+	if st.Live != 0 {
+		t.Fatalf("valid ptrs not freed: %+v", st)
+	}
+	if st.InvalidFree != 1 {
+		t.Fatalf("InvalidFree = %d, want 1", st.InvalidFree)
+	}
+}
+
+// TestBatchMatchesScalarSemantics: a batch allocation behaves exactly like
+// the equivalent scalar loop, including randomized placement (same seed →
+// same addresses).
+func TestBatchMatchesScalarSemantics(t *testing.T) {
+	scalar := New(WithSeed(41))
+	batch := New(WithSeed(41))
+	sizes := make([]int, 200)
+	for i := range sizes {
+		sizes[i] = 16 << (i % 4)
+	}
+	var want []Ptr
+	for _, s := range sizes {
+		p, err := scalar.Malloc(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, p)
+	}
+	got, err := batch.MallocBatch(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ptr %d: batch %#x, scalar %#x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestThreadBatch(t *testing.T) {
+	a := New(WithSeed(6))
+	th := a.NewThread()
+	sizes := make([]int, 300)
+	for i := range sizes {
+		sizes[i] = 32
+	}
+	ptrs, err := th.MallocBatch(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Free through the same thread: all local, shuffle-vector fast path.
+	if err := th.FreeBatch(ptrs); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.Live != 0 || st.Allocs != 300 || st.Frees != 300 {
+		t.Fatalf("thread batch stats: %+v", st)
+	}
+	// And a cross-heap batch: allocate on the thread, free via the pooled
+	// Allocator path (remote frees through the global heap).
+	ptrs, err = th.MallocBatch(sizes[:64])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FreeBatch(ptrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}

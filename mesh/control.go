@@ -1,0 +1,214 @@
+package mesh
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// This file implements the unified runtime-control surface, modeled on the
+// semi-standard mallctl API the paper exposes its knobs through ("settable
+// at program startup and during runtime by the application", §4.5).
+// Everything tunable or observable at runtime hangs off one pair of
+// entry points keyed by dotted strings, so new knobs never grow new
+// methods.
+//
+// Control keys:
+//
+//	Key               Type           Access    Meaning
+//	mesh.period       time.Duration  rw        min interval between meshing passes (§4.5)
+//	mesh.enabled      bool           rw        compaction engine on/off (§6.3 "no meshing")
+//	mesh.min_savings  int (bytes)    rw        pass-productivity threshold that disarms the timer (§4.5)
+//	mesh.split_t      int            rw        SplitMesher probe budget (§3.3, paper t=64)
+//	mesh.compact      (ignored)      w         force a full meshing pass now
+//	os.memory_limit   int64 (bytes)  rw        resident-memory cap, 0 = unlimited (§1); rounded down to pages
+//	pool.idle         int            r         thread heaps parked in the pool
+//	pool.created      int            r         thread heaps ever created by the pool
+//	pool.flush        (ignored)      w         relinquish idle pooled heaps (= Flush)
+//	stats.rss         int64          r         resident physical bytes
+//	stats.live        int64          r         live object bytes
+//	stats.allocs      uint64         r         total allocations
+//	stats.frees       uint64         r         total frees
+//	stats.mesh_passes uint64         r         meshing passes run
+//
+// Integer-typed keys accept int, int32, int64 or uint64 on write;
+// mesh.period additionally accepts a time.ParseDuration string.
+
+// Control-surface errors. Errors returned by Control and ReadControl wrap
+// one of these, so callers can errors.Is them.
+var (
+	ErrUnknownControl   = errors.New("mesh: unknown control key")
+	ErrControlType      = errors.New("mesh: wrong value type for control key")
+	ErrControlReadOnly  = errors.New("mesh: control key is read-only")
+	ErrControlWriteOnly = errors.New("mesh: control key is write-only")
+)
+
+// control is one entry in the key table; a nil set makes the key
+// read-only, a nil get makes it write-only.
+type control struct {
+	set func(*Allocator, any) error
+	get func(*Allocator) (any, error)
+}
+
+var controls = map[string]control{
+	"mesh.period": {
+		set: func(a *Allocator, v any) error {
+			d, err := asDuration(v)
+			if err != nil {
+				return err
+			}
+			a.g.SetMeshPeriod(d)
+			return nil
+		},
+		get: func(a *Allocator) (any, error) { return a.g.MeshPeriod(), nil },
+	},
+	"mesh.enabled": {
+		set: func(a *Allocator, v any) error {
+			b, ok := v.(bool)
+			if !ok {
+				return fmt.Errorf("%w: need bool, got %T", ErrControlType, v)
+			}
+			a.g.SetMeshingEnabled(b)
+			return nil
+		},
+		get: func(a *Allocator) (any, error) { return a.g.MeshingEnabled(), nil },
+	},
+	"mesh.min_savings": {
+		set: func(a *Allocator, v any) error {
+			n, err := asInt64(v)
+			if err != nil {
+				return err
+			}
+			a.g.SetMinMeshSavings(int(n))
+			return nil
+		},
+		get: func(a *Allocator) (any, error) { return a.g.MinMeshSavings(), nil },
+	},
+	"mesh.split_t": {
+		set: func(a *Allocator, v any) error {
+			n, err := asInt64(v)
+			if err != nil {
+				return err
+			}
+			if n <= 0 {
+				return fmt.Errorf("%w: mesh.split_t must be positive, got %d", ErrControlType, n)
+			}
+			a.g.SetSplitMesherT(int(n))
+			return nil
+		},
+		get: func(a *Allocator) (any, error) { return a.g.SplitMesherT(), nil },
+	},
+	"mesh.compact": {
+		set: func(a *Allocator, _ any) error { a.g.Mesh(); return nil },
+	},
+	"os.memory_limit": {
+		set: func(a *Allocator, v any) error {
+			n, err := asInt64(v)
+			if err != nil {
+				return err
+			}
+			if n < 0 {
+				return fmt.Errorf("%w: os.memory_limit must be >= 0, got %d", ErrControlType, n)
+			}
+			a.g.OS().SetMemoryLimit(n / PageSize)
+			return nil
+		},
+		get: func(a *Allocator) (any, error) { return a.g.OS().MemoryLimit() * PageSize, nil },
+	},
+	"pool.idle": {
+		get: func(a *Allocator) (any, error) { return int(a.pool.idle.Load()), nil },
+	},
+	"pool.created": {
+		get: func(a *Allocator) (any, error) { return int(a.pool.created.Load()), nil },
+	},
+	"pool.flush": {
+		set: func(a *Allocator, _ any) error { return a.pool.flush() },
+	},
+	"stats.rss": {
+		get: func(a *Allocator) (any, error) { return a.RSS(), nil },
+	},
+	"stats.live": {
+		get: func(a *Allocator) (any, error) { return a.Stats().Live, nil },
+	},
+	"stats.allocs": {
+		get: func(a *Allocator) (any, error) { return a.Stats().Allocs, nil },
+	},
+	"stats.frees": {
+		get: func(a *Allocator) (any, error) { return a.Stats().Frees, nil },
+	},
+	"stats.mesh_passes": {
+		get: func(a *Allocator) (any, error) { return a.Stats().Mesh.Passes, nil },
+	},
+}
+
+// Control sets the runtime control named key to value. See the key table
+// in this file's comment for types; ErrUnknownControl, ErrControlType and
+// ErrControlReadOnly report the failure modes. Safe for concurrent use.
+func (a *Allocator) Control(key string, value any) error {
+	c, ok := controls[key]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownControl, key)
+	}
+	if c.set == nil {
+		return fmt.Errorf("%w: %q", ErrControlReadOnly, key)
+	}
+	return c.set(a, value)
+}
+
+// ReadControl returns the current value of the runtime control named key.
+// Safe for concurrent use.
+func (a *Allocator) ReadControl(key string) (any, error) {
+	c, ok := controls[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownControl, key)
+	}
+	if c.get == nil {
+		return nil, fmt.Errorf("%w: %q", ErrControlWriteOnly, key)
+	}
+	return c.get(a)
+}
+
+// ControlKeys lists every control key in sorted order, for tooling and
+// documentation.
+func ControlKeys() []string {
+	keys := make([]string, 0, len(controls))
+	for k := range controls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func asInt64(v any) (int64, error) {
+	switch n := v.(type) {
+	case int:
+		return int64(n), nil
+	case int32:
+		return int64(n), nil
+	case int64:
+		return n, nil
+	case uint64:
+		if n > 1<<62 {
+			return 0, fmt.Errorf("%w: integer %d out of range", ErrControlType, n)
+		}
+		return int64(n), nil
+	default:
+		return 0, fmt.Errorf("%w: need integer, got %T", ErrControlType, v)
+	}
+}
+
+func asDuration(v any) (time.Duration, error) {
+	switch d := v.(type) {
+	case time.Duration:
+		return d, nil
+	case string:
+		parsed, err := time.ParseDuration(d)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrControlType, err)
+		}
+		return parsed, nil
+	default:
+		return 0, fmt.Errorf("%w: need time.Duration or duration string, got %T", ErrControlType, v)
+	}
+}

@@ -1,0 +1,186 @@
+package mesh
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestControlKeyTable exercises every control key: round-trips for
+// read-write keys, reads for read-only keys, triggers for write-only
+// keys, and the error for the wrong direction. The cases list must stay
+// in sync with ControlKeys, which the test enforces.
+func TestControlKeyTable(t *testing.T) {
+	cases := []struct {
+		key      string
+		set      any // nil = read-only key
+		want     any // expected ReadControl after set (or current value); nil = write-only key
+		readback bool
+	}{
+		{key: "mesh.period", set: 250 * time.Millisecond, want: 250 * time.Millisecond, readback: true},
+		{key: "mesh.enabled", set: false, want: false, readback: true},
+		{key: "mesh.min_savings", set: 4096, want: 4096, readback: true},
+		{key: "mesh.split_t", set: 32, want: 32, readback: true},
+		{key: "mesh.compact", set: struct{}{}},
+		{key: "os.memory_limit", set: int64(1 << 20), want: int64(1 << 20), readback: true},
+		{key: "pool.idle", want: 0, readback: true},
+		{key: "pool.created", want: 0, readback: true},
+		{key: "pool.flush", set: struct{}{}},
+		{key: "stats.rss", want: int64(0), readback: true},
+		{key: "stats.live", want: int64(0), readback: true},
+		{key: "stats.allocs", want: uint64(0), readback: true},
+		{key: "stats.frees", want: uint64(0), readback: true},
+		// mesh.enabled was set false above, so the mesh.compact trigger
+		// legitimately ran no pass.
+		{key: "stats.mesh_passes", want: uint64(0), readback: true},
+	}
+
+	covered := make(map[string]bool)
+	a := New(WithSeed(1), WithClock(NewLogicalClock()))
+	for _, tc := range cases {
+		covered[tc.key] = true
+		if tc.set != nil {
+			if err := a.Control(tc.key, tc.set); err != nil {
+				t.Fatalf("Control(%q, %v): %v", tc.key, tc.set, err)
+			}
+		} else if err := a.Control(tc.key, 0); !errors.Is(err, ErrControlReadOnly) {
+			t.Fatalf("Control(%q) on read-only key returned %v", tc.key, err)
+		}
+		if tc.readback {
+			got, err := a.ReadControl(tc.key)
+			if err != nil {
+				t.Fatalf("ReadControl(%q): %v", tc.key, err)
+			}
+			if got != tc.want {
+				t.Fatalf("ReadControl(%q) = %v (%T), want %v (%T)", tc.key, got, got, tc.want, tc.want)
+			}
+		} else if _, err := a.ReadControl(tc.key); !errors.Is(err, ErrControlWriteOnly) {
+			t.Fatalf("ReadControl(%q) on write-only key returned %v", tc.key, err)
+		}
+	}
+	for _, key := range ControlKeys() {
+		if !covered[key] {
+			t.Errorf("control key %q has no test case", key)
+		}
+	}
+	if len(covered) != len(ControlKeys()) {
+		t.Errorf("test covers %d keys, ControlKeys lists %d", len(covered), len(ControlKeys()))
+	}
+}
+
+func TestControlUnknownKey(t *testing.T) {
+	a := New()
+	if err := a.Control("mesh.bogus", 1); !errors.Is(err, ErrUnknownControl) {
+		t.Fatalf("Control(unknown) = %v", err)
+	}
+	if _, err := a.ReadControl("bogus.key"); !errors.Is(err, ErrUnknownControl) {
+		t.Fatalf("ReadControl(unknown) = %v", err)
+	}
+}
+
+func TestControlBadTypes(t *testing.T) {
+	a := New()
+	bad := []struct {
+		key string
+		val any
+	}{
+		{"mesh.period", 3.5},
+		{"mesh.period", "not-a-duration"},
+		{"mesh.enabled", 1},
+		{"mesh.min_savings", "many"},
+		{"mesh.split_t", false},
+		{"mesh.split_t", 0}, // must be positive
+		{"os.memory_limit", 1.0},
+		{"os.memory_limit", int64(-1)},
+	}
+	for _, tc := range bad {
+		if err := a.Control(tc.key, tc.val); !errors.Is(err, ErrControlType) {
+			t.Errorf("Control(%q, %v (%T)) = %v, want ErrControlType", tc.key, tc.val, tc.val, err)
+		}
+	}
+}
+
+// TestControlValuesTakeEffect checks the knobs actually steer the
+// allocator, not just a settings map.
+func TestControlValuesTakeEffect(t *testing.T) {
+	clock := NewLogicalClock()
+	a := New(WithSeed(9), WithClock(clock))
+
+	// Build a meshable heap: many sparse spans.
+	var live []Ptr
+	for i := 0; i < 16*256; i++ {
+		p, err := a.Malloc(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%16 == 0 {
+			live = append(live, p)
+		} else if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// With meshing disabled, mesh.compact and Mesh() are no-ops.
+	if err := a.Control("mesh.enabled", false); err != nil {
+		t.Fatal(err)
+	}
+	if released := a.Mesh(); released != 0 {
+		t.Fatalf("Mesh released %d spans while disabled", released)
+	}
+	if err := a.Control("mesh.enabled", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Control("mesh.compact", nil); err != nil {
+		t.Fatal(err)
+	}
+	passes, err := a.ReadControl("stats.mesh_passes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes.(uint64) == 0 {
+		t.Fatal("mesh.compact ran no pass")
+	}
+
+	// os.memory_limit must make further allocation fail, and lifting it
+	// must make allocation succeed again.
+	if err := a.Control("os.memory_limit", int64(PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Malloc(MaxSmallSize * 4); err == nil {
+		t.Fatal("allocation under a 1-page memory limit succeeded")
+	}
+	if err := a.Control("os.memory_limit", 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := a.Malloc(MaxSmallSize * 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	_ = live
+}
+
+// TestDeprecatedWrappersStillWork pins the compatibility contract: the old
+// setter methods must keep compiling and steering the same state as the
+// Control surface.
+func TestDeprecatedWrappersStillWork(t *testing.T) {
+	a := New()
+	a.SetMeshPeriod(123 * time.Millisecond)
+	if got, _ := a.ReadControl("mesh.period"); got != 123*time.Millisecond {
+		t.Fatalf("SetMeshPeriod not visible through ReadControl: %v", got)
+	}
+	a.SetMeshingEnabled(false)
+	if got, _ := a.ReadControl("mesh.enabled"); got != false {
+		t.Fatalf("SetMeshingEnabled not visible through ReadControl: %v", got)
+	}
+	a.SetMemoryLimit(8 * PageSize)
+	if got, _ := a.ReadControl("os.memory_limit"); got != int64(8*PageSize) {
+		t.Fatalf("SetMemoryLimit not visible through ReadControl: %v", got)
+	}
+	a.SetMemoryLimit(0)
+}

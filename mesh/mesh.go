@@ -16,6 +16,17 @@
 // machinery — shuffle vectors, MiniHeaps, occupancy bins, SplitMesher,
 // concurrent meshing with a write barrier — operates exactly as described.
 //
+// # Concurrency
+//
+// An Allocator is safe for arbitrary concurrent use: like the drop-in
+// malloc replacement the paper describes (§4), any goroutine may call any
+// method at any time with no external synchronization. Internally each
+// call borrows a thread-local heap (§4.3) from a lock-free pool for its
+// duration, so concurrent Mallocs proceed in parallel on distinct heaps,
+// and frees of objects owned by other heaps take the global-heap path
+// exactly as cross-thread frees do in the paper (§4.4.4). Stats, RSS,
+// ClassStats and the Control surface are likewise safe under concurrency.
+//
 // Basic usage:
 //
 //	a := mesh.New()
@@ -24,11 +35,18 @@
 //	a.Free(p)
 //	fmt.Println(a.Stats().RSS)
 //
-// Multi-threaded programs give each worker its own Thread:
+// Performance-sensitive workers can skip the pool hand-off per call by
+// holding an explicit Thread (the paper's thread-local heap), which pins
+// one heap for its lifetime but must be used from one goroutine at a time:
 //
 //	th := a.NewThread()
 //	defer th.Close()
 //	p, _ := th.Malloc(64)
+//
+// Heavy-traffic callers can additionally amortize per-call overhead with
+// the batch API (MallocBatch, FreeBatch), and adjust the allocator at
+// runtime through the mallctl-style Control / ReadControl surface; see
+// control.go for the key table.
 package mesh
 
 import (
@@ -43,6 +61,16 @@ import (
 // Ptr is a virtual address in the allocator's simulated address space.
 // The zero Ptr is never a valid allocation.
 type Ptr = uint64
+
+// Allocation errors, re-exported for errors.Is. Invalid and double frees
+// that reach the global heap are detected, counted (Stats.InvalidFree) and
+// reported without corrupting the heap (§4.4.4); frees local to a live
+// thread heap's attached span trust the caller, as the paper's fast path
+// does.
+var (
+	ErrInvalidFree = core.ErrInvalidFree
+	ErrDoubleFree  = core.ErrDoubleFree
+)
 
 // PageSize is the span granularity of the simulated hardware.
 const PageSize = vm.PageSize
@@ -118,14 +146,14 @@ func WithDirtyPageThreshold(pages int) Option {
 	return func(c *core.Config) { c.DirtyPageThreshold = pages }
 }
 
-// Allocator is a Mesh heap. It embeds a default thread heap so simple
-// single-threaded use needs no explicit Thread management; all methods on
-// Allocator other than NewThread are safe only from one goroutine at a
-// time, while distinct Threads may be used concurrently.
+// Allocator is a Mesh heap, safe for concurrent use by any number of
+// goroutines. Each call transparently borrows a pooled thread heap; see
+// the package comment for the concurrency model and NewThread for the
+// explicit fast path.
 type Allocator struct {
 	g      *core.GlobalHeap
-	main   *core.ThreadHeap
 	nextID atomic.Uint64
+	pool   *heapPool
 }
 
 // New constructs an allocator with the paper's default configuration,
@@ -135,15 +163,27 @@ func New(opts ...Option) *Allocator {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	g := core.NewGlobalHeap(cfg)
-	return &Allocator{g: g, main: core.NewThreadHeap(g, 0)}
+	a := &Allocator{g: core.NewGlobalHeap(cfg)}
+	a.pool = newHeapPool(a.g, &a.nextID)
+	return a
 }
 
-// Malloc allocates size bytes on the allocator's default thread.
-func (a *Allocator) Malloc(size int) (Ptr, error) { return a.main.Malloc(size) }
+// Malloc allocates size bytes.
+func (a *Allocator) Malloc(size int) (Ptr, error) {
+	th := a.pool.acquire()
+	p, err := th.Malloc(size)
+	a.pool.release(th)
+	return p, err
+}
 
-// Free releases an object allocated by any thread of this allocator.
-func (a *Allocator) Free(p Ptr) error { return a.main.Free(p) }
+// Free releases an object allocated by any goroutine or Thread of this
+// allocator.
+func (a *Allocator) Free(p Ptr) error {
+	th := a.pool.acquire()
+	err := th.Free(p)
+	a.pool.release(th)
+	return err
+}
 
 // Read copies len(buf) bytes at p into buf.
 func (a *Allocator) Read(p Ptr, buf []byte) error { return a.g.OS().Read(p, buf) }
@@ -165,9 +205,19 @@ func (a *Allocator) Stats() Stats { return a.g.Stats() }
 // RSS returns resident physical memory in bytes.
 func (a *Allocator) RSS() int64 { return a.g.OS().RSS() }
 
-// Thread is a per-worker heap handle (the paper's thread-local heap). A
-// Thread must be used from one goroutine at a time; Close relinquishes its
-// spans to the global heap, making them meshing candidates.
+// Flush relinquishes every idle pooled heap's attached spans to the
+// global heap, making them meshing candidates; heaps borrowed by calls in
+// flight are unaffected and the allocator remains fully usable. Call it at
+// quiescent points (before a final Mesh, or when a traffic burst ends) —
+// the pool repopulates on demand.
+func (a *Allocator) Flush() error { return a.pool.flush() }
+
+// Thread is a per-worker heap handle (the paper's thread-local heap),
+// pinning one internal heap instead of borrowing from the pool per call.
+// A Thread must be used from one goroutine at a time; distinct Threads —
+// and concurrent Allocator calls — may be used in parallel. Close
+// relinquishes its spans to the global heap, making them meshing
+// candidates.
 type Thread struct {
 	th *core.ThreadHeap
 }
@@ -215,6 +265,9 @@ func (ad *Adapter) Memory() *vm.OS { return ad.g.OS() }
 var (
 	_ alloc.Allocator    = (*Adapter)(nil)
 	_ alloc.Mesher       = (*Adapter)(nil)
+	_ alloc.Heap         = (*Allocator)(nil)
+	_ alloc.BatchHeap    = (*Allocator)(nil)
 	_ alloc.Heap         = (*Thread)(nil)
+	_ alloc.BatchHeap    = (*Thread)(nil)
 	_ alloc.ThreadCloser = (*Thread)(nil)
 )

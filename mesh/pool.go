@@ -1,0 +1,125 @@
+package mesh
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// heapPool hands a core.ThreadHeap to each Allocator-level call and takes
+// it back when the call returns, so arbitrary goroutines share the
+// allocator with zero ceremony while every heap still has exactly one
+// owner at a time (the single-owner invariant meshing relies on, §4.5.3).
+//
+// Two layers, both lock-free and both non-blocking:
+//
+//   - slots: a small array of single-heap slots operated purely with
+//     atomic swap/CAS on the heap pointer itself. One swap acquires, one
+//     CAS releases, nothing is allocated — this serves steady-state
+//     traffic up to len(slots) concurrent borrowers.
+//   - head: a Treiber-stack overflow list holding any surplus beyond the
+//     slot array. Each push allocates a fresh node; Go's garbage
+//     collector makes the stack ABA-safe, because a popped node cannot be
+//     recycled at the same address while another goroutine still holds a
+//     pointer to it.
+//
+// Nodes are deliberately NOT recycled through a sync.Pool: reusing node
+// memory would reintroduce the ABA hazard, and parking whole ThreadHeaps
+// in a sync.Pool would let the collector drop them, stranding their
+// attached spans (attached MiniHeaps are never meshing candidates, so
+// those spans' RSS would never be reclaimed). The atomic hand-offs also
+// provide the happens-before edge that transfers heap ownership between
+// goroutines.
+//
+// When every layer is momentarily empty a new heap is created — heaps are
+// cheap (a few KiB of shuffle-vector state) and the population converges
+// to the peak concurrency of the caller.
+type heapPool struct {
+	g      *core.GlobalHeap
+	nextID *atomic.Uint64
+
+	slots [16]atomic.Pointer[core.ThreadHeap]
+	head  atomic.Pointer[heapNode]
+
+	idle    atomic.Int64  // heaps currently parked in the pool (slots + stack)
+	created atomic.Uint64 // heaps ever created by this pool
+}
+
+type heapNode struct {
+	th   *core.ThreadHeap
+	next *heapNode
+}
+
+func newHeapPool(g *core.GlobalHeap, nextID *atomic.Uint64) *heapPool {
+	return &heapPool{g: g, nextID: nextID}
+}
+
+// acquire returns an idle heap, creating one if the pool is empty. The
+// caller owns the heap until it calls release.
+func (p *heapPool) acquire() *core.ThreadHeap {
+	for i := range p.slots {
+		if p.slots[i].Load() == nil {
+			continue
+		}
+		if th := p.slots[i].Swap(nil); th != nil {
+			p.idle.Add(-1)
+			return th
+		}
+	}
+	for {
+		n := p.head.Load()
+		if n == nil {
+			p.created.Add(1)
+			return core.NewThreadHeap(p.g, p.nextID.Add(1))
+		}
+		if p.head.CompareAndSwap(n, n.next) {
+			p.idle.Add(-1)
+			return n.th
+		}
+	}
+}
+
+// release parks a heap for reuse, publishing every write the owner made.
+func (p *heapPool) release(th *core.ThreadHeap) {
+	for i := range p.slots {
+		if p.slots[i].Load() != nil {
+			continue
+		}
+		if p.slots[i].CompareAndSwap(nil, th) {
+			p.idle.Add(1)
+			return
+		}
+	}
+	n := &heapNode{th: th}
+	for {
+		n.next = p.head.Load()
+		if p.head.CompareAndSwap(n.next, n) {
+			p.idle.Add(1)
+			return
+		}
+	}
+}
+
+// flush empties the pool, relinquishing every idle heap's attached spans
+// to the global heap so they become meshing candidates again. Heaps
+// currently borrowed by in-flight calls are untouched; they return to the
+// (now empty) pool as those calls finish.
+func (p *heapPool) flush() error {
+	var errs []error
+	done := func(th *core.ThreadHeap) {
+		p.idle.Add(-1)
+		if err := th.Done(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	for i := range p.slots {
+		if th := p.slots[i].Swap(nil); th != nil {
+			done(th)
+		}
+	}
+	for n := p.head.Swap(nil); n != nil; n = n.next {
+		done(n.th)
+	}
+	return errors.Join(errs...)
+}
