@@ -17,6 +17,7 @@
 //	ablation  §6.3 randomization ablation table
 //	robson    §1 motivation: OOM survival under a memory budget
 //	conc      concurrent throughput: pooled vs thread heaps, scalar vs batch
+//	pause     foreground vs background meshing: tail stalls and RSS (§4.5)
 //	all       everything above
 //
 // -scale divides workload sizes (1 = the paper's full parameters; larger
@@ -40,7 +41,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: meshbench [-scale N] [-csv] <fig6|fig7|fig8|spec|prob|lemma53|triangle|ablation|robson|conc|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: meshbench [-scale N] [-csv] <fig6|fig7|fig8|spec|prob|lemma53|triangle|ablation|robson|conc|pause|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -79,8 +80,10 @@ func run(what string) error {
 		return robson()
 	case "conc":
 		return conc()
+	case "pause":
+		return pause()
 	case "all":
-		for _, f := range []func() error{fig6, fig7, fig8, spec, ablation, robson, conc} {
+		for _, f := range []func() error{fig6, fig7, fig8, spec, ablation, robson, conc, pause} {
 			if err := f(); err != nil {
 				return err
 			}
@@ -251,6 +254,41 @@ func ablation() error {
 	fmt.Printf("%-22s %12s %14s\n", "configuration", "mean RSS MiB", "wall time")
 	for _, r := range res.Rows {
 		fmt.Printf("%-22s %12.2f %14v\n", r.Allocator, r.MeanRSS/(1<<20), r.WallTime.Round(1e6))
+	}
+	return nil
+}
+
+func pause() error {
+	header("Pause: foreground vs background meshing under concurrent traffic (§4.5)")
+	res, err := experiments.Pause(*scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %9s %12s %12s %8s %8s %12s %8s %10s %10s\n",
+		"mode", "ops", "max stall", "worst pause", "pauses", "passes", "meshed", "peak MiB", "mean MiB", "ops/sec")
+	for _, r := range res.Rows {
+		fmt.Printf("%-12s %9d %12v %12v %8d %8d %12d %8.2f %10.2f %10.0f\n",
+			r.Config, r.Ops, r.MaxStall, r.LongestPause, r.PauseCount, r.Passes,
+			r.SpansMeshed, stats.MiB(r.PeakRSS), r.MeanRSS/(1<<20), r.OpsPerSec)
+	}
+	if len(res.Rows) == 2 {
+		fg, bg := res.Rows[0], res.Rows[1]
+		if fg.MaxStall > 0 {
+			fmt.Printf("background max stall vs foreground: %.2fx; worst engine pause: %.2fx\n",
+				float64(bg.MaxStall)/float64(fg.MaxStall),
+				float64(bg.LongestPause)/float64(fg.LongestPause))
+		}
+		if fg.MeanRSS > 0 {
+			fmt.Printf("background mean-RSS vs foreground: %+.1f%%  (acceptance bound: within 10%%)\n",
+				100*(bg.MeanRSS-fg.MeanRSS)/fg.MeanRSS)
+		}
+	}
+	if *csvOut {
+		for _, r := range res.Rows {
+			if err := r.Series.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -7,7 +7,14 @@
 // Thread handles for pinned fast-path workers, batch malloc/free for
 // heavy-traffic callers, and a mallctl-style Control/ReadControl
 // surface for every runtime knob (see mesh/control.go for the key
-// table). The root package exists to host the repository-level
+// table). Compaction can run inline on the free path or — with
+// background meshing enabled — on a daemon goroutine
+// (internal/meshd, the paper's §4.5 background thread) that meshes
+// incrementally and concurrently with the application, so allocation
+// stalls scale with one size class's slice (remap fix-ups bounded by
+// the mesh.max_pause control) rather than pass length;
+// Allocator.Close stops the daemon. The root package hosts the
+// repository-level
 // benchmark suite (bench_test.go): one benchmark per table/figure of
 // the paper's evaluation plus hot-path microbenchmarks of the public
 // API. See README.md for the architecture map and how to run the

@@ -15,6 +15,16 @@ type Clock interface {
 	Now() time.Duration
 }
 
+// AdvancingClock is a Clock whose time can be moved forward explicitly.
+// LogicalClock satisfies it. When Config.MeshStepCost is set, the meshing
+// engine charges the configured cost to an AdvancingClock for every pair it
+// meshes, so simulated-clock tests observe deterministic, non-zero pause
+// durations and can assert exact pause-histogram contents.
+type AdvancingClock interface {
+	Clock
+	Advance(d time.Duration)
+}
+
 // WallClock is a Clock backed by real time.
 type WallClock struct {
 	epoch time.Time

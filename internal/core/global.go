@@ -46,9 +46,34 @@ type Config struct {
 	// DirtyPageThreshold overrides the arena's 64 MiB punch threshold
 	// (pages); 0 keeps the default.
 	DirtyPageThreshold int
-	// Clock supplies time for rate limiting; nil uses the wall clock.
+	// Clock supplies time for rate limiting and pause measurement; nil uses
+	// the wall clock.
 	Clock Clock
+	// MaxPause bounds each global-lock hold of a background meshing slice
+	// (§4.5's bounded-pause goal): the fix-up loop releases the lock once the
+	// budget is spent and continues under a fresh acquisition. 0 keeps the
+	// default (1 ms); foreground passes are never sliced.
+	MaxPause time.Duration
+	// BackgroundMeshing routes the free-path mesh trigger to a registered
+	// notifier (the meshd daemon) instead of running the pass inline while
+	// holding the global lock (§4.5: meshing runs on a dedicated background
+	// thread).
+	BackgroundMeshing bool
+	// MeshStepCost, when positive, is charged to an AdvancingClock for every
+	// pair meshed. Real runs leave it 0; simulated-clock tests set it so
+	// pass and slice durations — and therefore the pause histogram — are
+	// deterministic.
+	MeshStepCost time.Duration
+	// MeshCopyCost, when positive, sleeps this long per object copied
+	// during a mesh, modeling the real memcpy the simulation's instant
+	// CopyPhys elides. Tests of the §4.5.2 write-barrier protocol set it
+	// to widen the protect window so racing writers reliably fault.
+	MeshCopyCost time.Duration
 }
+
+// DefaultMaxPause is the per-slice pause bound used when Config.MaxPause
+// is zero.
+const DefaultMaxPause = time.Millisecond
 
 // DefaultConfig returns the paper's default configuration.
 func DefaultConfig() Config {
@@ -59,17 +84,66 @@ func DefaultConfig() Config {
 		MeshPeriod:     100 * time.Millisecond,
 		MinMeshSavings: 1 << 20,
 		SplitMesherT:   64,
+		MaxPause:       DefaultMaxPause,
 	}
+}
+
+// NumPauseBuckets is the number of fixed buckets in the pause histogram.
+const NumPauseBuckets = 8
+
+// pauseBucketBounds holds the inclusive upper bound of each histogram
+// bucket but the last, which is unbounded.
+var pauseBucketBounds = [NumPauseBuckets - 1]time.Duration{
+	time.Microsecond,
+	10 * time.Microsecond,
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+// PauseBucketBound returns the inclusive upper bound of histogram bucket i;
+// the last bucket is unbounded and returns a negative duration.
+func PauseBucketBound(i int) time.Duration {
+	if i < 0 || i >= NumPauseBuckets-1 {
+		return -1
+	}
+	return pauseBucketBounds[i]
+}
+
+func pauseBucket(d time.Duration) int {
+	for i, bound := range pauseBucketBounds {
+		if d <= bound {
+			return i
+		}
+	}
+	return NumPauseBuckets - 1
+}
+
+// PauseHistogram is the distribution of meshing pauses — every interval the
+// engine held the global heap lock (§4.5.3): a full foreground pass is one
+// pause; each background slice contributes its candidate-selection and
+// remap-fix-up critical sections. Comparable with ==, so snapshots diff
+// cheaply in tests.
+type PauseHistogram struct {
+	Count   uint64        // pauses recorded
+	Total   time.Duration // summed pause time
+	Longest time.Duration // longest single pause
+	// Buckets counts pauses by duration; bucket i covers
+	// (PauseBucketBound(i-1), PauseBucketBound(i)], the last is unbounded.
+	Buckets [NumPauseBuckets]uint64
 }
 
 // MeshStats aggregates compaction activity.
 type MeshStats struct {
-	Passes       uint64        // meshing passes run
-	SpansMeshed  uint64        // source spans freed by meshing
-	BytesFreed   uint64        // physical bytes released by meshing
-	BytesCopied  uint64        // object bytes consolidated
-	TotalTime    time.Duration // wall time spent meshing
-	LongestPause time.Duration // longest single pass
+	Passes       uint64         // meshing passes run
+	SpansMeshed  uint64         // source spans freed by meshing
+	BytesFreed   uint64         // physical bytes released by meshing
+	BytesCopied  uint64         // object bytes consolidated
+	TotalTime    time.Duration  // time spent meshing (passes and slices, including off-lock copy)
+	LongestPause time.Duration  // longest single global-lock hold (== Pauses.Longest)
+	Pauses       PauseHistogram // distribution of global-lock holds by the engine
 }
 
 // HeapStats is a point-in-time snapshot of heap state.
@@ -106,6 +180,19 @@ type GlobalHeap struct {
 	arena *arena.Arena
 	clock Clock
 
+	// meshBarrier is the write barrier's wait point for concurrent meshing
+	// (§4.5.2–§4.5.3): a background slice holds it from write-protecting the
+	// source spans until the page-table remap restores them read-write, and
+	// explicit passes hold it for their duration, so a faulting writer that
+	// acquires and releases it is guaranteed the mesh it raced is complete.
+	// Always acquired before mu, never while holding mu.
+	meshBarrier sync.Mutex
+
+	// background routes the free-path mesh trigger to meshNotify (the
+	// daemon's nudge) instead of meshing inline under mu.
+	background atomic.Bool
+	meshNotify atomic.Pointer[func()]
+
 	mu      sync.Mutex
 	rnd     *rng.RNG
 	classes [sizeclass.NumClasses]classState
@@ -125,6 +212,9 @@ type GlobalHeap struct {
 	bytesCopied  atomic.Uint64
 	meshTime     atomic.Int64 // nanoseconds
 	longestPause atomic.Int64 // nanoseconds
+	pauseCount   atomic.Uint64
+	pauseTotal   atomic.Int64 // nanoseconds
+	pauseBuckets [NumPauseBuckets]atomic.Uint64
 }
 
 // NewGlobalHeap constructs a heap with its own simulated address space.
@@ -134,6 +224,9 @@ func NewGlobalHeap(cfg Config) *GlobalHeap {
 	if clock == nil {
 		clock = NewWallClock()
 	}
+	if cfg.MaxPause <= 0 {
+		cfg.MaxPause = DefaultMaxPause
+	}
 	g := &GlobalHeap{
 		cfg:   cfg,
 		os:    osv,
@@ -142,6 +235,7 @@ func NewGlobalHeap(cfg Config) *GlobalHeap {
 		rnd:   rng.New(cfg.Seed ^ 0x6d657368), // "mesh"
 		large: make(map[uint64]*miniheap.MiniHeap),
 	}
+	g.background.Store(cfg.BackgroundMeshing)
 	for c := range g.classes {
 		for b := range g.classes[c].bins {
 			g.classes[c].bins[b] = newBinSet()
@@ -149,16 +243,45 @@ func NewGlobalHeap(cfg Config) *GlobalHeap {
 		g.classes[c].full = newBinSet()
 		g.classes[c].reg = newBinSet()
 	}
-	// Mesh's write barrier: a write faulting on a protected page waits for
-	// the in-flight meshing pass (which holds g.mu) to finish, then
-	// retries; by then the page has been remapped read-write (§4.5.2).
+	// Mesh's write barrier: a write faulting on a protected page waits out
+	// whichever meshing mode is in flight, then retries; by then the page
+	// has been remapped read-write (§4.5.2). An inline pass holds g.mu for
+	// its duration; a concurrent background slice holds meshBarrier from
+	// write-protect to remap (§4.5.3 — the SIGSEGV handler "waits on the
+	// mesh lock"). Each lock is released before the next is taken, so the
+	// hook never holds one while waiting on the other.
 	osv.SetFaultHook(func(addr uint64) {
 		g.mu.Lock()
 		//lint:ignore SA2001 empty critical section is the wait itself
 		g.mu.Unlock()
+		g.meshBarrier.Lock()
+		//lint:ignore SA2001 empty critical section is the wait itself
+		g.meshBarrier.Unlock()
 	})
 	return g
 }
+
+// SetMeshNotifier installs the function the free path calls (instead of
+// meshing inline) when background meshing is active — the daemon's
+// non-blocking nudge. Pass nil to remove. Safe for concurrent use; the
+// notifier may be invoked while the global lock is held, so it must not
+// call back into the heap.
+func (g *GlobalHeap) SetMeshNotifier(f func()) {
+	if f == nil {
+		g.meshNotify.Store(nil)
+		return
+	}
+	g.meshNotify.Store(&f)
+}
+
+// SetBackgroundMeshing toggles background mode: when on, frees that reach
+// the global heap nudge the registered notifier instead of running a pass
+// while holding the global lock.
+func (g *GlobalHeap) SetBackgroundMeshing(on bool) { g.background.Store(on) }
+
+// BackgroundMeshing reports whether the free-path trigger is routed to the
+// background notifier.
+func (g *GlobalHeap) BackgroundMeshing() bool { return g.background.Load() }
 
 // OS exposes the simulated memory subsystem (for application reads/writes
 // through virtual addresses).
@@ -358,6 +481,13 @@ func (g *GlobalHeap) freeLocked(addr uint64) (reachedGlobal bool, err error) {
 		// that happens; the owner's shuffle vector is not touched (§3.2).
 		return false, nil
 	}
+	if mh.IsPinned() {
+		// Span is mid-mesh (§4.5.2): the bitmap update above is visible to
+		// the meshing slice's fix-up (bits only clear, so disjointness is
+		// preserved), and the engine re-files the span when it unpins. It
+		// must not be re-binned — or worse, destroyed — here.
+		return true, nil
+	}
 
 	// Object belonged to the global heap: update its occupancy bin; the
 	// caller may additionally trigger meshing (§3.2).
@@ -423,6 +553,7 @@ func (g *GlobalHeap) Stats() HeapStats {
 			BytesCopied:  g.bytesCopied.Load(),
 			TotalTime:    time.Duration(g.meshTime.Load()),
 			LongestPause: time.Duration(g.longestPause.Load()),
+			Pauses:       g.pauseHistogram(),
 		},
 		VM:          g.os.Snapshot(),
 		InvalidFree: g.invalidFree.Load(),

@@ -137,6 +137,24 @@ func (g *GlobalHeap) MinMeshSavings() int {
 	return g.cfg.MinMeshSavings
 }
 
+// SetMaxPause adjusts the per-slice pause bound of background meshing at
+// runtime; d <= 0 restores the default.
+func (g *GlobalHeap) SetMaxPause(d time.Duration) {
+	if d <= 0 {
+		d = DefaultMaxPause
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cfg.MaxPause = d
+}
+
+// MaxPause returns the current per-slice pause bound.
+func (g *GlobalHeap) MaxPause() time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cfg.MaxPause
+}
+
 // SetSplitMesherT adjusts the SplitMesher probe budget (§3.3) at runtime.
 func (g *GlobalHeap) SetSplitMesherT(t int) {
 	g.mu.Lock()
@@ -167,6 +185,12 @@ func (g *GlobalHeap) SplitMesherT() int {
 //     reservations — bits set for slots no one has allocated yet, §4.1 —
 //     so the census is only exact at quiescence.)
 func (g *GlobalHeap) CheckIntegrity() error {
+	// Serialize with any in-flight background slice (which parks pinned,
+	// momentarily bin-less spans between its critical sections): the mesh
+	// barrier is held for a slice's whole protect→remap window, so under
+	// barrier + lock every span is in a steady state.
+	g.meshBarrier.Lock()
+	defer g.meshBarrier.Unlock()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 

@@ -8,28 +8,66 @@ import (
 	"repro/internal/vm"
 )
 
+// This file is the meshing engine (§4.5) in both of its modes.
+//
+// Foreground: Mesh and maybeMeshLocked run a whole pass under the global
+// lock, exactly the stop-allocation behaviour of a synchronous collector —
+// kept as the baseline the meshbench pause experiment measures against,
+// and as the fallback when no daemon is running.
+//
+// Background: MeshBackground is what the meshd daemon calls. It works one
+// size class at a time, and within a class splits the work into three
+// phases per the paper's concurrent protocol (§4.5.2): candidate selection
+// and write-protection under the lock, the object copy off the lock (racing
+// writers are made to wait by the fault handler, §4.5.3), and a
+// lock-bounded remap fix-up whose critical sections never exceed
+// Config.MaxPause.
+
 // Mesh runs a full meshing pass immediately, bypassing rate limiting. The
 // application-facing knob (the paper exposes meshing control through the
 // semi-standard mallctl API) and the experiment harness both use this.
+// It serializes with any background slice via the mesh barrier.
 func (g *GlobalHeap) Mesh() int {
+	g.meshBarrier.Lock()
+	defer g.meshBarrier.Unlock()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.meshAllLocked()
 }
 
-// maybeMeshLocked applies §4.5's rate limiting and runs a pass if due.
-// Called on frees that reach the global heap; caller holds g.mu.
+// maybeMeshLocked applies §4.5's rate limiting on frees that reach the
+// global heap; caller holds g.mu. In foreground mode a due pass runs
+// inline (the caller stalls for the whole pass); in background mode the
+// daemon is nudged and the caller returns immediately.
 func (g *GlobalHeap) maybeMeshLocked() {
 	if !g.cfg.Meshing {
 		return
 	}
 	// A free through the global heap re-arms a disarmed timer (§4.5).
 	g.meshDisarmed = false
+	if g.background.Load() {
+		if f := g.meshNotify.Load(); f != nil {
+			(*f)()
+		}
+		return
+	}
 	now := g.clock.Now()
 	if now-g.lastMesh < g.cfg.MeshPeriod {
 		return
 	}
 	g.meshAllLocked()
+}
+
+// MeshDue reports whether the rate limiter would allow a pass now: meshing
+// enabled, the timer armed, and a full period elapsed since the last pass.
+// The daemon consults it on every wake-up.
+func (g *GlobalHeap) MeshDue() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.cfg.Meshing || g.meshDisarmed {
+		return false
+	}
+	return g.clock.Now()-g.lastMesh >= g.cfg.MeshPeriod
 }
 
 // meshAllLocked finds and performs meshes one size class at a time (§4.5).
@@ -40,52 +78,38 @@ func (g *GlobalHeap) meshAllLocked() int {
 	if !g.cfg.Meshing {
 		return 0
 	}
-	start := time.Now()
+	start := g.clock.Now()
 	freedBytes := 0
 	released := 0
 
 	for class := range g.classes {
-		cs := &g.classes[class]
-		// Candidates: every detached, partially full span. Full spans
-		// cannot mesh with anything non-empty; empty spans are already
-		// destroyed on release.
-		var cands []*miniheap.MiniHeap
-		for b := range cs.bins {
-			cands = cs.bins[b].appendAll(cands)
-		}
-		if len(cands) < 2 {
-			continue
-		}
-		// SplitMesher expects its input in random order (§3.3).
-		g.rnd.Shuffle(len(cands), func(i, j int) {
-			cands[i], cands[j] = cands[j], cands[i]
-		})
-		res := meshing.SplitMesher(cands, g.cfg.SplitMesherT,
-			func(a, b *miniheap.MiniHeap) bool { return a.Meshable(b) })
-		// Candidate pairs are recorded first, then meshed en masse (§4.5).
-		for _, p := range res.Pairs {
+		for _, p := range g.planClassLocked(class) {
 			// Copy the emptier span's objects into the fuller span.
-			dst, src := p.Left, p.Right
-			if dst.InUse() < src.InUse() {
-				dst, src = src, dst
-			}
-			if err := g.meshPairLocked(dst, src); err != nil {
-				// A failed mesh leaves both spans unmodified; skip it.
+			if err := g.copyPair(p); err != nil {
+				g.abortPairLocked(p)
 				continue
 			}
-			freedBytes += src.SpanBytes()
+			if err := g.finishPairLocked(p); err != nil {
+				g.abortPairLocked(p)
+				continue
+			}
+			freedBytes += p.src.SpanBytes()
 			released++
+			g.chargeStepCost()
 		}
 	}
 
-	elapsed := time.Since(start)
+	elapsed := g.clock.Now() - start
+	if elapsed > 0 || released > 0 {
+		// As in the background engine, no-op passes with no measurable
+		// duration (rate-limited wake-ups on an idle simulated clock) are
+		// not pauses worth counting.
+		g.recordPause(elapsed)
+	}
 	g.meshPasses.Add(1)
 	g.spansMeshed.Add(uint64(released))
 	g.bytesFreed.Add(uint64(freedBytes))
 	g.meshTime.Add(int64(elapsed))
-	if int64(elapsed) > g.longestPause.Load() {
-		g.longestPause.Store(int64(elapsed))
-	}
 	g.lastMesh = g.clock.Now()
 	if freedBytes < g.cfg.MinMeshSavings {
 		g.meshDisarmed = true
@@ -95,45 +119,213 @@ func (g *GlobalHeap) meshAllLocked() int {
 	return released
 }
 
-// meshPairLocked performs one mesh (§4.5, Figure 1): consolidate src's
-// objects into dst's physical span, retarget src's virtual spans at dst's
-// physical span, and release src's physical span to the OS. Virtual
-// addresses — and the bytes visible through them — never change.
-func (g *GlobalHeap) meshPairLocked(dst, src *miniheap.MiniHeap) error {
-	pages := src.SpanPages()
-	objSize := src.ObjectSize()
+// MeshBackground runs one incremental meshing pass on the caller's
+// goroutine — the daemon's work loop. One size class is handled per
+// barrier window; allocation and free latency is bounded by the longest
+// single critical section (at most maxPause plus one pair's fix-up), not
+// by pass length. maxPause <= 0 uses Config.MaxPause. It returns the
+// number of spans released.
+func (g *GlobalHeap) MeshBackground(maxPause time.Duration) int {
+	g.mu.Lock()
+	enabled := g.cfg.Meshing
+	if maxPause <= 0 {
+		maxPause = g.cfg.MaxPause
+	}
+	g.mu.Unlock()
+	if !enabled {
+		return 0
+	}
 
-	// Write barrier: protect the source virtual spans so no thread can
-	// write to an object while it is being relocated (§4.5.2). Reads
-	// proceed as normal throughout.
-	for _, vbase := range src.Spans() {
-		if err := g.os.Protect(vbase, pages, vm.ReadOnly); err != nil {
+	released, freedBytes := 0, 0
+	for class := range g.classes {
+		r, f := g.meshClassBackground(class, maxPause)
+		released += r
+		freedBytes += f
+	}
+
+	g.mu.Lock()
+	g.meshPasses.Add(1)
+	g.spansMeshed.Add(uint64(released))
+	g.bytesFreed.Add(uint64(freedBytes))
+	g.lastMesh = g.clock.Now()
+	if freedBytes < g.cfg.MinMeshSavings {
+		g.meshDisarmed = true
+	}
+	_ = g.arena.FlushDirty()
+	g.mu.Unlock()
+	return released
+}
+
+// meshClassBackground runs one incremental slice: all meshes found for a
+// single size class, with the copy phase concurrent with the application
+// (§4.5.2). The mesh barrier is held for the whole protect→remap window so
+// the fault handler can make racing writers wait (§4.5.3); g.mu is held
+// only for candidate selection and for fix-up chunks bounded by maxPause.
+func (g *GlobalHeap) meshClassBackground(class int, maxPause time.Duration) (released, freedBytes int) {
+	g.meshBarrier.Lock()
+	defer g.meshBarrier.Unlock()
+
+	sliceStart := g.clock.Now()
+	g.mu.Lock()
+	// Pauses measure lock holds — what a blocked allocation actually
+	// waits — so the timer starts after acquisition, not before (the
+	// daemon queueing behind a busy heap is not an application pause).
+	prepStart := g.clock.Now()
+	if !g.cfg.Meshing {
+		g.mu.Unlock()
+		return 0, 0
+	}
+	pairs := g.planClassLocked(class)
+	if prep := g.clock.Now() - prepStart; prep > 0 || len(pairs) > 0 {
+		// Skip no-op class visits (no candidates, no measurable time) so
+		// the histogram counts real pauses, not bookkeeping.
+		g.recordPause(prep)
+	}
+	g.mu.Unlock()
+	if len(pairs) == 0 {
+		return 0, 0
+	}
+
+	// Copy phase, off the lock: the source spans are write-protected, so
+	// reads proceed and writers block in the fault handler until the remap
+	// below releases the barrier. Frees may still clear source bits under
+	// g.mu — bits only clear, so pair disjointness is preserved and the
+	// fix-up merge below sees the freshest bitmap.
+	copied := make([]bool, len(pairs))
+	for i, p := range pairs {
+		copied[i] = g.copyPair(p) == nil
+	}
+
+	// Fix-up phase: page-table remap and bin fix-up under g.mu, released
+	// and re-acquired whenever the pause budget is spent so waiting
+	// allocations and frees get in between chunks. Pinned pairs are safe
+	// across the gap: they are in no bin, unattachable, and unfreeable
+	// into a bin.
+	g.mu.Lock()
+	pauseStart := g.clock.Now()
+	for i, p := range pairs {
+		if elapsed := g.clock.Now() - pauseStart; elapsed > maxPause {
+			g.recordPause(elapsed)
+			g.mu.Unlock()
+			g.mu.Lock()
+			pauseStart = g.clock.Now()
+		}
+		if !copied[i] {
+			g.abortPairLocked(p)
+			continue
+		}
+		if err := g.finishPairLocked(p); err != nil {
+			g.abortPairLocked(p)
+			continue
+		}
+		freedBytes += p.src.SpanBytes()
+		released++
+		g.chargeStepCost()
+	}
+	g.recordPause(g.clock.Now() - pauseStart)
+	g.mu.Unlock()
+
+	g.meshTime.Add(int64(g.clock.Now() - sliceStart))
+	return released, freedBytes
+}
+
+// meshPair is one planned mesh: src's objects move onto dst's physical
+// span. Both are pinned and unbinned from plan until finish/abort.
+type meshPair struct {
+	dst, src *miniheap.MiniHeap
+}
+
+// planClassLocked selects this class's meshable pairs (§3.3) and claims
+// them: each pair's spans are removed from their occupancy bins and
+// pinned, and the source's virtual spans are write-protected — writers
+// never hold g.mu, so the write barrier (§4.5.2) is what keeps them out of
+// the copy in both meshing modes. Caller holds g.mu; the concurrent path
+// additionally holds the mesh barrier.
+func (g *GlobalHeap) planClassLocked(class int) []meshPair {
+	cs := &g.classes[class]
+	// Candidates: every detached, partially full span. Full spans cannot
+	// mesh with anything non-empty; empty spans are already destroyed on
+	// release.
+	var cands []*miniheap.MiniHeap
+	for b := range cs.bins {
+		cands = cs.bins[b].appendAll(cands)
+	}
+	if len(cands) < 2 {
+		return nil
+	}
+	// SplitMesher expects its input in random order (§3.3).
+	g.rnd.Shuffle(len(cands), func(i, j int) {
+		cands[i], cands[j] = cands[j], cands[i]
+	})
+	res := meshing.SplitMesher(cands, g.cfg.SplitMesherT,
+		func(a, b *miniheap.MiniHeap) bool { return a.Meshable(b) })
+	// Candidate pairs are recorded first, then meshed en masse (§4.5).
+	pairs := make([]meshPair, 0, len(res.Pairs))
+	for _, pr := range res.Pairs {
+		// Copy the emptier span's objects into the fuller span.
+		dst, src := pr.Left, pr.Right
+		if dst.InUse() < src.InUse() {
+			dst, src = src, dst
+		}
+		if err := g.protectSpans(src, vm.ReadOnly); err != nil {
+			// Roll back any partial protection; skip the pair.
+			_ = g.protectSpans(src, vm.ReadWrite)
+			continue
+		}
+		g.unbinLocked(src)
+		g.unbinLocked(dst)
+		src.Pin()
+		dst.Pin()
+		pairs = append(pairs, meshPair{dst: dst, src: src})
+	}
+	return pairs
+}
+
+// protectSpans sets the protection of every virtual span of mh.
+func (g *GlobalHeap) protectSpans(mh *miniheap.MiniHeap, p vm.Prot) error {
+	pages := mh.SpanPages()
+	for _, vbase := range mh.Spans() {
+		if err := g.os.Protect(vbase, pages, p); err != nil {
 			return err
 		}
 	}
+	return nil
+}
 
-	// Consolidate: copy each live object at the physical layer. Offsets
-	// are preserved, so no pointers inside or outside the objects need
-	// updating.
+// copyPair consolidates src's live objects into dst's physical span at the
+// physical layer (§4.5, Figure 1); offsets are preserved, so no pointers
+// inside or outside the objects need updating. It runs without g.mu in the
+// background mode — src is write-protected and both spans pinned, so the
+// only concurrent mutation is frees clearing bits, which at worst copies a
+// dead object into a slot the fix-up merge will leave unallocated.
+func (g *GlobalHeap) copyPair(p meshPair) error {
+	objSize := p.src.ObjectSize()
 	copied := 0
-	for _, off := range src.Bitmap().SetBits() {
-		if err := g.os.CopyPhys(dst.Phys(), off*objSize, src.Phys(), off*objSize, objSize); err != nil {
-			// Roll back protection before bailing.
-			for _, vbase := range src.Spans() {
-				_ = g.os.Protect(vbase, pages, vm.ReadWrite)
-			}
+	for _, off := range p.src.Bitmap().SetBits() {
+		if err := g.os.CopyPhys(p.dst.Phys(), off*objSize, p.src.Phys(), off*objSize, objSize); err != nil {
 			return err
+		}
+		if g.cfg.MeshCopyCost > 0 {
+			time.Sleep(g.cfg.MeshCopyCost)
 		}
 		copied += objSize
 	}
 	g.bytesCopied.Add(uint64(copied))
+	return nil
+}
+
+// finishPairLocked completes one mesh: merge allocation state, retarget
+// src's virtual spans at dst's physical span, release src's physical span
+// to the OS, and re-file dst. Remap restores read-write protection, which
+// is what lets any write-barrier waiters retry successfully once the
+// barrier drops. Caller holds g.mu; both spans are pinned and unbinned.
+func (g *GlobalHeap) finishPairLocked(p meshPair) error {
+	dst, src := p.dst, p.src
+	pages := src.SpanPages()
 
 	// Merge allocation state.
 	dst.Bitmap().MergeFrom(src.Bitmap())
 
-	// Retarget every virtual span of src at dst's physical span; Remap
-	// restores read-write protection, which is what releases any write-
-	// barrier waiters to retry successfully.
 	srcPhys := src.Phys()
 	lastRefs := 0
 	for _, vbase := range src.Spans() {
@@ -154,10 +346,63 @@ func (g *GlobalHeap) meshPairLocked(dst, src *miniheap.MiniHeap) error {
 		}
 	}
 
-	// src's metadata is dead: remove it from its bin and the class
-	// registry; dst may have changed occupancy bin.
-	g.unbinLocked(src)
+	// src's metadata is dead: drop it from the class registry; dst may
+	// have changed occupancy bin (or emptied entirely) while pinned.
 	g.classes[src.SizeClass()].reg.remove(src)
-	g.unbinLocked(dst)
+	src.Unpin()
+	dst.Unpin()
 	return g.placeDetachedLocked(dst)
+}
+
+// abortPairLocked abandons a planned mesh, restoring both spans to the
+// state planClassLocked found them in: writable, unpinned, and filed by
+// their current occupancy. Caller holds g.mu.
+func (g *GlobalHeap) abortPairLocked(p meshPair) {
+	_ = g.protectSpans(p.src, vm.ReadWrite)
+	p.src.Unpin()
+	p.dst.Unpin()
+	_ = g.placeDetachedLocked(p.src)
+	_ = g.placeDetachedLocked(p.dst)
+}
+
+// recordPause folds one global-lock hold by the engine into the pause
+// statistics (§4.5's bounded-pause metric).
+func (g *GlobalHeap) recordPause(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	g.pauseCount.Add(1)
+	g.pauseTotal.Add(int64(d))
+	for {
+		cur := g.longestPause.Load()
+		if int64(d) <= cur || g.longestPause.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	g.pauseBuckets[pauseBucket(d)].Add(1)
+}
+
+// pauseHistogram snapshots the pause distribution.
+func (g *GlobalHeap) pauseHistogram() PauseHistogram {
+	h := PauseHistogram{
+		Count:   g.pauseCount.Load(),
+		Total:   time.Duration(g.pauseTotal.Load()),
+		Longest: time.Duration(g.longestPause.Load()),
+	}
+	for i := range h.Buckets {
+		h.Buckets[i] = g.pauseBuckets[i].Load()
+	}
+	return h
+}
+
+// chargeStepCost advances an injected AdvancingClock by the configured
+// per-pair meshing cost, making pause durations deterministic under a
+// simulated clock. Caller holds g.mu (cfg access).
+func (g *GlobalHeap) chargeStepCost() {
+	if g.cfg.MeshStepCost <= 0 {
+		return
+	}
+	if ac, ok := g.clock.(AdvancingClock); ok {
+		ac.Advance(g.cfg.MeshStepCost)
+	}
 }

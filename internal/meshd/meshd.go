@@ -1,0 +1,206 @@
+// Package meshd is the background meshing daemon (§4.5 of the paper:
+// "meshing is performed by a dedicated background thread", concurrently
+// with the application). It owns all scheduling of compaction work; the
+// allocator's free path only nudges it, so no allocating goroutine ever
+// runs — or waits for — a whole meshing pass.
+//
+// The daemon wakes up for three reasons:
+//
+//   - the period timer: the paper's rate limit (at most one pass per mesh
+//     period) evaluated against the heap's injected clock;
+//   - free pressure: a free reaching the global heap re-arms the mesh
+//     timer and nudges the daemon (replacing the old inline pass);
+//   - memory pressure: when a resident-memory limit is set (the cgroup
+//     model of §1) and RSS crosses PressurePct of it, a pass runs even if
+//     the rate limiter says not due — compaction is the OOM escape hatch.
+//
+// Work is delegated to core.GlobalHeap.MeshBackground, the incremental
+// engine: one size class per barrier window, object copies performed off
+// the global lock under the §4.5.2 write-protection barrier, and every
+// lock hold bounded by the heap's max-pause setting.
+package meshd
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config parameterizes a Daemon. The zero value is usable: every field
+// has a default.
+type Config struct {
+	// MaxPause bounds each global-lock hold of a pass; <= 0 uses the
+	// heap's runtime mesh.max_pause setting.
+	MaxPause time.Duration
+	// PollInterval is the wall-clock wake-up granularity of the period
+	// timer; <= 0 derives it from the heap's mesh period, clamped to
+	// [1ms, 1s]. (The rate limit itself is evaluated against the heap's
+	// clock, which may be logical; the poll only decides how often the
+	// daemon looks.)
+	PollInterval time.Duration
+	// PressurePct is the RSS/limit percentage at which memory pressure
+	// forces a pass regardless of rate limiting; <= 0 means 90.
+	PressurePct int
+}
+
+// Stats counts daemon activity, by trigger.
+type Stats struct {
+	Wakeups        uint64 // times the daemon woke (timer or nudge)
+	TimerPasses    uint64 // passes started by the period timer
+	NudgePasses    uint64 // passes started by free-pressure nudges
+	PressurePasses uint64 // passes forced by memory pressure
+	SpansReleased  uint64 // spans released across all passes
+}
+
+// Daemon runs incremental meshing passes on a dedicated goroutine. Create
+// with New, then Start/Stop (both idempotent). Safe for concurrent use.
+type Daemon struct {
+	g   *core.GlobalHeap
+	cfg Config
+
+	nudge chan struct{}
+
+	mu      sync.Mutex // guards start/stop transitions
+	running atomic.Bool
+	stop    chan struct{}
+	done    chan struct{}
+
+	wakeups        atomic.Uint64
+	timerPasses    atomic.Uint64
+	nudgePasses    atomic.Uint64
+	pressurePasses atomic.Uint64
+	spansReleased  atomic.Uint64
+}
+
+// New returns a stopped daemon bound to g.
+func New(g *core.GlobalHeap, cfg Config) *Daemon {
+	if cfg.PressurePct <= 0 {
+		cfg.PressurePct = 90
+	}
+	return &Daemon{g: g, cfg: cfg, nudge: make(chan struct{}, 1)}
+}
+
+// Start launches the daemon goroutine, routes the heap's free-path trigger
+// to Nudge, and flips the heap into background-meshing mode. Idempotent.
+func (d *Daemon) Start() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.running.Load() {
+		return
+	}
+	d.stop = make(chan struct{})
+	d.done = make(chan struct{})
+	d.g.SetMeshNotifier(d.Nudge)
+	d.g.SetBackgroundMeshing(true)
+	d.running.Store(true)
+	go d.loop(d.stop, d.done)
+}
+
+// Stop halts the daemon and restores inline (foreground) meshing. It
+// blocks until any in-flight pass finishes, so after Stop returns no
+// daemon work races the caller. Idempotent.
+func (d *Daemon) Stop() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.running.Load() {
+		return
+	}
+	close(d.stop)
+	<-d.done
+	d.running.Store(false)
+	d.g.SetBackgroundMeshing(false)
+	d.g.SetMeshNotifier(nil)
+}
+
+// Running reports whether the daemon goroutine is live.
+func (d *Daemon) Running() bool { return d.running.Load() }
+
+// Nudge signals free pressure without blocking: the free path calls it
+// while holding the global heap lock, so it must never wait. Redundant
+// nudges coalesce in the single-slot channel.
+func (d *Daemon) Nudge() {
+	select {
+	case d.nudge <- struct{}{}:
+	default:
+	}
+}
+
+// RunPass runs one incremental pass synchronously on the caller's
+// goroutine, bypassing the rate limiter — deterministic hook for tests and
+// experiments. It is safe alongside a running daemon (passes serialize on
+// the mesh barrier per size class).
+func (d *Daemon) RunPass() int {
+	released := d.g.MeshBackground(d.cfg.MaxPause)
+	d.spansReleased.Add(uint64(released))
+	return released
+}
+
+// Stats snapshots daemon activity.
+func (d *Daemon) Stats() Stats {
+	return Stats{
+		Wakeups:        d.wakeups.Load(),
+		TimerPasses:    d.timerPasses.Load(),
+		NudgePasses:    d.nudgePasses.Load(),
+		PressurePasses: d.pressurePasses.Load(),
+		SpansReleased:  d.spansReleased.Load(),
+	}
+}
+
+func (d *Daemon) loop(stop, done chan struct{}) {
+	defer close(done)
+	timer := time.NewTimer(d.pollEvery())
+	defer timer.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-d.nudge:
+			d.wakeups.Add(1)
+			if d.underPressure() {
+				d.pressurePasses.Add(1)
+				d.RunPass()
+			} else if d.g.MeshDue() {
+				d.nudgePasses.Add(1)
+				d.RunPass()
+			}
+		case <-timer.C:
+			d.wakeups.Add(1)
+			if d.underPressure() {
+				d.pressurePasses.Add(1)
+				d.RunPass()
+			} else if d.g.MeshDue() {
+				d.timerPasses.Add(1)
+				d.RunPass()
+			}
+			timer.Reset(d.pollEvery())
+		}
+	}
+}
+
+// pollEvery derives the wall-clock wake-up interval, re-read every cycle
+// so runtime mesh.period changes take effect.
+func (d *Daemon) pollEvery() time.Duration {
+	if d.cfg.PollInterval > 0 {
+		return d.cfg.PollInterval
+	}
+	p := d.g.MeshPeriod()
+	if p < time.Millisecond {
+		p = time.Millisecond
+	}
+	if p > time.Second {
+		p = time.Second
+	}
+	return p
+}
+
+// underPressure reports whether RSS has crossed PressurePct of a
+// configured resident-memory limit.
+func (d *Daemon) underPressure() bool {
+	limit := d.g.OS().MemoryLimit()
+	if limit <= 0 {
+		return false
+	}
+	return d.g.OS().RSSPages()*100 >= limit*int64(d.cfg.PressurePct)
+}

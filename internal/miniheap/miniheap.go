@@ -41,6 +41,7 @@ type MiniHeap struct {
 	spans []uint64
 
 	attached atomic.Bool
+	pinned   atomic.Bool
 }
 
 var nextID atomic.Uint64
@@ -143,6 +144,27 @@ func (m *MiniHeap) Detach() {
 // IsAttached reports whether a thread-local heap owns this MiniHeap.
 func (m *MiniHeap) IsAttached() bool { return m.attached.Load() }
 
+// Pin marks the MiniHeap as claimed by an in-flight concurrent mesh
+// (§4.5.2): from write-protect until the page-table remap it sits in no
+// occupancy bin, must not be attached or re-filed by frees, and is not a
+// candidate for any other mesh. It panics on double pin — a pair is owned
+// by exactly one meshing slice.
+func (m *MiniHeap) Pin() {
+	if !m.pinned.CompareAndSwap(false, true) {
+		panic("miniheap: double pin")
+	}
+}
+
+// Unpin releases the meshing claim.
+func (m *MiniHeap) Unpin() {
+	if !m.pinned.CompareAndSwap(true, false) {
+		panic("miniheap: unpin of unpinned MiniHeap")
+	}
+}
+
+// IsPinned reports whether an in-flight mesh owns this MiniHeap.
+func (m *MiniHeap) IsPinned() bool { return m.pinned.Load() }
+
 // Contains reports whether addr falls inside any of the MiniHeap's virtual
 // spans.
 func (m *MiniHeap) Contains(addr uint64) bool {
@@ -232,6 +254,9 @@ func (m *MiniHeap) Meshable(o *MiniHeap) bool {
 		return false
 	}
 	if m.IsAttached() || o.IsAttached() {
+		return false
+	}
+	if m.IsPinned() || o.IsPinned() {
 		return false
 	}
 	return !m.bm.Overlaps(o.bm)

@@ -203,7 +203,11 @@ func Run(cfg Config, a alloc.Allocator, clock *core.LogicalClock) (*Result, erro
 		if m, ok := a.(alloc.Mesher); ok && i == 0 && !cfg.ActiveDefrag {
 			// Give Mesh one explicit quiescent-point pass, standing in
 			// for the rate-limited passes the idle period would run.
+			// Wall-time it here: the engine's own pause stats run on the
+			// injected (logical) clock, which does not advance mid-pass.
+			t0 := time.Now()
 			m.Mesh()
+			res.MeshTime = time.Since(t0)
 		}
 		h.Idle(cfg.SamplePeriod)
 	}
@@ -213,9 +217,6 @@ func Run(cfg Config, a alloc.Allocator, clock *core.LogicalClock) (*Result, erro
 	res.FinalRSS = a.RSS()
 	res.PeakRSS = res.Series.PeakRSS()
 	res.MeanRSS = res.Series.MeanRSS()
-	if ma, ok := a.(interface{ Stats() core.HeapStats }); ok {
-		res.MeshTime = ma.Stats().Mesh.TotalTime
-	}
 	return res, nil
 }
 

@@ -330,11 +330,22 @@ func (o *OS) Protect(vaddr uint64, pages int, p Prot) error {
 	return nil
 }
 
-// translate resolves one virtual address to (span, byte offset) under the
-// read lock. Returns the page's protection.
-func (o *OS) translate(addr uint64) (*physSpan, int, Prot, error) {
+// ProtAt returns the current protection of the page containing addr —
+// observability for tests of the write-barrier protocol (§4.5.2).
+func (o *OS) ProtAt(addr uint64) (Prot, error) {
 	o.mu.RLock()
 	defer o.mu.RUnlock()
+	e, ok := o.pageTable[addr>>PageShift]
+	if !ok {
+		return ReadWrite, fmt.Errorf("%w: %#x", ErrUnmapped, addr)
+	}
+	return e.prot, nil
+}
+
+// translateLocked resolves one virtual address to (span, byte offset) and
+// the page's protection. Caller holds o.mu (read or write); accessors must
+// use the returned span before releasing it.
+func (o *OS) translateLocked(addr uint64) (*physSpan, int, Prot, error) {
 	e, ok := o.pageTable[addr>>PageShift]
 	if !ok {
 		return nil, 0, ReadWrite, fmt.Errorf("%w: %#x", ErrUnmapped, addr)
@@ -349,20 +360,23 @@ func (o *OS) translate(addr uint64) (*physSpan, int, Prot, error) {
 // Read copies len(buf) bytes from virtual address addr into buf. Reads may
 // cross page (and span) boundaries. Reads are always permitted — the first
 // meshing invariant (§4.5.2): reads of objects being relocated are always
-// correct and available to concurrent threads.
+// correct and available to concurrent threads. Each page chunk translates
+// and copies under one hold of the lock, so a read can never observe a
+// physical span between remap and hole punch.
 func (o *OS) Read(addr uint64, buf []byte) error {
 	done := 0
 	for done < len(buf) {
 		a := addr + uint64(done)
-		ps, off, _, err := o.translate(a)
-		if err != nil {
-			return err
-		}
 		n := PageSize - int(a%PageSize)
 		if rem := len(buf) - done; n > rem {
 			n = rem
 		}
 		o.mu.RLock()
+		ps, off, _, err := o.translateLocked(a)
+		if err != nil {
+			o.mu.RUnlock()
+			return err
+		}
 		copy(buf[done:done+n], ps.data[off:off+n])
 		o.mu.RUnlock()
 		done += n
@@ -373,16 +387,27 @@ func (o *OS) Read(addr uint64, buf []byte) error {
 // Write copies data to virtual address addr, page by page. If a page is
 // write-protected, the fault hook is invoked (once per fault) and the write
 // retried — Mesh's write barrier: the handler blocks until meshing completes
-// and the page is remapped read-write (§4.5.2).
+// and the page is remapped read-write (§4.5.2). The protection check and the
+// data copy happen under one hold of the lock — the same lock Protect and
+// CopyPhys take — so a write can never sneak into a physical span between
+// the engine write-protecting it and copying its objects out (the lost-
+// update hazard §4.5.2's barrier exists to prevent).
 func (o *OS) Write(addr uint64, data []byte) error {
 	done := 0
 	for done < len(data) {
 		a := addr + uint64(done)
-		ps, off, prot, err := o.translate(a)
+		n := PageSize - int(a%PageSize)
+		if rem := len(data) - done; n > rem {
+			n = rem
+		}
+		o.mu.Lock()
+		ps, off, prot, err := o.translateLocked(a)
 		if err != nil {
+			o.mu.Unlock()
 			return err
 		}
 		if prot == ReadOnly {
+			o.mu.Unlock()
 			o.statFaults.Add(1)
 			h, ok := o.faultHook.Load().(func(uint64))
 			if !ok || h == nil {
@@ -391,11 +416,6 @@ func (o *OS) Write(addr uint64, data []byte) error {
 			h(a)
 			continue // retry translation; meshing has remapped the page
 		}
-		n := PageSize - int(a%PageSize)
-		if rem := len(data) - done; n > rem {
-			n = rem
-		}
-		o.mu.Lock()
 		copy(ps.data[off:off+n], data[done:done+n])
 		o.mu.Unlock()
 		done += n

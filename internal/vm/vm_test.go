@@ -457,3 +457,168 @@ func TestMemoryLimit(t *testing.T) {
 	}
 	_ = id3
 }
+
+// TestFaultHookBlocksWriterUntilRelease models the §4.5.2 write-barrier
+// protocol end to end at the VM layer: a writer that faults on a protected
+// page blocks inside the hook while the "mesher" finishes its work, and
+// the retried write lands at the post-release mapping — never the stale
+// one. This is the contract the background meshing engine relies on.
+func TestFaultHookBlocksWriterUntilRelease(t *testing.T) {
+	o := NewOS()
+	v := o.Reserve(1)
+	src, err := o.Commit(v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetByte(v, 0xAA); err != nil {
+		t.Fatal(err)
+	}
+	// A second physical span the "mesher" will remap v onto.
+	v2 := o.Reserve(1)
+	dst, err := o.Commit(v2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := o.Unmap(v2, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	faulted := make(chan struct{})
+	release := make(chan struct{})
+	o.SetFaultHook(func(addr uint64) {
+		faulted <- struct{}{}
+		<-release // the mesher holds its lock; the writer waits here
+	})
+	if err := o.Protect(v, 1, ReadOnly); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := o.ProtAt(v); p != ReadOnly {
+		t.Fatalf("ProtAt = %v after Protect(ReadOnly)", p)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- o.SetByte(v, 0x55) }()
+
+	<-faulted // writer is parked in the hook
+	select {
+	case err := <-done:
+		t.Fatalf("write completed through the barrier: %v", err)
+	default:
+	}
+	// Mesher: copy at the physical layer (below protection), then remap —
+	// which restores read-write — and release the barrier.
+	if err := o.CopyPhys(dst, 0, src, 0, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := o.Remap(v, 1, dst); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := o.ProtAt(v); p != ReadWrite {
+		t.Fatalf("ProtAt = %v after remap", p)
+	}
+	// The retried write landed in dst via the remapped page table.
+	b, err := o.ByteAt(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 0x55 {
+		t.Fatalf("read %#x, want 0x55", b)
+	}
+	d, err := o.PhysSlice(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] != 0x55 {
+		t.Fatalf("dst phys holds %#x, want 0x55 (write went to the stale span)", d[0])
+	}
+	if o.Snapshot().Faults != 1 {
+		t.Fatalf("faults = %d, want 1", o.Snapshot().Faults)
+	}
+}
+
+// TestWriteProtCheckIsAtomicWithCopy hammers the lost-update window the
+// write path must not have: writers race Protect+CopyPhys+Remap cycles,
+// and every write must either land before the copy reads the source span
+// (and be carried to the destination) or fault and land after the remap.
+// A write that lands in the source span after the copy read it would be
+// lost — observable as a stale read through the remapped page.
+func TestWriteProtCheckIsAtomicWithCopy(t *testing.T) {
+	o := NewOS()
+	v := o.Reserve(1)
+	cur, err := o.Commit(v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fault hook: wait until no mesh cycle is in flight, then retry.
+	var barrier sync.Mutex
+	o.SetFaultHook(func(addr uint64) {
+		barrier.Lock()
+		//lint:ignore SA2001 empty critical section is the wait itself
+		barrier.Unlock()
+	})
+
+	stop := make(chan struct{})
+	werr := make(chan error, 1)
+	go func() {
+		var seq byte
+		for {
+			select {
+			case <-stop:
+				werr <- nil
+				return
+			default:
+			}
+			seq++
+			if seq == 0 {
+				seq = 1
+			}
+			if err := o.SetByte(v, seq); err != nil {
+				werr <- err
+				return
+			}
+			got, err := o.ByteAt(v)
+			if err != nil {
+				werr <- err
+				return
+			}
+			if got != seq {
+				werr <- errors.New("lost update: read stale byte after own write")
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < 300; i++ {
+		barrier.Lock()
+		if err := o.Protect(v, 1, ReadOnly); err != nil {
+			t.Fatal(err)
+		}
+		vNew := o.Reserve(1)
+		next, err := o.Commit(vNew, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := o.Unmap(vNew, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.CopyPhys(next, 0, cur, 0, PageSize); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := o.Remap(v, 1, next); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Punch(cur); err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+		barrier.Unlock()
+	}
+	close(stop)
+	if err := <-werr; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,12 @@ type ConcurrentConfig struct {
 	MaxLive int      // per-worker live-object cap before it frees half
 	Sizes   SizeDist // allocation size distribution
 	Seed    uint64   // base RNG seed; worker w uses Seed+w
+	// TrackStalls wall-times every malloc/free call (scalar) or batch
+	// (batched) and reports the worst observed latency — the tail-stall
+	// metric the background-meshing experiment compares. Adds a timer
+	// syscall per operation, so throughput numbers from tracked runs are
+	// not comparable to untracked ones.
+	TrackStalls bool
 }
 
 // ConcurrentResult reports one concurrent run.
@@ -34,6 +40,9 @@ type ConcurrentResult struct {
 	OpsPerSec float64
 	FinalRSS  int64
 	FinalLive int64
+	// MaxStall is the longest single malloc/free (or batch) call observed
+	// across all workers; zero unless ConcurrentConfig.TrackStalls.
+	MaxStall time.Duration
 }
 
 // batchBufs recycles the per-worker scratch slices across runs.
@@ -67,15 +76,52 @@ func RunConcurrent(a alloc.Allocator, newHeap func(worker int) alloc.Heap, cfg C
 		maxLive = 4 * batch
 	}
 
+	// Create the heaps up front so sharing is detectable: when newHeap
+	// hands every worker the same goroutine-safe heap (the pooled
+	// Allocator), no worker may Close it on exit — closing a shared
+	// allocator would stop its background daemon and flush its pool while
+	// other workers still run. Per-worker heaps (Threads) are still closed
+	// so their spans become meshing candidates.
+	heaps := make([]alloc.Heap, cfg.Workers)
+	for w := range heaps {
+		heaps[w] = newHeap(w)
+	}
+	shared := false
+	for w := 1; w < cfg.Workers; w++ {
+		if heaps[w] == heaps[0] {
+			shared = true
+			break
+		}
+	}
+	if !shared && cfg.Workers == 1 {
+		// A single worker gives no pair to compare; probe with one extra
+		// newHeap call. A fresh unused Thread closes as a no-op.
+		probe := newHeap(0)
+		if probe == heaps[0] {
+			shared = true
+		} else if tc, ok := probe.(alloc.ThreadCloser); ok {
+			_ = tc.Close()
+		}
+	}
+
 	var wg sync.WaitGroup
 	var totalOps atomic.Int64
+	var maxStall atomic.Int64
+	noteStall := func(d time.Duration) {
+		for {
+			cur := maxStall.Load()
+			if int64(d) <= cur || maxStall.CompareAndSwap(cur, int64(d)) {
+				return
+			}
+		}
+	}
 	errc := make(chan error, cfg.Workers)
 	start := time.Now()
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			heap := newHeap(w)
+			heap := heaps[w]
 			rnd := rng.New(cfg.Seed + uint64(w))
 			buf := batchBufs.Get().(*batchBuf)
 			defer batchBufs.Put(buf)
@@ -89,7 +135,15 @@ func RunConcurrent(a alloc.Allocator, newHeap func(worker int) alloc.Heap, cfg C
 			// scalar configurations really measure the scalar path.
 			mallocSome := func() error {
 				if batch == 1 {
-					addr, err := heap.Malloc(cfg.Sizes.Sample(rnd))
+					size := cfg.Sizes.Sample(rnd)
+					var t0 time.Time
+					if cfg.TrackStalls {
+						t0 = time.Now()
+					}
+					addr, err := heap.Malloc(size)
+					if cfg.TrackStalls {
+						noteStall(time.Since(t0))
+					}
 					if err != nil {
 						return err
 					}
@@ -102,7 +156,14 @@ func RunConcurrent(a alloc.Allocator, newHeap func(worker int) alloc.Heap, cfg C
 					sizes = append(sizes, cfg.Sizes.Sample(rnd))
 				}
 				buf.sizes = sizes
+				var t0 time.Time
+				if cfg.TrackStalls {
+					t0 = time.Now()
+				}
 				addrs, err := alloc.MallocBatch(heap, sizes)
+				if cfg.TrackStalls {
+					noteStall(time.Since(t0))
+				}
 				if err != nil {
 					return err
 				}
@@ -113,14 +174,30 @@ func RunConcurrent(a alloc.Allocator, newHeap func(worker int) alloc.Heap, cfg C
 			freeSome := func(addrs []uint64) error {
 				if batch == 1 {
 					for _, addr := range addrs {
-						if err := heap.Free(addr); err != nil {
+						var t0 time.Time
+						if cfg.TrackStalls {
+							t0 = time.Now()
+						}
+						err := heap.Free(addr)
+						if cfg.TrackStalls {
+							noteStall(time.Since(t0))
+						}
+						if err != nil {
 							return err
 						}
 						ops++
 					}
 					return nil
 				}
-				if err := alloc.FreeBatch(heap, addrs); err != nil {
+				var t0 time.Time
+				if cfg.TrackStalls {
+					t0 = time.Now()
+				}
+				err := alloc.FreeBatch(heap, addrs)
+				if cfg.TrackStalls {
+					noteStall(time.Since(t0))
+				}
+				if err != nil {
 					return err
 				}
 				ops += len(addrs)
@@ -147,7 +224,7 @@ func RunConcurrent(a alloc.Allocator, newHeap func(worker int) alloc.Heap, cfg C
 				return
 			}
 			live = live[:0]
-			if tc, ok := heap.(alloc.ThreadCloser); ok {
+			if tc, ok := heap.(alloc.ThreadCloser); ok && !shared {
 				if err := tc.Close(); err != nil {
 					errc <- fmt.Errorf("worker %d: %w", w, err)
 				}
@@ -169,6 +246,7 @@ func RunConcurrent(a alloc.Allocator, newHeap func(worker int) alloc.Heap, cfg C
 		OpsPerSec: float64(total) / wall.Seconds(),
 		FinalRSS:  a.RSS(),
 		FinalLive: a.Live(),
+		MaxStall:  time.Duration(maxStall.Load()),
 	}
 	return res, nil
 }

@@ -16,21 +16,24 @@ import (
 //
 // Control keys:
 //
-//	Key               Type           Access    Meaning
-//	mesh.period       time.Duration  rw        min interval between meshing passes (§4.5)
-//	mesh.enabled      bool           rw        compaction engine on/off (§6.3 "no meshing")
-//	mesh.min_savings  int (bytes)    rw        pass-productivity threshold that disarms the timer (§4.5)
-//	mesh.split_t      int            rw        SplitMesher probe budget (§3.3, paper t=64)
-//	mesh.compact      (ignored)      w         force a full meshing pass now
-//	os.memory_limit   int64 (bytes)  rw        resident-memory cap, 0 = unlimited (§1); rounded down to pages
-//	pool.idle         int            r         thread heaps parked in the pool
-//	pool.created      int            r         thread heaps ever created by the pool
-//	pool.flush        (ignored)      w         relinquish idle pooled heaps (= Flush)
-//	stats.rss         int64          r         resident physical bytes
-//	stats.live        int64          r         live object bytes
-//	stats.allocs      uint64         r         total allocations
-//	stats.frees       uint64         r         total frees
-//	stats.mesh_passes uint64         r         meshing passes run
+//	Key               Type            Access    Meaning
+//	mesh.period       time.Duration   rw        min interval between meshing passes (§4.5)
+//	mesh.enabled      bool            rw        compaction engine on/off (§6.3 "no meshing")
+//	mesh.background   bool            rw        background daemon on/off (§4.5 dedicated meshing thread)
+//	mesh.max_pause    time.Duration   rw        per-slice lock-hold bound of background passes
+//	mesh.min_savings  int (bytes)     rw        pass-productivity threshold that disarms the timer (§4.5)
+//	mesh.split_t      int             rw        SplitMesher probe budget (§3.3, paper t=64)
+//	mesh.compact      (ignored)       w         force a full meshing pass now
+//	os.memory_limit   int64 (bytes)   rw        resident-memory cap, 0 = unlimited (§1); rounded down to pages
+//	pool.idle         int             r         thread heaps parked in the pool
+//	pool.created      int             r         thread heaps ever created by the pool
+//	pool.flush        (ignored)       w         relinquish idle pooled heaps (= Flush)
+//	stats.rss         int64           r         resident physical bytes
+//	stats.live        int64           r         live object bytes
+//	stats.allocs      uint64          r         total allocations
+//	stats.frees       uint64          r         total frees
+//	stats.mesh_passes uint64          r         meshing passes run
+//	stats.mesh.pauses PauseHistogram  r         distribution of meshing lock holds (§4.5 bounded pauses)
 //
 // Integer-typed keys accept int, int32, int64 or uint64 on write;
 // mesh.period additionally accepts a time.ParseDuration string.
@@ -74,6 +77,35 @@ var controls = map[string]control{
 		},
 		get: func(a *Allocator) (any, error) { return a.g.MeshingEnabled(), nil },
 	},
+	"mesh.background": {
+		set: func(a *Allocator, v any) error {
+			b, ok := v.(bool)
+			if !ok {
+				return fmt.Errorf("%w: need bool, got %T", ErrControlType, v)
+			}
+			if b {
+				a.daemon.Start()
+			} else {
+				a.daemon.Stop()
+			}
+			return nil
+		},
+		get: func(a *Allocator) (any, error) { return a.daemon.Running(), nil },
+	},
+	"mesh.max_pause": {
+		set: func(a *Allocator, v any) error {
+			d, err := asDuration(v)
+			if err != nil {
+				return err
+			}
+			if d <= 0 {
+				return fmt.Errorf("%w: mesh.max_pause must be positive, got %v", ErrControlType, d)
+			}
+			a.g.SetMaxPause(d)
+			return nil
+		},
+		get: func(a *Allocator) (any, error) { return a.g.MaxPause(), nil },
+	},
 	"mesh.min_savings": {
 		set: func(a *Allocator, v any) error {
 			n, err := asInt64(v)
@@ -100,7 +132,10 @@ var controls = map[string]control{
 		get: func(a *Allocator) (any, error) { return a.g.SplitMesherT(), nil },
 	},
 	"mesh.compact": {
-		set: func(a *Allocator, _ any) error { a.g.Mesh(); return nil },
+		// Route through Allocator.Mesh so a running daemon serves the pass
+		// with the incremental engine (bounded pauses), like explicit Mesh
+		// calls.
+		set: func(a *Allocator, _ any) error { a.Mesh(); return nil },
 	},
 	"os.memory_limit": {
 		set: func(a *Allocator, v any) error {
@@ -139,6 +174,9 @@ var controls = map[string]control{
 	},
 	"stats.mesh_passes": {
 		get: func(a *Allocator) (any, error) { return a.Stats().Mesh.Passes, nil },
+	},
+	"stats.mesh.pauses": {
+		get: func(a *Allocator) (any, error) { return a.Stats().Mesh.Pauses, nil },
 	},
 }
 

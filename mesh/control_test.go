@@ -19,6 +19,8 @@ func TestControlKeyTable(t *testing.T) {
 	}{
 		{key: "mesh.period", set: 250 * time.Millisecond, want: 250 * time.Millisecond, readback: true},
 		{key: "mesh.enabled", set: false, want: false, readback: true},
+		{key: "mesh.background", set: true, want: true, readback: true},
+		{key: "mesh.max_pause", set: 2 * time.Millisecond, want: 2 * time.Millisecond, readback: true},
 		{key: "mesh.min_savings", set: 4096, want: 4096, readback: true},
 		{key: "mesh.split_t", set: 32, want: 32, readback: true},
 		{key: "mesh.compact", set: struct{}{}},
@@ -31,8 +33,9 @@ func TestControlKeyTable(t *testing.T) {
 		{key: "stats.allocs", want: uint64(0), readback: true},
 		{key: "stats.frees", want: uint64(0), readback: true},
 		// mesh.enabled was set false above, so the mesh.compact trigger
-		// legitimately ran no pass.
+		// legitimately ran no pass — and therefore recorded no pauses.
 		{key: "stats.mesh_passes", want: uint64(0), readback: true},
+		{key: "stats.mesh.pauses", want: PauseHistogram{}, readback: true},
 	}
 
 	covered := make(map[string]bool)

@@ -47,6 +47,34 @@
 // the batch API (MallocBatch, FreeBatch), and adjust the allocator at
 // runtime through the mallctl-style Control / ReadControl surface; see
 // control.go for the key table.
+//
+// # Background meshing
+//
+// By default compaction runs inline: a free that reaches the global heap
+// may trigger a whole meshing pass while holding the global lock, stalling
+// every allocating goroutine for the pass (the synchronous baseline). With
+// background meshing — mesh.New(mesh.WithBackgroundMeshing(true)), or
+// Control("mesh.background", true) at runtime — compaction moves to a
+// daemon goroutine (§4.5's dedicated background thread):
+//
+//   - Triggers: the mesh-period timer, free-pressure nudges from the
+//     global heap (non-blocking; the freeing goroutine never meshes), and
+//     memory pressure when RSS nears a configured os.memory_limit.
+//   - Incremental passes: one size class per step, so lock holds scale
+//     with a single class's candidates rather than the whole heap, and
+//     the remap fix-up's global-lock holds are additionally bounded by
+//     mesh.max_pause (default 1 ms) — allocation and free latency no
+//     longer depends on pass length.
+//   - Concurrent copies (§4.5.2): source spans are write-protected and
+//     objects copied off-lock; reads proceed throughout, racing writers
+//     fault and wait until the remap publishes the consolidated span
+//     (§4.5.3), then retry successfully. Object contents and addresses
+//     are never disturbed.
+//
+// Close stops the daemon (idempotent; the allocator remains usable with
+// inline meshing). Pause behaviour is observable through
+// Stats().Mesh.Pauses or ReadControl("stats.mesh.pauses"), a fixed-bucket
+// histogram of every global-lock hold by the engine.
 package mesh
 
 import (
@@ -55,6 +83,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/core"
+	"repro/internal/meshd"
 	"repro/internal/vm"
 )
 
@@ -85,6 +114,18 @@ type Stats = core.HeapStats
 
 // MeshStats aggregates compaction activity.
 type MeshStats = core.MeshStats
+
+// PauseHistogram is the distribution of meshing pauses — every interval
+// the engine held the allocator's global lock. Read it from
+// Stats().Mesh.Pauses or ReadControl("stats.mesh.pauses").
+type PauseHistogram = core.PauseHistogram
+
+// NumPauseBuckets is the number of fixed buckets in PauseHistogram.
+const NumPauseBuckets = core.NumPauseBuckets
+
+// PauseBucketBound returns the inclusive upper bound of pause-histogram
+// bucket i; the last bucket is unbounded and returns a negative duration.
+func PauseBucketBound(i int) time.Duration { return core.PauseBucketBound(i) }
 
 // Clock abstracts time for mesh rate limiting; see WithClock.
 type Clock = core.Clock
@@ -146,6 +187,30 @@ func WithDirtyPageThreshold(pages int) Option {
 	return func(c *core.Config) { c.DirtyPageThreshold = pages }
 }
 
+// WithBackgroundMeshing starts the allocator with the background meshing
+// daemon running (§4.5: compaction on a dedicated thread, concurrent with
+// the application): frees nudge the daemon instead of running a pass
+// inline, and passes are incremental, with every allocation stall bounded
+// by the max-pause setting instead of pass length. Toggle at runtime with
+// Control("mesh.background", bool); stop the daemon with Close.
+func WithBackgroundMeshing(enabled bool) Option {
+	return func(c *core.Config) { c.BackgroundMeshing = enabled }
+}
+
+// WithMaxMeshPause bounds each global-lock hold of a background meshing
+// pass (default 1 ms). Runtime-adjustable via Control("mesh.max_pause", d).
+func WithMaxMeshPause(d time.Duration) Option {
+	return func(c *core.Config) { c.MaxPause = d }
+}
+
+// WithMeshStepCost charges an injected AdvancingClock (e.g. LogicalClock)
+// the given simulated cost per meshed pair, making pass durations — and
+// the pause histogram — deterministic in simulated-time runs. Real-time
+// allocators leave it unset.
+func WithMeshStepCost(d time.Duration) Option {
+	return func(c *core.Config) { c.MeshStepCost = d }
+}
+
 // Allocator is a Mesh heap, safe for concurrent use by any number of
 // goroutines. Each call transparently borrows a pooled thread heap; see
 // the package comment for the concurrency model and NewThread for the
@@ -154,6 +219,7 @@ type Allocator struct {
 	g      *core.GlobalHeap
 	nextID atomic.Uint64
 	pool   *heapPool
+	daemon *meshd.Daemon
 }
 
 // New constructs an allocator with the paper's default configuration,
@@ -165,7 +231,21 @@ func New(opts ...Option) *Allocator {
 	}
 	a := &Allocator{g: core.NewGlobalHeap(cfg)}
 	a.pool = newHeapPool(a.g, &a.nextID)
+	a.daemon = meshd.New(a.g, meshd.Config{})
+	if cfg.BackgroundMeshing {
+		a.daemon.Start()
+	}
 	return a
+}
+
+// Close stops the background meshing daemon (waiting out any in-flight
+// pass) and relinquishes every idle pooled heap, like Flush. The allocator
+// remains fully usable afterwards — meshing simply reverts to the inline
+// foreground mode — so Close is the quiesce point, not a destructor. Safe
+// to call multiple times and concurrently with allocator traffic.
+func (a *Allocator) Close() error {
+	a.daemon.Stop()
+	return a.pool.flush()
 }
 
 // Malloc allocates size bytes.
@@ -195,9 +275,17 @@ func (a *Allocator) Write(p Ptr, data []byte) error { return a.g.OS().Write(p, d
 
 // Mesh forces a full compaction pass and returns the number of physical
 // spans released. Applications can call this at quiescent points; normally
-// meshing also triggers automatically on frees, rate limited by the mesh
-// period (§4.5).
-func (a *Allocator) Mesh() int { return a.g.Mesh() }
+// meshing also triggers automatically — inline on frees in foreground
+// mode, or on the daemon's schedule in background mode — rate limited by
+// the mesh period (§4.5). While the daemon is running, the pass runs
+// through the incremental engine so explicit compaction also honors the
+// max-pause bound.
+func (a *Allocator) Mesh() int {
+	if a.daemon.Running() {
+		return a.daemon.RunPass()
+	}
+	return a.g.Mesh()
+}
 
 // Stats returns a snapshot of allocator state.
 func (a *Allocator) Stats() Stats { return a.g.Stats() }
