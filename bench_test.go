@@ -8,6 +8,9 @@
 package repro
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/experiments"
@@ -344,4 +347,88 @@ func BenchmarkConcurrentThreads(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkScaleContention measures multi-goroutine free/refill throughput
+// on one shared allocator as goroutine count grows. Workers form a ring:
+// each allocates batches of objects in its own size class from a pinned
+// Thread and frees batches produced by its neighbour, so every free is
+// remote and takes the global-heap path — in a different size class per
+// worker. This is the workload the per-class shard locks exist for; before
+// sharding, every one of these frees serialized on a single global mutex.
+// One benchmark op is one 64-object batch: alloc + hand-off + remote free.
+func BenchmarkScaleContention(b *testing.B) {
+	classSizes := []int{16, 32, 64, 128, 256, 512, 1024, 2048}
+	for _, mode := range []string{"scalar", "batch"} {
+		for _, gs := range []int{1, 2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", mode, gs), func(b *testing.B) {
+				a := mesh.New(mesh.WithSeed(1))
+				const objs = 64
+				iters := b.N/gs + 1
+				rings := make([]chan []mesh.Ptr, gs)
+				for i := range rings {
+					rings[i] = make(chan []mesh.Ptr, 2)
+				}
+				// An erroring worker closes done so its ring neighbours
+				// unblock and the benchmark fails instead of deadlocking
+				// in wg.Wait.
+				done := make(chan struct{})
+				var failed atomic.Bool
+				fail := func(err error) {
+					if failed.CompareAndSwap(false, true) {
+						b.Error(err)
+						close(done)
+					}
+				}
+				var wg sync.WaitGroup
+				b.ResetTimer()
+				for w := 0; w < gs; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						th := a.NewThread()
+						defer th.Close()
+						size := classSizes[w%len(classSizes)]
+						for i := 0; i < iters; i++ {
+							buf := make([]mesh.Ptr, objs)
+							for j := range buf {
+								p, err := th.Malloc(size)
+								if err != nil {
+									fail(err)
+									return
+								}
+								buf[j] = p
+							}
+							select {
+							case rings[(w+1)%gs] <- buf:
+							case <-done:
+								return
+							}
+							var batch []mesh.Ptr
+							select {
+							case batch = <-rings[w]:
+							case <-done:
+								return
+							}
+							if mode == "batch" {
+								if err := th.FreeBatch(batch); err != nil {
+									fail(err)
+									return
+								}
+							} else {
+								for _, p := range batch {
+									if err := th.Free(p); err != nil {
+										fail(err)
+										return
+									}
+								}
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				b.StopTimer()
+			})
+		}
+	}
 }

@@ -18,14 +18,17 @@
 //	robson    §1 motivation: OOM survival under a memory budget
 //	conc      concurrent throughput: pooled vs thread heaps, scalar vs batch
 //	pause     foreground vs background meshing: tail stalls and RSS (§4.5)
+//	scale     free/refill throughput vs goroutine count (sharded global heap)
 //	all       everything above
 //
 // -scale divides workload sizes (1 = the paper's full parameters; larger
 // values run proportionally smaller and faster). -csv additionally dumps
-// the RSS time series for the figure experiments.
+// the RSS time series for the figure experiments. -json FILE writes the
+// scale experiment's result as JSON (the CI perf-trajectory artifact).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,13 +38,14 @@ import (
 )
 
 var (
-	scale  = flag.Int("scale", 1, "divide workload sizes by this factor (1 = paper scale)")
-	csvOut = flag.Bool("csv", false, "also print RSS time series as CSV")
+	scale   = flag.Int("scale", 1, "divide workload sizes by this factor (1 = paper scale)")
+	csvOut  = flag.Bool("csv", false, "also print RSS time series as CSV")
+	jsonOut = flag.String("json", "", "write the scale experiment's result as JSON to this file")
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: meshbench [-scale N] [-csv] <fig6|fig7|fig8|spec|prob|lemma53|triangle|ablation|robson|conc|pause|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: meshbench [-scale N] [-csv] [-json FILE] <fig6|fig7|fig8|spec|prob|lemma53|triangle|ablation|robson|conc|pause|scale|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -82,8 +86,10 @@ func run(what string) error {
 		return conc()
 	case "pause":
 		return pause()
+	case "scale":
+		return scaleExp()
 	case "all":
-		for _, f := range []func() error{fig6, fig7, fig8, spec, ablation, robson, conc, pause} {
+		for _, f := range []func() error{fig6, fig7, fig8, spec, ablation, robson, conc, pause, scaleExp} {
 			if err := f(); err != nil {
 				return err
 			}
@@ -304,6 +310,31 @@ func conc() error {
 	for _, r := range res.Rows {
 		fmt.Printf("%-18s %8d %7d %10d %12v %14.0f %12.2f\n",
 			r.Config, r.Workers, r.Batch, r.Ops, r.Wall.Round(1e6), r.OpsPerSec, stats.MiB(r.FinalRSS))
+	}
+	return nil
+}
+
+func scaleExp() error {
+	header("Scale: free/refill throughput vs goroutine count on the sharded global heap")
+	res, err := experiments.Scale(*scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s %7s %10s %12s %14s %16s %14s\n",
+		"workers", "batch", "ops", "wall", "ops/sec", "shard acquires", "map lookups")
+	for _, r := range res.Rows {
+		fmt.Printf("%8d %7d %10d %12v %14.0f %16d %14d\n",
+			r.Workers, r.Batch, r.Ops, r.Wall.Round(1e6), r.OpsPerSec, r.ShardAcquires, r.ArenaLookups)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 	return nil
 }

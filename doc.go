@@ -7,14 +7,21 @@
 // Thread handles for pinned fast-path workers, batch malloc/free for
 // heavy-traffic callers, and a mallctl-style Control/ReadControl
 // surface for every runtime knob (see mesh/control.go for the key
-// table). Compaction can run inline on the free path or — with
-// background meshing enabled — on a daemon goroutine
-// (internal/meshd, the paper's §4.5 background thread) that meshes
-// incrementally and concurrently with the application, so allocation
-// stalls scale with one size class's slice (remap fix-ups bounded by
-// the mesh.max_pause control) rather than pass length;
-// Allocator.Close stops the daemon. The root package hosts the
-// repository-level
+// table). The global heap is sharded for scalability: the paper's
+// single global-heap lock is split into one lock per size class (plus
+// separate locks for large objects and mesh scheduling), and the
+// pointer-to-span table behind every non-local free is a lock-free
+// two-level radix page map (internal/arena) — a lookup is two atomic
+// loads, so frees and refills in distinct size classes never contend
+// (see the lock-hierarchy comment in internal/core/global.go).
+// Compaction can run inline on the free path or — with background
+// meshing enabled — on a daemon goroutine (internal/meshd, the
+// paper's §4.5 background thread) that meshes incrementally and
+// concurrently with the application, so allocation stalls scale with
+// one size class's slice (remap fix-ups bounded by the mesh.max_pause
+// control) rather than pass length, and stall only that class's
+// traffic; Allocator.Close stops the daemon. The root package hosts
+// the repository-level
 // benchmark suite (bench_test.go): one benchmark per table/figure of
 // the paper's evaluation plus hot-path microbenchmarks of the public
 // API. See README.md for the architecture map and how to run the

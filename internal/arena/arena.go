@@ -11,11 +11,17 @@
 // again soon and reclamation is relatively expensive. Dirty pages are
 // returned to the OS (punched) only after DirtyPageThreshold pages
 // accumulate, or when meshing is invoked.
+//
+// The offset-to-MiniHeap table is a two-level radix page map of atomic
+// pointers (tcmalloc-pagemap style), so Lookup on the free path is two
+// atomic loads and zero locking; see the pageMap comment for the memory-
+// ordering argument.
 package arena
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/miniheap"
 	"repro/internal/vm"
@@ -25,10 +31,49 @@ import (
 // arena punches used spans back to the OS: 64 MiB, per §4.4.1.
 const DefaultDirtyPageThreshold = 64 << 20 / vm.PageSize
 
+// Page-map geometry: virtual page numbers relative to vm.ArenaBase index a
+// two-level radix tree — rootBits select a lazily allocated leaf, leafBits
+// select the slot inside it. 17+15 bits of VPN cover 16 TiB of address
+// space above the arena base; vm.OS's bump-pointer Reserve never reuses
+// addresses, so this is a hard capacity, checked on Register.
+const (
+	leafBits = 15
+	leafSize = 1 << leafBits
+	leafMask = leafSize - 1
+	rootBits = 17
+	rootSize = 1 << rootBits
+	// maxPages is the number of virtual pages the map can describe:
+	// 2^32 pages = 16 TiB of cumulative reservations. The root array this
+	// costs is 1 MiB of lazily faulted pointers per arena; the vm layer's
+	// bump-pointer Reserve never recycles addresses, so this bounds an
+	// arena's lifetime churn, not its live size — at ~10 pages consumed
+	// per span allocation it is good for ~400M span allocations.
+	maxPages = 1 << (rootBits + leafBits)
+	// baseVPN is the first virtual page number the map covers.
+	baseVPN = vm.ArenaBase >> vm.PageShift
+)
+
+// lookupStripes spreads the Lookup counter over several cache lines so the
+// free fast path never shares one hot line across workers; stripes are
+// picked by page number, which distributes by span and therefore by the
+// per-worker size classes that dominate traffic.
+const lookupStripes = 32
+
+// stripedCount is one padded counter stripe (its own cache line).
+type stripedCount struct {
+	n atomic.Uint64
+	_ [7]uint64 // pad to 64 bytes
+}
+
+// pageLeaf is one second-level block of owner slots.
+type pageLeaf [leafSize]atomic.Pointer[miniheap.MiniHeap]
+
 // Arena owns span allocation for one heap. All methods are safe for
-// concurrent use; internally a single mutex guards the bins and the
-// offset-to-MiniHeap table (the global heap serializes heavier operations
-// with its own lock above us).
+// concurrent use. The mutex guards only the dirty-span reuse bins; the
+// offset-to-MiniHeap page map is lock-free (readers take no lock at all,
+// writers publish with atomic stores — the global heap's per-class shard
+// locks serialize conflicting ownership updates above us, see
+// core.GlobalHeap's lock-hierarchy comment).
 type Arena struct {
 	os *vm.OS
 
@@ -36,8 +81,14 @@ type Arena struct {
 	dirty       map[int][]vm.PhysID // span length in pages -> reusable dirty spans
 	dirtyPages  int
 	threshold   int
-	byPage      map[uint64]*miniheap.MiniHeap // virtual page number -> owner
-	spanRelease uint64                        // count of spans released (stats)
+	spanRelease uint64 // count of spans released (stats)
+
+	lookups [lookupStripes]stripedCount // Lookup calls (stats.arena.lookups)
+
+	// root is the first radix level. Leaves are allocated on first use and
+	// never reclaimed (the bump-pointer address space is never reused, so a
+	// leaf stays valid forever once published).
+	root [rootSize]atomic.Pointer[pageLeaf]
 }
 
 // New creates an arena on top of os. threshold is the dirty-page punch
@@ -50,7 +101,6 @@ func New(os *vm.OS, threshold int) *Arena {
 		os:        os,
 		dirty:     make(map[int][]vm.PhysID),
 		threshold: threshold,
-		byPage:    make(map[uint64]*miniheap.MiniHeap),
 	}
 }
 
@@ -88,34 +138,84 @@ func (a *Arena) AllocSpan(pages int) (vbase uint64, phys vm.PhysID, reused bool,
 	return vbase, phys, false, nil
 }
 
+// slot returns the page-map slot for one virtual page number, allocating
+// the leaf on first touch. Concurrent first touches race benignly: the
+// loser's leaf is discarded by the CompareAndSwap and the published one is
+// reloaded.
+func (a *Arena) slot(vpn uint64) *atomic.Pointer[miniheap.MiniHeap] {
+	if vpn < baseVPN || vpn-baseVPN >= maxPages {
+		panic(fmt.Sprintf("arena: page %#x outside the page map's %d-page range", vpn, maxPages))
+	}
+	off := vpn - baseVPN
+	head := &a.root[off>>leafBits]
+	leaf := head.Load()
+	for leaf == nil {
+		fresh := new(pageLeaf)
+		if head.CompareAndSwap(nil, fresh) {
+			leaf = fresh
+		} else {
+			leaf = head.Load()
+		}
+	}
+	return &leaf[off&leafMask]
+}
+
 // Register records mh as the owner of the span at vbase, enabling
-// constant-time pointer-to-MiniHeap lookup.
+// constant-time pointer-to-MiniHeap lookup. Ownership is published with
+// atomic stores; callers must ensure the span's address has not been handed
+// to the application yet (fresh spans) or that they hold the owning size
+// class's shard lock (meshing's Reassign), so lock-free readers never act
+// on a half-updated span.
 func (a *Arena) Register(vbase uint64, pages int, mh *miniheap.MiniHeap) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	vpn := vbase >> vm.PageShift
 	for i := uint64(0); i < uint64(pages); i++ {
-		a.byPage[vpn+i] = mh
+		a.slot(vpn + i).Store(mh)
 	}
 }
 
-// Unregister removes the owner mapping for the span at vbase.
+// Unregister removes the owner mapping for the span at vbase. The address
+// space is never reused, so a slot cleared here stays nil forever —
+// lookups racing a span teardown resolve to nil and are discarded as
+// invalid frees, never to a recycled owner.
 func (a *Arena) Unregister(vbase uint64, pages int) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	vpn := vbase >> vm.PageShift
 	for i := uint64(0); i < uint64(pages); i++ {
-		delete(a.byPage, vpn+i)
+		a.slot(vpn + i).Store(nil)
 	}
 }
 
 // Lookup resolves a pointer to its owning MiniHeap in constant time
-// (§4.4.4). It returns nil for addresses the arena does not own — memory
-// errors like wild frees are thereby "easily discovered and discarded".
+// (§4.4.4) with two atomic loads and no locking — the hot half of every
+// non-local free. It returns nil for addresses the arena does not own —
+// memory errors like wild frees are thereby "easily discovered and
+// discarded".
+//
+// A lookup racing a concurrent Reassign may return either the old or the
+// new owner; both were correct owners at some instant during the call.
+// Callers that need the authoritative owner (the free path's bitmap
+// update) re-run Lookup under the owning size class's shard lock, which
+// serializes with the meshing fix-up that performs reassignments.
 func (a *Arena) Lookup(addr uint64) *miniheap.MiniHeap {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.byPage[addr>>vm.PageShift]
+	vpn := addr >> vm.PageShift
+	a.lookups[vpn%lookupStripes].n.Add(1)
+	if vpn < baseVPN || vpn-baseVPN >= maxPages {
+		return nil
+	}
+	off := vpn - baseVPN
+	leaf := a.root[off>>leafBits].Load()
+	if leaf == nil {
+		return nil
+	}
+	return leaf[off&leafMask].Load()
+}
+
+// Lookups returns the number of Lookup calls served (stats.arena.lookups).
+func (a *Arena) Lookups() uint64 {
+	var n uint64
+	for i := range a.lookups {
+		n += a.lookups[i].n.Load()
+	}
+	return n
 }
 
 // ReleaseSpan unmaps the virtual span at vbase and, if that drops the last
@@ -176,7 +276,8 @@ func (a *Arena) DirtyPages() int {
 
 // Reassign transfers ownership of the span at vbase to a different MiniHeap
 // without touching mappings; meshing uses this when the destination MiniHeap
-// absorbs the source's virtual spans.
+// absorbs the source's virtual spans. The caller must hold the size class's
+// shard lock (see Register).
 func (a *Arena) Reassign(vbase uint64, pages int, mh *miniheap.MiniHeap) {
 	a.Register(vbase, pages, mh)
 }

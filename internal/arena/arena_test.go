@@ -1,7 +1,11 @@
 package arena
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/miniheap"
 	"repro/internal/sizeclass"
@@ -210,5 +214,106 @@ func TestDifferentSizesDifferentBins(t *testing.T) {
 	}
 	if !reused || p != p1 {
 		t.Fatalf("1-page request got phys %d (reused=%v), want %d", p, reused, p1)
+	}
+}
+
+// TestLookupConcurrentReassign hammers the lock-free page map from reader
+// goroutines while a writer cycles the span's ownership between two
+// MiniHeaps and finally tears it down. Lookups must only ever observe a
+// MiniHeap that was a legitimate owner at some instant — never a foreign
+// value, and never a resurrected owner after Unregister: once the span is
+// freed, every subsequent lookup returns nil.
+func TestLookupConcurrentReassign(t *testing.T) {
+	a, _ := newArena(0)
+	c, _ := sizeclass.ClassForSize(16)
+	vbase, phys, _, err := a.AllocSpan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh1 := miniheap.New(c, vbase, phys)
+	mh2 := miniheap.New(c, vbase, phys)
+	a.Register(vbase, 1, mh1)
+
+	var unregistered atomic.Bool
+	done := make(chan struct{})
+	const readers = 4
+	errc := make(chan error, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Order matters: sample the teardown flag BEFORE the
+				// lookup. If the flag was already set, the span was
+				// already freed, so the lookup must see nil; if the
+				// lookup still sees an owner, the flag read must have
+				// preceded the Unregister and mh1/mh2 are the only
+				// owners it may name.
+				wasFreed := unregistered.Load()
+				got := a.Lookup(vbase + 100)
+				if got != nil && got != mh1 && got != mh2 {
+					errc <- fmt.Errorf("lookup returned foreign owner %v", got)
+					return
+				}
+				if wasFreed && got != nil {
+					errc <- fmt.Errorf("stale owner %v after Unregister", got)
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20000; i++ {
+		if i%2 == 0 {
+			a.Reassign(vbase, 1, mh2)
+		} else {
+			a.Reassign(vbase, 1, mh1)
+		}
+	}
+	a.Unregister(vbase, 1)
+	unregistered.Store(true)
+	close(done)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if got := a.Lookup(vbase); got != nil {
+		t.Fatalf("Lookup after Unregister = %v, want nil", got)
+	}
+}
+
+// TestLookupIsLockFree pins the acceptance criterion structurally: Lookup
+// must complete even while another goroutine holds the arena's mutex (the
+// dirty-bin lock), proving the page map takes no arena lock at all.
+func TestLookupIsLockFree(t *testing.T) {
+	a, _ := newArena(0)
+	c, _ := sizeclass.ClassForSize(16)
+	vbase, phys, _, err := a.AllocSpan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh := miniheap.New(c, vbase, phys)
+	a.Register(vbase, 1, mh)
+
+	a.mu.Lock() // simulate a stalled dirty-bin holder
+	donec := make(chan *miniheap.MiniHeap, 1)
+	go func() { donec <- a.Lookup(vbase) }()
+	select {
+	case got := <-donec:
+		if got != mh {
+			t.Fatalf("Lookup = %v, want %v", got, mh)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Lookup blocked on the arena mutex")
+	}
+	a.mu.Unlock()
+	if n := a.Lookups(); n < 1 {
+		t.Fatalf("Lookups() = %d, want >= 1", n)
 	}
 }

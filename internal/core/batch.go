@@ -10,9 +10,10 @@ import (
 // This file implements the batched hot-path operations. They exist to
 // amortize per-call overhead for heavy-traffic callers: one pooled-heap
 // hand-off, one pair of atomic accounting updates, and (for non-local
-// frees) one global-lock acquisition cover a whole batch instead of one
-// operation each. The allocation policy is identical to the scalar path —
-// every object still comes off a shuffle vector in randomized order.
+// frees) one shard-lock acquisition per size class present in the batch
+// cover a whole batch instead of one operation each. The allocation policy
+// is identical to the scalar path — every object still comes off a shuffle
+// vector in randomized order.
 
 // MallocBatch allocates one object per entry of sizes, appending the
 // resulting addresses to out (which may be nil) and returning the extended
@@ -68,16 +69,17 @@ func (t *ThreadHeap) MallocBatch(sizes []int, out []uint64) ([]uint64, error) {
 // FreeBatch releases every object in addrs. Frees local to this heap's
 // attached spans are handled by the shuffle vectors with one accounting
 // update for the whole batch; the rest are passed to the global heap in a
-// single FreeBatch call, under a single lock acquisition. Errors on
-// individual addresses are joined; valid addresses in the same batch are
-// still freed.
+// single FreeBatch call, which partitions them by owning size class and
+// takes each shard lock once for the whole batch. Errors on individual
+// addresses are joined; valid addresses in the same batch are still freed.
 func (t *ThreadHeap) FreeBatch(addrs []uint64) error {
 	var errs []error
 	var bytes int64
 	var n uint64
 	nonLocal := t.scratch[:0]
+	owners := t.ownerScratch[:0]
 	for _, addr := range addrs {
-		size, ok, err := t.freeLocal(addr)
+		size, ok, owner, err := t.freeLocal(addr)
 		switch {
 		case err != nil:
 			errs = append(errs, err)
@@ -86,6 +88,7 @@ func (t *ThreadHeap) FreeBatch(addrs []uint64) error {
 			n++
 		default:
 			nonLocal = append(nonLocal, addr)
+			owners = append(owners, owner)
 		}
 	}
 	if n > 0 {
@@ -93,10 +96,12 @@ func (t *ThreadHeap) FreeBatch(addrs []uint64) error {
 		t.global.noteLocalFreeN(bytes, n)
 	}
 	if len(nonLocal) > 0 {
-		if err := t.global.FreeBatch(nonLocal); err != nil {
+		if err := t.global.freeBatchResolved(nonLocal, owners); err != nil {
 			errs = append(errs, err)
 		}
 	}
 	t.scratch = nonLocal[:0]
+	clear(owners) // don't pin destroyed MiniHeaps between batches
+	t.ownerScratch = owners[:0]
 	return errors.Join(errs...)
 }

@@ -220,15 +220,16 @@ func TestEmptySpanReleasedToArena(t *testing.T) {
 	if live := g.Stats().Live; live != 0 {
 		t.Fatalf("live = %d", live)
 	}
-	g.mu.Lock()
 	binned := 0
 	for c := range g.classes {
-		for b := range g.classes[c].bins {
-			binned += g.classes[c].bins[b].len()
+		cs := &g.classes[c]
+		cs.lock()
+		for b := range cs.bins {
+			binned += cs.bins[b].len()
 		}
-		binned += g.classes[c].full.len()
+		binned += cs.full.len()
+		cs.unlock()
 	}
-	g.mu.Unlock()
 	if binned != 0 {
 		t.Fatalf("%d MiniHeaps still binned after all frees", binned)
 	}

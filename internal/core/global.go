@@ -6,6 +6,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,14 +50,14 @@ type Config struct {
 	// Clock supplies time for rate limiting and pause measurement; nil uses
 	// the wall clock.
 	Clock Clock
-	// MaxPause bounds each global-lock hold of a background meshing slice
+	// MaxPause bounds each shard-lock hold of a background meshing slice
 	// (§4.5's bounded-pause goal): the fix-up loop releases the lock once the
 	// budget is spent and continues under a fresh acquisition. 0 keeps the
 	// default (1 ms); foreground passes are never sliced.
 	MaxPause time.Duration
 	// BackgroundMeshing routes the free-path mesh trigger to a registered
-	// notifier (the meshd daemon) instead of running the pass inline while
-	// holding the global lock (§4.5: meshing runs on a dedicated background
+	// notifier (the meshd daemon) instead of running the pass inline on the
+	// freeing goroutine (§4.5: meshing runs on a dedicated background
 	// thread).
 	BackgroundMeshing bool
 	// MeshStepCost, when positive, is charged to an AdvancingClock for every
@@ -122,10 +123,10 @@ func pauseBucket(d time.Duration) int {
 }
 
 // PauseHistogram is the distribution of meshing pauses — every interval the
-// engine held the global heap lock (§4.5.3): a full foreground pass is one
-// pause; each background slice contributes its candidate-selection and
-// remap-fix-up critical sections. Comparable with ==, so snapshots diff
-// cheaply in tests.
+// engine held a heap shard lock (§4.5.3): a foreground pass contributes one
+// pause per size class it worked on; each background slice contributes its
+// candidate-selection and remap-fix-up critical sections. Comparable with
+// ==, so snapshots diff cheaply in tests.
 type PauseHistogram struct {
 	Count   uint64        // pauses recorded
 	Total   time.Duration // summed pause time
@@ -142,8 +143,8 @@ type MeshStats struct {
 	BytesFreed   uint64         // physical bytes released by meshing
 	BytesCopied  uint64         // object bytes consolidated
 	TotalTime    time.Duration  // time spent meshing (passes and slices, including off-lock copy)
-	LongestPause time.Duration  // longest single global-lock hold (== Pauses.Longest)
-	Pauses       PauseHistogram // distribution of global-lock holds by the engine
+	LongestPause time.Duration  // longest single shard-lock hold (== Pauses.Longest)
+	Pauses       PauseHistogram // distribution of shard-lock holds by the engine
 }
 
 // HeapStats is a point-in-time snapshot of heap state.
@@ -158,10 +159,28 @@ type HeapStats struct {
 	InvalidFree uint64 // discarded bad frees (§4.4.4)
 }
 
-// classState holds the global heap's per-size-class detached MiniHeaps:
-// occupancy bins for partially full spans, plus a set for full spans (not
-// allocatable, not meshable until something frees).
+// classState is one size class's shard of the global heap: the detached
+// MiniHeaps (occupancy bins for partially full spans plus a set for full
+// spans), the class registry, the class's RNG stream, and the shard lock
+// that guards them all. Sharding by size class works because every
+// structural operation — a free's re-bin, a refill, a release, a meshing
+// fix-up — touches spans of exactly one class, so operations in distinct
+// classes never contend (§4.4's global-heap serialization confined to a
+// class).
 type classState struct {
+	mu       sync.Mutex
+	acquires atomic.Uint64 // shard-lock acquisitions (stats.global.shard_acquires)
+
+	// rnd drives this class's random bin picks and SplitMesher shuffles.
+	// Guarded by mu; per-class streams keep runs deterministic without a
+	// cross-shard RNG lock.
+	rnd *rng.RNG
+
+	// nonEmpty has bit b set iff bins[b] is non-empty, so refills find the
+	// fullest non-empty bin with one bit scan instead of probing bins one
+	// by one.
+	nonEmpty uint32
+
 	bins [miniheap.NumBins]*binSet
 	full *binSet
 	// reg tracks every live MiniHeap of the class, attached or detached,
@@ -169,37 +188,106 @@ type classState struct {
 	reg *binSet
 }
 
+// lock acquires the shard lock, counting the acquisition.
+func (cs *classState) lock() {
+	cs.mu.Lock()
+	cs.acquires.Add(1)
+}
+
+func (cs *classState) unlock() { cs.mu.Unlock() }
+
+// binAdd files a partially full MiniHeap by occupancy, maintaining the
+// non-empty bitmask. Caller holds cs.mu.
+func (cs *classState) binAdd(mh *miniheap.MiniHeap) {
+	b := mh.Bin()
+	cs.bins[b].add(mh)
+	cs.nonEmpty |= 1 << uint(b)
+}
+
+// binRemove removes a MiniHeap from bin b, maintaining the non-empty
+// bitmask. Caller holds cs.mu.
+func (cs *classState) binRemove(b int, mh *miniheap.MiniHeap) {
+	cs.bins[b].remove(mh)
+	if cs.bins[b].len() == 0 {
+		cs.nonEmpty &^= 1 << uint(b)
+	}
+}
+
 // GlobalHeap manages runtime state shared by all threads: MiniHeap
 // allocation, large objects, non-local frees, and meshing coordination
-// (§4.4). One mutex — the paper's global heap lock — serializes structural
-// operations; the thread running a mesh holds it for the whole pass
-// (§4.5.3).
+// (§4.4).
+//
+// # Lock hierarchy
+//
+// The paper's single global-heap lock is sharded here so that operations
+// in distinct size classes proceed in parallel. From outermost to
+// innermost, the locks are:
+//
+//	meshBarrier            — held by the meshing engine for every
+//	                         protect→remap window (a foreground pass in
+//	                         full, a background slice per class); the
+//	                         write-fault hook waits on it and nothing else.
+//	classes[c].mu          — one shard lock per size class, guarding the
+//	                         class's bins, full set, registry, RNG, and all
+//	                         arena ownership updates (Register/Reassign/
+//	                         Unregister) for spans of the class. Taken
+//	                         one at a time by normal operations; only
+//	                         CheckIntegrity holds several, in ascending
+//	                         class order.
+//	largeMu                — guards the large-object registry.
+//	arena/vm internals     — the arena's dirty-bin mutex and the simulated
+//	                         OS's page-table lock; leaves of the order.
+//
+// A holder of a later lock never acquires an earlier one; the fault hook
+// acquires only meshBarrier (never a shard lock), so a writer blocked on a
+// mid-copy span cannot deadlock against the engine's fix-up. Runtime knobs
+// (mesh period, enablement, pause budget, probe budget, savings threshold)
+// live in atomics and take no lock at all. arena.Lookup is lock-free; the
+// free path re-runs it under the owning class's shard lock for the
+// authoritative owner (see arena.Lookup).
 type GlobalHeap struct {
-	cfg   Config
+	cfg   Config // immutable after construction; runtime-tunable knobs live in the atomics below
 	os    *vm.OS
 	arena *arena.Arena
 	clock Clock
 
-	// meshBarrier is the write barrier's wait point for concurrent meshing
-	// (§4.5.2–§4.5.3): a background slice holds it from write-protecting the
-	// source spans until the page-table remap restores them read-write, and
-	// explicit passes hold it for their duration, so a faulting writer that
-	// acquires and releases it is guaranteed the mesh it raced is complete.
-	// Always acquired before mu, never while holding mu.
+	// meshBarrier is the write barrier's wait point for meshing
+	// (§4.5.2–§4.5.3): the engine holds it from write-protecting source
+	// spans until the page-table remap restores them read-write, so a
+	// faulting writer that acquires and releases it is guaranteed the mesh
+	// it raced is complete. Always acquired before any shard lock, never
+	// while holding one.
 	meshBarrier sync.Mutex
 
 	// background routes the free-path mesh trigger to meshNotify (the
-	// daemon's nudge) instead of meshing inline under mu.
+	// daemon's nudge) instead of meshing inline on the freeing goroutine.
 	background atomic.Bool
 	meshNotify atomic.Pointer[func()]
 
-	mu      sync.Mutex
-	rnd     *rng.RNG
+	// Runtime-tunable knobs (the mallctl surface). Atomics so the hot
+	// paths and the engine read them without locks.
+	meshEnabled  atomic.Bool
+	meshPeriod   atomic.Int64 // ns
+	minSavings   atomic.Int64 // bytes
+	maxPause     atomic.Int64 // ns
+	splitMesherT atomic.Int64
+
 	classes [sizeclass.NumClasses]classState
+
+	largeMu sync.Mutex
 	large   map[uint64]*miniheap.MiniHeap // span start -> singleton MiniHeap
 
-	lastMesh     time.Duration
-	meshDisarmed bool // last pass freed < MinMeshSavings
+	// Mesh scheduler rate-limiting state: atomics, so the free-path
+	// trigger never serializes cross-class frees on a scheduler lock.
+	// Rate limiting is advisory, so the unsynchronized reads are fine —
+	// the meshInline CAS (plus a post-CAS due re-check) is what actually
+	// prevents duplicate passes.
+	lastMesh     atomic.Int64 // ns on the heap clock
+	meshDisarmed atomic.Bool  // last pass freed < MinMeshSavings
+
+	// meshInline collapses concurrent foreground free-path triggers into
+	// one pass; explicit Mesh calls bypass it.
+	meshInline atomic.Bool
 
 	liveBytes   atomic.Int64
 	allocs      atomic.Uint64
@@ -232,28 +320,36 @@ func NewGlobalHeap(cfg Config) *GlobalHeap {
 		os:    osv,
 		arena: arena.New(osv, cfg.DirtyPageThreshold),
 		clock: clock,
-		rnd:   rng.New(cfg.Seed ^ 0x6d657368), // "mesh"
 		large: make(map[uint64]*miniheap.MiniHeap),
 	}
 	g.background.Store(cfg.BackgroundMeshing)
+	g.meshEnabled.Store(cfg.Meshing)
+	g.meshPeriod.Store(int64(cfg.MeshPeriod))
+	g.minSavings.Store(int64(cfg.MinMeshSavings))
+	g.maxPause.Store(int64(cfg.MaxPause))
+	g.splitMesherT.Store(int64(cfg.SplitMesherT))
 	for c := range g.classes {
-		for b := range g.classes[c].bins {
-			g.classes[c].bins[b] = newBinSet()
+		cs := &g.classes[c]
+		// Per-class RNG streams derived from the seed: deterministic runs
+		// without cross-shard contention on one generator.
+		cs.rnd = rng.New(cfg.Seed ^ 0x6d657368 ^ (uint64(c+1) * 0x9e3779b97f4a7c15)) // "mesh"
+		for b := range cs.bins {
+			cs.bins[b] = newBinSet()
 		}
-		g.classes[c].full = newBinSet()
-		g.classes[c].reg = newBinSet()
+		cs.full = newBinSet()
+		cs.reg = newBinSet()
 	}
 	// Mesh's write barrier: a write faulting on a protected page waits out
 	// whichever meshing mode is in flight, then retries; by then the page
-	// has been remapped read-write (§4.5.2). An inline pass holds g.mu for
-	// its duration; a concurrent background slice holds meshBarrier from
-	// write-protect to remap (§4.5.3 — the SIGSEGV handler "waits on the
-	// mesh lock"). Each lock is released before the next is taken, so the
-	// hook never holds one while waiting on the other.
+	// has been remapped read-write (§4.5.2). Every protect→remap window —
+	// a foreground pass in full, a background slice per class — is enclosed
+	// in one meshBarrier hold, so waiting on the barrier alone guarantees
+	// the racing mesh finished its remap (§4.5.3 — the SIGSEGV handler
+	// "waits on the mesh lock"). The hook must not touch shard locks: it
+	// runs on application goroutines that hold no heap locks, and taking a
+	// shard lock here would deadlock against an engine slice that protects
+	// spans and then copies while the fix-up still needs the same shard.
 	osv.SetFaultHook(func(addr uint64) {
-		g.mu.Lock()
-		//lint:ignore SA2001 empty critical section is the wait itself
-		g.mu.Unlock()
 		g.meshBarrier.Lock()
 		//lint:ignore SA2001 empty critical section is the wait itself
 		g.meshBarrier.Unlock()
@@ -264,8 +360,8 @@ func NewGlobalHeap(cfg Config) *GlobalHeap {
 // SetMeshNotifier installs the function the free path calls (instead of
 // meshing inline) when background meshing is active — the daemon's
 // non-blocking nudge. Pass nil to remove. Safe for concurrent use; the
-// notifier may be invoked while the global lock is held, so it must not
-// call back into the heap.
+// notifier is invoked after the freeing goroutine has released its shard
+// lock, but it still must not run heap work itself — it only signals.
 func (g *GlobalHeap) SetMeshNotifier(f func()) {
 	if f == nil {
 		g.meshNotify.Store(nil)
@@ -276,7 +372,7 @@ func (g *GlobalHeap) SetMeshNotifier(f func()) {
 
 // SetBackgroundMeshing toggles background mode: when on, frees that reach
 // the global heap nudge the registered notifier instead of running a pass
-// while holding the global lock.
+// on the freeing goroutine.
 func (g *GlobalHeap) SetBackgroundMeshing(on bool) { g.background.Store(on) }
 
 // BackgroundMeshing reports whether the free-path trigger is routed to the
@@ -290,26 +386,37 @@ func (g *GlobalHeap) OS() *vm.OS { return g.os }
 // Arena exposes the meshable arena.
 func (g *GlobalHeap) Arena() *arena.Arena { return g.arena }
 
+// ShardAcquires returns the summed per-class shard-lock acquisition count
+// (stats.global.shard_acquires) — the contention introspection counter:
+// compare its growth rate against operation counts to see how often the
+// free/refill paths leave the lock-free fast path.
+func (g *GlobalHeap) ShardAcquires() uint64 {
+	var n uint64
+	for c := range g.classes {
+		n += g.classes[c].acquires.Load()
+	}
+	return n
+}
+
 // AllocMiniheap selects a MiniHeap for a thread-local heap to attach
-// (§3.1): the fullest non-empty occupancy bin is located and a span chosen
-// from it uniformly at random; if no partially full span exists, a fresh
-// span is committed.
+// (§3.1): the fullest non-empty occupancy bin is located with one bit scan
+// of the shard's non-empty mask and a span chosen from it uniformly at
+// random; if no partially full span exists, a fresh span is committed.
+// Only the requested class's shard lock is taken.
 func (g *GlobalHeap) AllocMiniheap(class int) (*miniheap.MiniHeap, error) {
-	g.mu.Lock()
 	cs := &g.classes[class]
-	for b := 0; b < miniheap.NumBins; b++ {
-		if cs.bins[b].len() == 0 {
-			continue
-		}
-		mh := cs.bins[b].pick(g.rnd)
-		cs.bins[b].remove(mh)
+	cs.lock()
+	if cs.nonEmpty != 0 {
+		b := bits.TrailingZeros32(cs.nonEmpty)
+		mh := cs.bins[b].pick(cs.rnd)
+		cs.binRemove(b, mh)
 		// Attach under the lock so a concurrent global free cannot observe
 		// a detached MiniHeap that is in no bin and re-file it.
 		mh.Attach()
-		g.mu.Unlock()
+		cs.unlock()
 		return mh, nil
 	}
-	g.mu.Unlock()
+	cs.unlock()
 
 	// No partially full span: demand a new one from the arena.
 	pages := sizeclass.SpanPages(class)
@@ -318,11 +425,14 @@ func (g *GlobalHeap) AllocMiniheap(class int) (*miniheap.MiniHeap, error) {
 		return nil, err
 	}
 	mh := miniheap.New(class, vbase, phys)
+	// Register before publication: no free can name this span's addresses
+	// until Malloc returns one, so the lock-free page map needs no shard
+	// lock here.
 	g.arena.Register(vbase, pages, mh)
 	mh.Attach()
-	g.mu.Lock()
-	g.classes[class].reg.add(mh)
-	g.mu.Unlock()
+	cs.lock()
+	cs.reg.add(mh)
+	cs.unlock()
 	return mh, nil
 }
 
@@ -331,34 +441,39 @@ func (g *GlobalHeap) AllocMiniheap(class int) (*miniheap.MiniHeap, error) {
 // binned by occupancy; full spans wait aside until a free makes them
 // useful again.
 func (g *GlobalHeap) ReleaseMiniheap(mh *miniheap.MiniHeap) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	cs := &g.classes[mh.SizeClass()]
+	cs.lock()
+	defer cs.unlock()
 	// Detach under the lock: a concurrent global free must never observe a
 	// MiniHeap that is detached but not yet filed in a bin, or it would
 	// file it twice.
 	mh.Detach()
-	return g.placeDetachedLocked(mh)
+	return g.placeDetachedLocked(cs, mh)
 }
 
 // placeDetachedLocked files a detached MiniHeap in the right structure, or
-// destroys it if empty. Caller holds g.mu.
-func (g *GlobalHeap) placeDetachedLocked(mh *miniheap.MiniHeap) error {
+// destroys it if empty. Caller holds cs.mu for the MiniHeap's class.
+func (g *GlobalHeap) placeDetachedLocked(cs *classState, mh *miniheap.MiniHeap) error {
 	switch {
 	case mh.IsEmpty():
-		return g.destroyLocked(mh)
+		return g.destroyLocked(cs, mh)
 	case mh.IsFull():
-		g.classes[mh.SizeClass()].full.add(mh)
+		cs.full.add(mh)
 	default:
-		g.classes[mh.SizeClass()].bins[mh.Bin()].add(mh)
+		cs.binAdd(mh)
 	}
 	return nil
 }
 
 // destroyLocked releases every virtual span of an empty MiniHeap back to
-// the arena. Caller holds g.mu.
-func (g *GlobalHeap) destroyLocked(mh *miniheap.MiniHeap) error {
+// the arena. Caller holds the owning shard lock (cs.mu for size-classed
+// spans, largeMu with cs == nil for large ones), which is what makes the
+// page-map Unregister safe against racing lock-free lookups: a concurrent
+// free that resolved this MiniHeap re-checks under the same lock and finds
+// the slot cleared.
+func (g *GlobalHeap) destroyLocked(cs *classState, mh *miniheap.MiniHeap) error {
 	if !mh.IsLarge() {
-		g.classes[mh.SizeClass()].reg.remove(mh)
+		cs.reg.remove(mh)
 	}
 	pages := mh.SpanPages()
 	for _, vbase := range mh.Spans() {
@@ -371,15 +486,15 @@ func (g *GlobalHeap) destroyLocked(mh *miniheap.MiniHeap) error {
 }
 
 // unbinLocked removes mh from whichever bin currently holds it, if any.
-func (g *GlobalHeap) unbinLocked(mh *miniheap.MiniHeap) {
-	cs := &g.classes[mh.SizeClass()]
+// Caller holds cs.mu.
+func (g *GlobalHeap) unbinLocked(cs *classState, mh *miniheap.MiniHeap) {
 	if cs.full.contains(mh) {
 		cs.full.remove(mh)
 		return
 	}
 	for b := range cs.bins {
 		if cs.bins[b].contains(mh) {
-			cs.bins[b].remove(mh)
+			cs.binRemove(b, mh)
 			return
 		}
 	}
@@ -398,9 +513,9 @@ func (g *GlobalHeap) AllocLarge(size int) (uint64, error) {
 	}
 	mh := miniheap.NewLarge(pages, vbase, phys)
 	g.arena.Register(vbase, pages, mh)
-	g.mu.Lock()
+	g.largeMu.Lock()
 	g.large[vbase] = mh
-	g.mu.Unlock()
+	g.largeMu.Unlock()
 	g.liveBytes.Add(int64(pages * vm.PageSize))
 	g.allocs.Add(1)
 	return vbase, nil
@@ -411,58 +526,156 @@ func (g *GlobalHeap) AllocLarge(size int) (uint64, error) {
 // spans attached to other threads. Invalid pointers are counted and
 // reported, not fatal — exactly how Mesh treats memory errors.
 //
-// The whole operation runs under the global lock. This is what makes
-// non-local frees safe against a concurrent meshing pass: the pointer is
-// resolved to its owning MiniHeap only after any in-flight mesh (which
-// holds the lock for its duration, §4.5.3) has finished updating the
-// offset-to-MiniHeap table.
+// Only the owning size class's shard lock (or largeMu) is taken, so frees
+// in distinct classes proceed in parallel. The lock-free page-map lookup
+// routes the free to its shard; the lookup is re-run under the shard lock
+// for the authoritative owner, which serializes correctly with a meshing
+// fix-up reassigning the span (the fix-up holds the same shard lock).
 func (g *GlobalHeap) Free(addr uint64) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	reached, err := g.freeLocked(addr)
+	return g.freeResolved(addr, g.arena.Lookup(addr))
+}
+
+// freeResolved performs one non-local free whose owner the caller already
+// resolved through the page map (ThreadHeap.Free passes the owner its
+// freeLocal lookup returned, saving a second routing lookup on every
+// remote free). mh may be stale — it is used only to pick the shard,
+// which is stable for an address — or nil for a wild pointer.
+func (g *GlobalHeap) freeResolved(addr uint64, mh *miniheap.MiniHeap) error {
+	reached, err := g.freeRouted(addr, mh)
 	if reached {
-		g.maybeMeshLocked()
+		g.maybeMesh()
 	}
 	return err
 }
 
-// FreeBatch releases every address in addrs under a single acquisition of
-// the global lock, amortizing lock traffic for heavy-traffic callers. The
-// mesh trigger runs at most once, after the whole batch — one batch is one
-// "free that reaches the global heap" for §4.5's rate limiting. Invalid
-// frees are reported (joined) but do not stop the rest of the batch,
-// matching Mesh's tolerate-and-count treatment of memory errors (§4.4.4).
-func (g *GlobalHeap) FreeBatch(addrs []uint64) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	var errs []error
-	reachedGlobal := false
-	for _, addr := range addrs {
-		reached, err := g.freeLocked(addr)
-		if err != nil {
-			errs = append(errs, err)
-		}
-		reachedGlobal = reachedGlobal || reached
-	}
-	if reachedGlobal {
-		g.maybeMeshLocked()
-	}
-	return errors.Join(errs...)
-}
-
-// freeLocked performs one non-local free without running the mesh trigger.
-// It reports whether the free reached a detached span or large object —
-// the events that participate in mesh triggering and timer re-arming
-// (§4.5) — so callers can batch the maybeMeshLocked call. Caller holds
-// g.mu.
-func (g *GlobalHeap) freeLocked(addr uint64) (reachedGlobal bool, err error) {
-	mh := g.arena.Lookup(addr)
+// freeRouted routes one non-local free to its shard and performs it. It
+// reports whether the free reached a detached span or large object — the
+// events that participate in mesh triggering and timer re-arming (§4.5).
+func (g *GlobalHeap) freeRouted(addr uint64, mh *miniheap.MiniHeap) (reachedGlobal bool, err error) {
 	if mh == nil {
 		g.invalidFree.Add(1)
 		return false, fmt.Errorf("%w: %#x", ErrInvalidFree, addr)
 	}
 	if mh.IsLarge() {
-		return g.freeLargeLocked(mh)
+		g.largeMu.Lock()
+		defer g.largeMu.Unlock()
+		return g.freeLargeLocked(addr)
+	}
+	cs := &g.classes[mh.SizeClass()]
+	cs.lock()
+	defer cs.unlock()
+	return g.freeSmallLocked(cs, addr)
+}
+
+// batchPartition is a reusable per-class partition of one free batch;
+// pooled so the global batch path allocates nothing in steady state.
+type batchPartition struct {
+	byClass [sizeclass.NumClasses][]uint64
+	large   []uint64
+}
+
+// reset truncates every bucket, keeping its capacity for the next batch.
+func (bp *batchPartition) reset() {
+	for c := range bp.byClass {
+		bp.byClass[c] = bp.byClass[c][:0]
+	}
+	bp.large = bp.large[:0]
+}
+
+var partitionPool = sync.Pool{New: func() any { return new(batchPartition) }}
+
+// FreeBatch releases every address in addrs, partitioned by owning size
+// class so each shard lock is taken once per batch — the amortization that
+// keeps heavy-traffic batch frees off the lock ping-pong path. The mesh
+// trigger runs at most once, after the whole batch — one batch is one
+// "free that reaches the global heap" for §4.5's rate limiting. Invalid
+// frees are reported (joined) but do not stop the rest of the batch,
+// matching Mesh's tolerate-and-count treatment of memory errors (§4.4.4).
+func (g *GlobalHeap) FreeBatch(addrs []uint64) error {
+	return g.freeBatchResolved(addrs, nil)
+}
+
+// freeBatchResolved is FreeBatch with optionally pre-resolved owners:
+// owners[i], when the slice is non-nil, is the page-map owner the caller
+// already looked up for addrs[i] (ThreadHeap.FreeBatch passes the owners
+// its freeLocal pass resolved, so a remote batch free pays one routing
+// lookup, not two). Stale owners are fine — they are used only to pick
+// the shard, which is stable for an address.
+func (g *GlobalHeap) freeBatchResolved(addrs []uint64, owners []*miniheap.MiniHeap) error {
+	var errs []error
+	reachedGlobal := false
+
+	// Partition by owning class; the per-shard pass below re-resolves each
+	// address under the shard lock, so a routing lookup that raced a
+	// reassignment still frees against the authoritative owner
+	// (reassignment never changes an address's size class).
+	bp := partitionPool.Get().(*batchPartition)
+	defer func() {
+		bp.reset()
+		partitionPool.Put(bp)
+	}()
+	for i, addr := range addrs {
+		var mh *miniheap.MiniHeap
+		if owners != nil {
+			mh = owners[i]
+		} else {
+			mh = g.arena.Lookup(addr)
+		}
+		switch {
+		case mh == nil:
+			g.invalidFree.Add(1)
+			errs = append(errs, fmt.Errorf("%w: %#x", ErrInvalidFree, addr))
+		case mh.IsLarge():
+			bp.large = append(bp.large, addr)
+		default:
+			c := mh.SizeClass()
+			bp.byClass[c] = append(bp.byClass[c], addr)
+		}
+	}
+	for c := range bp.byClass {
+		if len(bp.byClass[c]) == 0 {
+			continue
+		}
+		cs := &g.classes[c]
+		cs.lock()
+		for _, addr := range bp.byClass[c] {
+			reached, err := g.freeSmallLocked(cs, addr)
+			if err != nil {
+				errs = append(errs, err)
+			}
+			reachedGlobal = reachedGlobal || reached
+		}
+		cs.unlock()
+	}
+	if len(bp.large) > 0 {
+		g.largeMu.Lock()
+		for _, addr := range bp.large {
+			reached, err := g.freeLargeLocked(addr)
+			if err != nil {
+				errs = append(errs, err)
+			}
+			reachedGlobal = reachedGlobal || reached
+		}
+		g.largeMu.Unlock()
+	}
+	if reachedGlobal {
+		g.maybeMesh()
+	}
+	return errors.Join(errs...)
+}
+
+// freeSmallLocked performs one non-local free of a size-classed object.
+// Caller holds cs.mu; the address was routed here by a lock-free lookup
+// that resolved an owner of this class. The lookup is re-run under the
+// lock: a meshing fix-up may have reassigned the span since (same class,
+// same shard lock), or a concurrent free may have emptied and destroyed
+// the span (slot now nil — reported as an invalid/double free, like the
+// stale free it is).
+func (g *GlobalHeap) freeSmallLocked(cs *classState, addr uint64) (reachedGlobal bool, err error) {
+	mh := g.arena.Lookup(addr)
+	if mh == nil || mh.IsLarge() || &g.classes[mh.SizeClass()] != cs {
+		g.invalidFree.Add(1)
+		return false, fmt.Errorf("%w: %#x", ErrInvalidFree, addr)
 	}
 	off, err := mh.OffsetOf(addr)
 	if err != nil {
@@ -491,13 +704,19 @@ func (g *GlobalHeap) freeLocked(addr uint64) (reachedGlobal bool, err error) {
 
 	// Object belonged to the global heap: update its occupancy bin; the
 	// caller may additionally trigger meshing (§3.2).
-	g.unbinLocked(mh)
-	return true, g.placeDetachedLocked(mh)
+	g.unbinLocked(cs, mh)
+	return true, g.placeDetachedLocked(cs, mh)
 }
 
 // freeLargeLocked destroys a large-object MiniHeap and releases its span.
-// Caller holds g.mu.
-func (g *GlobalHeap) freeLargeLocked(mh *miniheap.MiniHeap) (bool, error) {
+// Caller holds largeMu; the address is re-resolved under it, so a racing
+// double free observes the cleared page-map slot.
+func (g *GlobalHeap) freeLargeLocked(addr uint64) (bool, error) {
+	mh := g.arena.Lookup(addr)
+	if mh == nil || !mh.IsLarge() {
+		g.invalidFree.Add(1)
+		return false, fmt.Errorf("%w: %#x", ErrInvalidFree, addr)
+	}
 	if !mh.Bitmap().Unset(0) {
 		g.invalidFree.Add(1)
 		return false, fmt.Errorf("%w: large object", ErrDoubleFree)
@@ -505,7 +724,7 @@ func (g *GlobalHeap) freeLargeLocked(mh *miniheap.MiniHeap) (bool, error) {
 	g.liveBytes.Add(int64(-mh.SpanBytes()))
 	g.frees.Add(1)
 	delete(g.large, mh.SpanStart())
-	if err := g.destroyLocked(mh); err != nil {
+	if err := g.destroyLocked(nil, mh); err != nil {
 		return false, err
 	}
 	// A large free also reaches the global heap, so it participates in

@@ -28,18 +28,21 @@ func (c ClassStats) Occupancy() float64 {
 	return float64(c.LiveObjects) / float64(c.Capacity)
 }
 
-// ClassStatsSnapshot returns per-class span statistics.
+// ClassStatsSnapshot returns per-class span statistics. Each class is
+// snapshotted under its own shard lock, so the rows are internally
+// consistent per class but the table as a whole is not an atomic
+// cross-class snapshot — the same deal mallctl gives a live allocator.
 func (g *GlobalHeap) ClassStatsSnapshot() []ClassStats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	out := make([]ClassStats, sizeclass.NumClasses)
 	for c := range g.classes {
+		gcs := &g.classes[c]
 		cs := ClassStats{
 			SizeClass:  c,
 			ObjectSize: sizeclass.Size(c),
 			SpanPages:  sizeclass.SpanPages(c),
 		}
-		for _, mh := range g.classes[c].reg.items {
+		gcs.lock()
+		for _, mh := range gcs.reg.items {
 			cs.Spans++
 			if mh.IsAttached() {
 				cs.AttachedSpan++
@@ -48,6 +51,7 @@ func (g *GlobalHeap) ClassStatsSnapshot() []ClassStats {
 			cs.LiveObjects += mh.InUse()
 			cs.Capacity += mh.ObjectCount()
 		}
+		gcs.unlock()
 		out[c] = cs
 	}
 	return out
@@ -61,8 +65,8 @@ type LargeStats struct {
 
 // LargeStatsSnapshot returns the current large-object census.
 func (g *GlobalHeap) LargeStatsSnapshot() LargeStats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.largeMu.Lock()
+	defer g.largeMu.Unlock()
 	var ls LargeStats
 	for _, mh := range g.large {
 		ls.Objects++
@@ -73,18 +77,24 @@ func (g *GlobalHeap) LargeStatsSnapshot() LargeStats {
 
 // UsableSize returns the number of bytes usable at addr — the size class's
 // object size, or the whole page-rounded span for large objects (the
-// malloc_usable_size of the interposed API). It takes the global lock: a
-// concurrent meshing pass mutates detached MiniHeaps' span lists, and the
-// lookup must not observe one mid-remap.
+// malloc_usable_size of the interposed API). Size-classed spans take the
+// owning class's shard lock: a concurrent meshing fix-up mutates detached
+// MiniHeaps' span lists under it, and the lookup must not observe one
+// mid-remap. Large spans are immutable after allocation and need no lock.
 func (g *GlobalHeap) UsableSize(addr uint64) (int, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	mh := g.arena.Lookup(addr)
 	if mh == nil {
 		return 0, fmt.Errorf("%w: %#x", ErrInvalidFree, addr)
 	}
 	if mh.IsLarge() {
 		return mh.SpanBytes(), nil
+	}
+	cs := &g.classes[mh.SizeClass()]
+	cs.lock()
+	defer cs.unlock()
+	mh = g.arena.Lookup(addr) // authoritative under the shard lock
+	if mh == nil || mh.IsLarge() {
+		return 0, fmt.Errorf("%w: %#x", ErrInvalidFree, addr)
 	}
 	if _, err := mh.OffsetOf(addr); err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrInvalidFree, err)
@@ -95,47 +105,25 @@ func (g *GlobalHeap) UsableSize(addr uint64) (int, error) {
 // SetMeshPeriod adjusts the meshing rate limit at runtime — the paper's
 // mallctl control ("settable at program startup and during runtime by the
 // application", §4.5).
-func (g *GlobalHeap) SetMeshPeriod(d time.Duration) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.cfg.MeshPeriod = d
-}
+func (g *GlobalHeap) SetMeshPeriod(d time.Duration) { g.meshPeriod.Store(int64(d)) }
 
 // SetMeshingEnabled toggles the compaction engine at runtime.
-func (g *GlobalHeap) SetMeshingEnabled(enabled bool) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.cfg.Meshing = enabled
-}
+func (g *GlobalHeap) SetMeshingEnabled(enabled bool) { g.meshEnabled.Store(enabled) }
 
 // MeshPeriod returns the current rate limit.
 func (g *GlobalHeap) MeshPeriod() time.Duration {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.cfg.MeshPeriod
+	return time.Duration(g.meshPeriod.Load())
 }
 
 // MeshingEnabled reports whether the compaction engine is on.
-func (g *GlobalHeap) MeshingEnabled() bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.cfg.Meshing
-}
+func (g *GlobalHeap) MeshingEnabled() bool { return g.meshEnabled.Load() }
 
 // SetMinMeshSavings adjusts the pass-productivity threshold (§4.5) at
 // runtime.
-func (g *GlobalHeap) SetMinMeshSavings(bytes int) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.cfg.MinMeshSavings = bytes
-}
+func (g *GlobalHeap) SetMinMeshSavings(bytes int) { g.minSavings.Store(int64(bytes)) }
 
 // MinMeshSavings returns the current pass-productivity threshold.
-func (g *GlobalHeap) MinMeshSavings() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.cfg.MinMeshSavings
-}
+func (g *GlobalHeap) MinMeshSavings() int { return int(g.minSavings.Load()) }
 
 // SetMaxPause adjusts the per-slice pause bound of background meshing at
 // runtime; d <= 0 restores the default.
@@ -143,42 +131,33 @@ func (g *GlobalHeap) SetMaxPause(d time.Duration) {
 	if d <= 0 {
 		d = DefaultMaxPause
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.cfg.MaxPause = d
+	g.maxPause.Store(int64(d))
 }
 
 // MaxPause returns the current per-slice pause bound.
 func (g *GlobalHeap) MaxPause() time.Duration {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.cfg.MaxPause
+	return time.Duration(g.maxPause.Load())
 }
 
 // SetSplitMesherT adjusts the SplitMesher probe budget (§3.3) at runtime.
-func (g *GlobalHeap) SetSplitMesherT(t int) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.cfg.SplitMesherT = t
-}
+func (g *GlobalHeap) SetSplitMesherT(t int) { g.splitMesherT.Store(int64(t)) }
 
 // SplitMesherT returns the current SplitMesher probe budget.
-func (g *GlobalHeap) SplitMesherT() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.cfg.SplitMesherT
-}
+func (g *GlobalHeap) SplitMesherT() int { return int(g.splitMesherT.Load()) }
 
 // CheckIntegrity validates the global heap's structural invariants. It is
-// meant for tests and debugging: it takes the global lock and walks every
-// registry, so it pauses the world like a meshing pass does.
+// meant for tests and debugging: it takes the mesh barrier, every shard
+// lock (in ascending class order — the one operation allowed to hold more
+// than one), and the large lock, so it pauses the world like no regular
+// operation does.
 //
 // Invariants checked:
 //   - every binned MiniHeap is detached, partially full, and in the bin
 //     matching its occupancy;
+//   - every shard's non-empty bitmask matches its bins' contents;
 //   - every MiniHeap in a full set is detached and full;
 //   - every registered MiniHeap resolves back to itself through the
-//     arena's offset table for each of its virtual spans;
+//     arena's lock-free page map for each of its virtual spans;
 //   - attached MiniHeaps appear in no bin;
 //   - when no thread heap holds an attached span, the live-byte counter
 //     equals the bitmap census. (Attached spans carry shuffle-vector
@@ -188,11 +167,19 @@ func (g *GlobalHeap) CheckIntegrity() error {
 	// Serialize with any in-flight background slice (which parks pinned,
 	// momentarily bin-less spans between its critical sections): the mesh
 	// barrier is held for a slice's whole protect→remap window, so under
-	// barrier + lock every span is in a steady state.
+	// barrier + shard locks every span is in a steady state.
 	g.meshBarrier.Lock()
 	defer g.meshBarrier.Unlock()
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	for c := range g.classes {
+		g.classes[c].lock()
+	}
+	defer func() {
+		for c := len(g.classes) - 1; c >= 0; c-- {
+			g.classes[c].unlock()
+		}
+	}()
+	g.largeMu.Lock()
+	defer g.largeMu.Unlock()
 
 	var census int64
 	attachedSpans := 0
@@ -200,6 +187,10 @@ func (g *GlobalHeap) CheckIntegrity() error {
 		cs := &g.classes[c]
 		inBins := make(map[uint64]bool)
 		for b := range cs.bins {
+			if got, want := cs.nonEmpty&(1<<uint(b)) != 0, cs.bins[b].len() > 0; got != want {
+				return fmt.Errorf("class %d: non-empty mask bit %d is %v, bin holds %d",
+					c, b, got, cs.bins[b].len())
+			}
 			for _, mh := range cs.bins[b].items {
 				if mh.IsAttached() {
 					return fmt.Errorf("class %d: attached MiniHeap %d in bin %d", c, mh.ID(), b)

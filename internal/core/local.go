@@ -28,9 +28,13 @@ type ThreadHeap struct {
 	svs      [sizeclass.NumClasses]*shufflevec.Vector
 	attached [sizeclass.NumClasses]*miniheap.MiniHeap
 
-	// scratch backs FreeBatch's non-local partition between calls so the
-	// batch path stays allocation free. Owned by whoever owns the heap.
-	scratch []uint64
+	// scratch and ownerScratch back FreeBatch's non-local partition
+	// between calls so the batch path stays allocation free: addresses and
+	// the page-map owners freeLocal resolved for them, passed to the
+	// global heap so batch routing needs no second lookup. Owned by
+	// whoever owns the heap.
+	scratch      []uint64
+	ownerScratch []*miniheap.MiniHeap
 
 	localAllocs atomic.Uint64
 	localFrees  atomic.Uint64
@@ -92,38 +96,54 @@ func (t *ThreadHeap) refill(class int) error {
 
 // Free releases the object at addr. Frees of objects in one of this
 // thread's attached spans are handled locally by the shuffle vector
-// (Figure 4); everything else is passed to the global heap (§3.2).
+// (Figure 4); everything else is passed to the global heap (§3.2),
+// reusing the owner freeLocal already resolved so a remote free pays one
+// routing lookup, not two.
 func (t *ThreadHeap) Free(addr uint64) error {
-	if size, ok, err := t.freeLocal(addr); ok || err != nil {
-		if err != nil {
-			return err
-		}
+	size, ok, owner, err := t.freeLocal(addr)
+	if err != nil {
+		return err
+	}
+	if ok {
 		t.localFrees.Add(1)
 		t.global.noteLocalFree(size)
 		return nil
 	}
-	return t.global.Free(addr)
+	return t.global.freeResolved(addr, owner)
 }
 
 // freeLocal attempts the shuffle-vector fast path: if addr lies in one of
 // this heap's attached spans, the offset is pushed back onto the class's
 // shuffle vector and the object size is returned for accounting. ok is
-// false when the address is not local; err reports an interior or
-// out-of-range pointer inside an attached span.
-func (t *ThreadHeap) freeLocal(addr uint64) (objSize int, ok bool, err error) {
-	for c := range t.attached {
-		mh := t.attached[c]
-		if mh == nil || !mh.Contains(addr) {
-			continue
-		}
-		off, err := mh.OffsetOf(addr)
-		if err != nil {
-			return 0, false, err
-		}
-		t.svs[c].Free(off)
-		return mh.ObjectSize(), true, nil
+// false when the address is not local; owner is then the (possibly nil,
+// possibly stale) MiniHeap the page map resolved, so the caller can route
+// the free to the right shard without a second lookup. err reports an
+// interior or out-of-range pointer inside an attached span.
+//
+// The owner is resolved through the arena's lock-free page map — two
+// atomic loads — instead of probing all NumClasses attached slots (and
+// every virtual span of each) per free. The O(1) lookup matters most on
+// misses: every non-local free used to pay the full scan before falling
+// through to the global heap. The result is trustworthy without a lock:
+// if it names one of our attached MiniHeaps, that MiniHeap cannot change
+// under us (only this thread refills or detaches it, and attached spans
+// are never meshed); any other result routes to the global path, which
+// re-resolves under the owning shard lock.
+func (t *ThreadHeap) freeLocal(addr uint64) (objSize int, ok bool, owner *miniheap.MiniHeap, err error) {
+	mh := t.global.arena.Lookup(addr)
+	if mh == nil || mh.IsLarge() {
+		return 0, false, mh, nil
 	}
-	return 0, false, nil
+	c := mh.SizeClass()
+	if t.attached[c] != mh {
+		return 0, false, mh, nil
+	}
+	off, err := mh.OffsetOf(addr)
+	if err != nil {
+		return 0, false, mh, err
+	}
+	t.svs[c].Free(off)
+	return mh.ObjectSize(), true, mh, nil
 }
 
 // Done relinquishes every attached span back to the global heap; call it

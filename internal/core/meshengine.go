@@ -8,18 +8,24 @@ import (
 	"repro/internal/vm"
 )
 
-// This file is the meshing engine (§4.5) in both of its modes.
+// This file is the meshing engine (§4.5) in both of its modes. Either way
+// the engine works one size class at a time under that class's shard lock,
+// with the mesh barrier enclosing every protect→remap window so the write
+// fault hook has a single wait point (see GlobalHeap's lock-hierarchy
+// comment).
 //
-// Foreground: Mesh and maybeMeshLocked run a whole pass under the global
-// lock, exactly the stop-allocation behaviour of a synchronous collector —
-// kept as the baseline the meshbench pause experiment measures against,
-// and as the fallback when no daemon is running.
+// Foreground: Mesh and the free-path trigger run a whole pass — all
+// classes back to back under the barrier, each class's plan/copy/fix-up
+// inside one shard-lock hold. This is the stop-allocation baseline the
+// meshbench pause experiment measures against, and the fallback when no
+// daemon is running. Since locks are per class, a foreground pass only
+// stalls traffic in the class currently being meshed.
 //
-// Background: MeshBackground is what the meshd daemon calls. It works one
-// size class at a time, and within a class splits the work into three
+// Background: MeshBackground is what the meshd daemon calls. One size
+// class per barrier window, and within a class the work splits into three
 // phases per the paper's concurrent protocol (§4.5.2): candidate selection
-// and write-protection under the lock, the object copy off the lock (racing
-// writers are made to wait by the fault handler, §4.5.3), and a
+// and write-protection under the shard lock, the object copy off the lock
+// (racing writers are made to wait by the fault handler, §4.5.3), and a
 // lock-bounded remap fix-up whose critical sections never exceed
 // Config.MaxPause.
 
@@ -30,52 +36,71 @@ import (
 func (g *GlobalHeap) Mesh() int {
 	g.meshBarrier.Lock()
 	defer g.meshBarrier.Unlock()
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.meshAllLocked()
+	return g.meshAllBarrier()
 }
 
-// maybeMeshLocked applies §4.5's rate limiting on frees that reach the
-// global heap; caller holds g.mu. In foreground mode a due pass runs
-// inline (the caller stalls for the whole pass); in background mode the
-// daemon is nudged and the caller returns immediately.
-func (g *GlobalHeap) maybeMeshLocked() {
-	if !g.cfg.Meshing {
+// maybeMesh applies §4.5's rate limiting after a free (or free batch) has
+// reached the global heap. Called with no heap locks held: the freeing
+// goroutine has already released its shard lock, so a due foreground pass
+// acquires the barrier and shard locks fresh, and a background nudge is
+// delivered outside any critical section. The whole trigger is lock-free
+// — frees in distinct classes must not re-serialize on scheduler state.
+func (g *GlobalHeap) maybeMesh() {
+	if !g.meshEnabled.Load() {
 		return
 	}
 	// A free through the global heap re-arms a disarmed timer (§4.5).
-	g.meshDisarmed = false
+	g.meshDisarmed.Store(false)
 	if g.background.Load() {
 		if f := g.meshNotify.Load(); f != nil {
 			(*f)()
 		}
 		return
 	}
-	now := g.clock.Now()
-	if now-g.lastMesh < g.cfg.MeshPeriod {
+	if !g.meshPastPeriod() {
 		return
 	}
-	g.meshAllLocked()
+	// Collapse concurrent free-path triggers into one inline pass; the
+	// losers return immediately rather than queueing up passes that would
+	// each find nothing left to mesh.
+	if !g.meshInline.CompareAndSwap(false, true) {
+		return
+	}
+	defer g.meshInline.Store(false)
+	// Re-check after winning the CAS: a trigger that raced the previous
+	// pass's completion would otherwise run a second, surely-empty pass
+	// right behind it (the pre-check read lastMesh before that pass
+	// updated it).
+	if !g.meshPastPeriod() {
+		return
+	}
+	g.Mesh()
+}
+
+// meshPastPeriod reports whether a full mesh period has elapsed since the
+// last pass on the heap clock.
+func (g *GlobalHeap) meshPastPeriod() bool {
+	return g.clock.Now()-time.Duration(g.lastMesh.Load()) >= time.Duration(g.meshPeriod.Load())
 }
 
 // MeshDue reports whether the rate limiter would allow a pass now: meshing
 // enabled, the timer armed, and a full period elapsed since the last pass.
 // The daemon consults it on every wake-up.
 func (g *GlobalHeap) MeshDue() bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if !g.cfg.Meshing || g.meshDisarmed {
+	if !g.meshEnabled.Load() || g.meshDisarmed.Load() {
 		return false
 	}
-	return g.clock.Now()-g.lastMesh >= g.cfg.MeshPeriod
+	return g.meshPastPeriod()
 }
 
-// meshAllLocked finds and performs meshes one size class at a time (§4.5).
-// Caller holds g.mu; the lock is held for the entire pass, which is what
-// blocks concurrent span acquisition and the write-barrier waiters
-// (§4.5.2–§4.5.3). It returns the number of spans released.
-func (g *GlobalHeap) meshAllLocked() int {
-	if !g.cfg.Meshing {
+// meshAllBarrier finds and performs meshes one size class at a time
+// (§4.5). Caller holds the mesh barrier; each class's plan, copy, and
+// fix-up run under that class's shard lock, so the pass stalls only
+// same-class traffic — and the barrier keeps write-barrier waiters out
+// until the remaps complete (§4.5.2–§4.5.3). It returns the number of
+// spans released.
+func (g *GlobalHeap) meshAllBarrier() int {
+	if !g.meshEnabled.Load() {
 		return 0
 	}
 	start := g.clock.Now()
@@ -83,36 +108,43 @@ func (g *GlobalHeap) meshAllLocked() int {
 	released := 0
 
 	for class := range g.classes {
-		for _, p := range g.planClassLocked(class) {
+		cs := &g.classes[class]
+		cs.lock()
+		holdStart := g.clock.Now()
+		pairs := g.planClassLocked(cs, class)
+		for _, p := range pairs {
 			// Copy the emptier span's objects into the fuller span.
 			if err := g.copyPair(p); err != nil {
-				g.abortPairLocked(p)
+				g.abortPairLocked(cs, p)
 				continue
 			}
-			if err := g.finishPairLocked(p); err != nil {
-				g.abortPairLocked(p)
+			if err := g.finishPairLocked(cs, p); err != nil {
+				g.abortPairLocked(cs, p)
 				continue
 			}
 			freedBytes += p.src.SpanBytes()
 			released++
 			g.chargeStepCost()
 		}
+		if len(pairs) > 0 {
+			// Only class visits that claimed candidates count as pauses:
+			// an empty-class visit holds the lock for a nanoseconds-long
+			// bin scan, and folding 24 of those into the histogram per
+			// pass would drown the §4.5 bounded-pause metric in
+			// bookkeeping noise.
+			g.recordPause(g.clock.Now() - holdStart)
+		}
+		cs.unlock()
 	}
 
 	elapsed := g.clock.Now() - start
-	if elapsed > 0 || released > 0 {
-		// As in the background engine, no-op passes with no measurable
-		// duration (rate-limited wake-ups on an idle simulated clock) are
-		// not pauses worth counting.
-		g.recordPause(elapsed)
-	}
 	g.meshPasses.Add(1)
 	g.spansMeshed.Add(uint64(released))
 	g.bytesFreed.Add(uint64(freedBytes))
 	g.meshTime.Add(int64(elapsed))
-	g.lastMesh = g.clock.Now()
-	if freedBytes < g.cfg.MinMeshSavings {
-		g.meshDisarmed = true
+	g.lastMesh.Store(int64(g.clock.Now()))
+	if freedBytes < int(g.minSavings.Load()) {
+		g.meshDisarmed.Store(true)
 	}
 	// "Whenever meshing is invoked, Mesh returns pages to OS" (§4.4.1).
 	_ = g.arena.FlushDirty()
@@ -123,17 +155,14 @@ func (g *GlobalHeap) meshAllLocked() int {
 // goroutine — the daemon's work loop. One size class is handled per
 // barrier window; allocation and free latency is bounded by the longest
 // single critical section (at most maxPause plus one pair's fix-up), not
-// by pass length. maxPause <= 0 uses Config.MaxPause. It returns the
-// number of spans released.
+// by pass length. maxPause <= 0 uses the runtime mesh.max_pause setting.
+// It returns the number of spans released.
 func (g *GlobalHeap) MeshBackground(maxPause time.Duration) int {
-	g.mu.Lock()
-	enabled := g.cfg.Meshing
-	if maxPause <= 0 {
-		maxPause = g.cfg.MaxPause
-	}
-	g.mu.Unlock()
-	if !enabled {
+	if !g.meshEnabled.Load() {
 		return 0
+	}
+	if maxPause <= 0 {
+		maxPause = time.Duration(g.maxPause.Load())
 	}
 
 	released, freedBytes := 0, 0
@@ -143,45 +172,45 @@ func (g *GlobalHeap) MeshBackground(maxPause time.Duration) int {
 		freedBytes += f
 	}
 
-	g.mu.Lock()
 	g.meshPasses.Add(1)
 	g.spansMeshed.Add(uint64(released))
 	g.bytesFreed.Add(uint64(freedBytes))
-	g.lastMesh = g.clock.Now()
-	if freedBytes < g.cfg.MinMeshSavings {
-		g.meshDisarmed = true
+	g.lastMesh.Store(int64(g.clock.Now()))
+	if freedBytes < int(g.minSavings.Load()) {
+		g.meshDisarmed.Store(true)
 	}
 	_ = g.arena.FlushDirty()
-	g.mu.Unlock()
 	return released
 }
 
 // meshClassBackground runs one incremental slice: all meshes found for a
 // single size class, with the copy phase concurrent with the application
 // (§4.5.2). The mesh barrier is held for the whole protect→remap window so
-// the fault handler can make racing writers wait (§4.5.3); g.mu is held
-// only for candidate selection and for fix-up chunks bounded by maxPause.
+// the fault handler can make racing writers wait (§4.5.3); the class's
+// shard lock is held only for candidate selection and for fix-up chunks
+// bounded by maxPause — traffic in every other size class is never
+// touched at all.
 func (g *GlobalHeap) meshClassBackground(class int, maxPause time.Duration) (released, freedBytes int) {
+	if !g.meshEnabled.Load() {
+		return 0, 0
+	}
 	g.meshBarrier.Lock()
 	defer g.meshBarrier.Unlock()
 
+	cs := &g.classes[class]
 	sliceStart := g.clock.Now()
-	g.mu.Lock()
+	cs.lock()
 	// Pauses measure lock holds — what a blocked allocation actually
 	// waits — so the timer starts after acquisition, not before (the
-	// daemon queueing behind a busy heap is not an application pause).
+	// daemon queueing behind a busy shard is not an application pause).
 	prepStart := g.clock.Now()
-	if !g.cfg.Meshing {
-		g.mu.Unlock()
-		return 0, 0
-	}
-	pairs := g.planClassLocked(class)
+	pairs := g.planClassLocked(cs, class)
 	if prep := g.clock.Now() - prepStart; prep > 0 || len(pairs) > 0 {
 		// Skip no-op class visits (no candidates, no measurable time) so
 		// the histogram counts real pauses, not bookkeeping.
 		g.recordPause(prep)
 	}
-	g.mu.Unlock()
+	cs.unlock()
 	if len(pairs) == 0 {
 		return 0, 0
 	}
@@ -189,33 +218,33 @@ func (g *GlobalHeap) meshClassBackground(class int, maxPause time.Duration) (rel
 	// Copy phase, off the lock: the source spans are write-protected, so
 	// reads proceed and writers block in the fault handler until the remap
 	// below releases the barrier. Frees may still clear source bits under
-	// g.mu — bits only clear, so pair disjointness is preserved and the
-	// fix-up merge below sees the freshest bitmap.
+	// the shard lock — bits only clear, so pair disjointness is preserved
+	// and the fix-up merge below sees the freshest bitmap.
 	copied := make([]bool, len(pairs))
 	for i, p := range pairs {
 		copied[i] = g.copyPair(p) == nil
 	}
 
-	// Fix-up phase: page-table remap and bin fix-up under g.mu, released
-	// and re-acquired whenever the pause budget is spent so waiting
-	// allocations and frees get in between chunks. Pinned pairs are safe
-	// across the gap: they are in no bin, unattachable, and unfreeable
-	// into a bin.
-	g.mu.Lock()
+	// Fix-up phase: page-table remap and bin fix-up under the shard lock,
+	// released and re-acquired whenever the pause budget is spent so
+	// waiting same-class allocations and frees get in between chunks.
+	// Pinned pairs are safe across the gap: they are in no bin,
+	// unattachable, and unfreeable into a bin.
+	cs.lock()
 	pauseStart := g.clock.Now()
 	for i, p := range pairs {
 		if elapsed := g.clock.Now() - pauseStart; elapsed > maxPause {
 			g.recordPause(elapsed)
-			g.mu.Unlock()
-			g.mu.Lock()
+			cs.unlock()
+			cs.lock()
 			pauseStart = g.clock.Now()
 		}
 		if !copied[i] {
-			g.abortPairLocked(p)
+			g.abortPairLocked(cs, p)
 			continue
 		}
-		if err := g.finishPairLocked(p); err != nil {
-			g.abortPairLocked(p)
+		if err := g.finishPairLocked(cs, p); err != nil {
+			g.abortPairLocked(cs, p)
 			continue
 		}
 		freedBytes += p.src.SpanBytes()
@@ -223,7 +252,7 @@ func (g *GlobalHeap) meshClassBackground(class int, maxPause time.Duration) (rel
 		g.chargeStepCost()
 	}
 	g.recordPause(g.clock.Now() - pauseStart)
-	g.mu.Unlock()
+	cs.unlock()
 
 	g.meshTime.Add(int64(g.clock.Now() - sliceStart))
 	return released, freedBytes
@@ -238,11 +267,10 @@ type meshPair struct {
 // planClassLocked selects this class's meshable pairs (§3.3) and claims
 // them: each pair's spans are removed from their occupancy bins and
 // pinned, and the source's virtual spans are write-protected — writers
-// never hold g.mu, so the write barrier (§4.5.2) is what keeps them out of
-// the copy in both meshing modes. Caller holds g.mu; the concurrent path
-// additionally holds the mesh barrier.
-func (g *GlobalHeap) planClassLocked(class int) []meshPair {
-	cs := &g.classes[class]
+// never hold shard locks, so the write barrier (§4.5.2) is what keeps them
+// out of the copy in both meshing modes. Caller holds cs.mu and the mesh
+// barrier.
+func (g *GlobalHeap) planClassLocked(cs *classState, class int) []meshPair {
 	// Candidates: every detached, partially full span. Full spans cannot
 	// mesh with anything non-empty; empty spans are already destroyed on
 	// release.
@@ -254,10 +282,10 @@ func (g *GlobalHeap) planClassLocked(class int) []meshPair {
 		return nil
 	}
 	// SplitMesher expects its input in random order (§3.3).
-	g.rnd.Shuffle(len(cands), func(i, j int) {
+	cs.rnd.Shuffle(len(cands), func(i, j int) {
 		cands[i], cands[j] = cands[j], cands[i]
 	})
-	res := meshing.SplitMesher(cands, g.cfg.SplitMesherT,
+	res := meshing.SplitMesher(cands, int(g.splitMesherT.Load()),
 		func(a, b *miniheap.MiniHeap) bool { return a.Meshable(b) })
 	// Candidate pairs are recorded first, then meshed en masse (§4.5).
 	pairs := make([]meshPair, 0, len(res.Pairs))
@@ -272,8 +300,8 @@ func (g *GlobalHeap) planClassLocked(class int) []meshPair {
 			_ = g.protectSpans(src, vm.ReadWrite)
 			continue
 		}
-		g.unbinLocked(src)
-		g.unbinLocked(dst)
+		g.unbinLocked(cs, src)
+		g.unbinLocked(cs, dst)
 		src.Pin()
 		dst.Pin()
 		pairs = append(pairs, meshPair{dst: dst, src: src})
@@ -294,10 +322,11 @@ func (g *GlobalHeap) protectSpans(mh *miniheap.MiniHeap, p vm.Prot) error {
 
 // copyPair consolidates src's live objects into dst's physical span at the
 // physical layer (§4.5, Figure 1); offsets are preserved, so no pointers
-// inside or outside the objects need updating. It runs without g.mu in the
-// background mode — src is write-protected and both spans pinned, so the
-// only concurrent mutation is frees clearing bits, which at worst copies a
-// dead object into a slot the fix-up merge will leave unallocated.
+// inside or outside the objects need updating. It runs without the shard
+// lock in the background mode — src is write-protected and both spans
+// pinned, so the only concurrent mutation is frees clearing bits, which at
+// worst copies a dead object into a slot the fix-up merge will leave
+// unallocated.
 func (g *GlobalHeap) copyPair(p meshPair) error {
 	objSize := p.src.ObjectSize()
 	copied := 0
@@ -318,8 +347,10 @@ func (g *GlobalHeap) copyPair(p meshPair) error {
 // src's virtual spans at dst's physical span, release src's physical span
 // to the OS, and re-file dst. Remap restores read-write protection, which
 // is what lets any write-barrier waiters retry successfully once the
-// barrier drops. Caller holds g.mu; both spans are pinned and unbinned.
-func (g *GlobalHeap) finishPairLocked(p meshPair) error {
+// barrier drops. Caller holds cs.mu (the pair's class); both spans are
+// pinned and unbinned. Holding the shard lock across the Reassign is what
+// gives shard-locked re-lookups their authoritative answer.
+func (g *GlobalHeap) finishPairLocked(cs *classState, p meshPair) error {
 	dst, src := p.dst, p.src
 	pages := src.SpanPages()
 
@@ -348,24 +379,24 @@ func (g *GlobalHeap) finishPairLocked(p meshPair) error {
 
 	// src's metadata is dead: drop it from the class registry; dst may
 	// have changed occupancy bin (or emptied entirely) while pinned.
-	g.classes[src.SizeClass()].reg.remove(src)
+	cs.reg.remove(src)
 	src.Unpin()
 	dst.Unpin()
-	return g.placeDetachedLocked(dst)
+	return g.placeDetachedLocked(cs, dst)
 }
 
 // abortPairLocked abandons a planned mesh, restoring both spans to the
 // state planClassLocked found them in: writable, unpinned, and filed by
-// their current occupancy. Caller holds g.mu.
-func (g *GlobalHeap) abortPairLocked(p meshPair) {
+// their current occupancy. Caller holds cs.mu.
+func (g *GlobalHeap) abortPairLocked(cs *classState, p meshPair) {
 	_ = g.protectSpans(p.src, vm.ReadWrite)
 	p.src.Unpin()
 	p.dst.Unpin()
-	_ = g.placeDetachedLocked(p.src)
-	_ = g.placeDetachedLocked(p.dst)
+	_ = g.placeDetachedLocked(cs, p.src)
+	_ = g.placeDetachedLocked(cs, p.dst)
 }
 
-// recordPause folds one global-lock hold by the engine into the pause
+// recordPause folds one shard-lock hold by the engine into the pause
 // statistics (§4.5's bounded-pause metric).
 func (g *GlobalHeap) recordPause(d time.Duration) {
 	if d < 0 {
@@ -397,7 +428,8 @@ func (g *GlobalHeap) pauseHistogram() PauseHistogram {
 
 // chargeStepCost advances an injected AdvancingClock by the configured
 // per-pair meshing cost, making pause durations deterministic under a
-// simulated clock. Caller holds g.mu (cfg access).
+// simulated clock. MeshStepCost is immutable after construction, so no
+// lock is needed.
 func (g *GlobalHeap) chargeStepCost() {
 	if g.cfg.MeshStepCost <= 0 {
 		return

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/workload"
+	"repro/mesh"
+)
+
+// ScaleRow is one (goroutine count, mode) cell of the scalability
+// experiment.
+type ScaleRow struct {
+	Workers       int           `json:"workers"`
+	Batch         int           `json:"batch"`
+	Ops           int           `json:"ops"`
+	Wall          time.Duration `json:"wall_ns"`
+	OpsPerSec     float64       `json:"ops_per_sec"`
+	ShardAcquires uint64        `json:"shard_acquires"`
+	ArenaLookups  uint64        `json:"arena_lookups"`
+}
+
+// ScaleResult reports free/refill throughput versus goroutine count — the
+// scalability trajectory of the sharded global heap.
+type ScaleResult struct {
+	TotalOps int        `json:"total_ops"`
+	Rows     []ScaleRow `json:"rows"`
+}
+
+// Scale measures multi-goroutine malloc/free throughput on one shared
+// pooled allocator as the goroutine count doubles from 1 to 16, scalar and
+// batch-64. Pooled traffic is the shard-heavy shape: a free usually runs
+// on a different pooled heap than the one that allocated the object, so it
+// takes the global free path — a lock-free page-map lookup plus one
+// per-size-class shard lock (per free when scalar, per class per batch
+// when batched). Total operation count is fixed across rows, so ops/sec is
+// directly comparable as goroutines grow. Numbers are wall-clock and
+// machine-dependent. After every run the heap must drain to zero live
+// bytes and pass an integrity check; the shard-acquisition and page-map
+// lookup counters are reported alongside throughput so lock traffic is
+// visible, not inferred.
+func Scale(scale int) (*ScaleResult, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	totalOps := 320_000 / scale
+	if totalOps < 8_000 {
+		totalOps = 8_000
+	}
+	res := &ScaleResult{TotalOps: totalOps}
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		for _, batch := range []int{1, 64} {
+			ad := mesh.NewAdapter("mesh", mesh.WithSeed(1))
+			cfg := workload.ConcurrentConfig{
+				Workers: workers,
+				Ops:     totalOps / workers,
+				Batch:   batch,
+				MaxLive: 4096,
+				Sizes: workload.Choice{
+					Sizes:   []int{16, 64, 256, 1024, 2048},
+					Weights: []float64{4, 3, 2, 1, 0.5},
+				},
+				Seed: 1,
+			}
+			newHeap := func(int) alloc.Heap { return ad.Allocator }
+			r, err := workload.RunConcurrent(ad, newHeap, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("scale %d/%d: %w", workers, batch, err)
+			}
+			// Snapshot the contention counters before the drain: Flush
+			// takes shard locks for every relinquished span and
+			// CheckIntegrity acquires all shards and re-looks-up every
+			// registered span, none of which is workload traffic.
+			shard, err := ad.ReadControl("stats.global.shard_acquires")
+			if err != nil {
+				return nil, err
+			}
+			lookups, err := ad.ReadControl("stats.arena.lookups")
+			if err != nil {
+				return nil, err
+			}
+			if err := ad.Allocator.Flush(); err != nil {
+				return nil, fmt.Errorf("scale %d/%d: flush: %w", workers, batch, err)
+			}
+			if err := ad.Allocator.CheckIntegrity(); err != nil {
+				return nil, fmt.Errorf("scale %d/%d: integrity after run: %w", workers, batch, err)
+			}
+			if live := ad.Live(); live != 0 {
+				return nil, fmt.Errorf("scale %d/%d: %d live bytes after full drain", workers, batch, live)
+			}
+			res.Rows = append(res.Rows, ScaleRow{
+				Workers:       workers,
+				Batch:         batch,
+				Ops:           r.Ops,
+				Wall:          r.Wall,
+				OpsPerSec:     r.OpsPerSec,
+				ShardAcquires: shard.(uint64),
+				ArenaLookups:  lookups.(uint64),
+			})
+		}
+	}
+	return res, nil
+}

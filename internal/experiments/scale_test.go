@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+func TestScaleExperiment(t *testing.T) {
+	res, err := Scale(40) // 8000 total ops: a smoke-scale run
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 { // {1,2,4,8,16} workers × {scalar, batch}
+		t.Fatalf("got %d rows, want 10", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.OpsPerSec <= 0 || r.Ops <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if r.ArenaLookups == 0 {
+			t.Fatalf("workers=%d batch=%d: no page-map lookups recorded", r.Workers, r.Batch)
+		}
+		if r.ShardAcquires == 0 {
+			t.Fatalf("workers=%d batch=%d: no shard acquisitions recorded", r.Workers, r.Batch)
+		}
+	}
+	// Batch mode's per-class partition must take far fewer shard locks
+	// than scalar mode's one-per-free at the same worker count.
+	for i := 0; i+1 < len(res.Rows); i += 2 {
+		scalar, batch := res.Rows[i], res.Rows[i+1]
+		if scalar.Workers != batch.Workers || scalar.Batch != 1 || batch.Batch == 1 {
+			t.Fatalf("unexpected row order: %+v then %+v", scalar, batch)
+		}
+		if batch.ShardAcquires*2 >= scalar.ShardAcquires {
+			t.Errorf("workers=%d: batch took %d shard locks, scalar %d — partitioning not amortizing",
+				batch.Workers, batch.ShardAcquires, scalar.ShardAcquires)
+		}
+	}
+}

@@ -15,9 +15,10 @@
 //     the rate limiter says not due — compaction is the OOM escape hatch.
 //
 // Work is delegated to core.GlobalHeap.MeshBackground, the incremental
-// engine: one size class per barrier window, object copies performed off
-// the global lock under the §4.5.2 write-protection barrier, and every
-// lock hold bounded by the heap's max-pause setting.
+// engine: one size class per barrier window, holding only that class's
+// shard lock (traffic in every other size class is never stalled at all),
+// object copies performed off the lock under the §4.5.2 write-protection
+// barrier, and every lock hold bounded by the heap's max-pause setting.
 package meshd
 
 import (
@@ -31,7 +32,7 @@ import (
 // Config parameterizes a Daemon. The zero value is usable: every field
 // has a default.
 type Config struct {
-	// MaxPause bounds each global-lock hold of a pass; <= 0 uses the
+	// MaxPause bounds each shard-lock hold of a pass; <= 0 uses the
 	// heap's runtime mesh.max_pause setting.
 	MaxPause time.Duration
 	// PollInterval is the wall-clock wake-up granularity of the period

@@ -297,3 +297,109 @@ func TestConcurrentErrorsAreSafe(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestScaleStressCrossClass is the sharded-free-path stress test: 16
+// goroutines, each allocating from a pinned Thread in its own size class,
+// exchange object batches around a ring so that every free is a remote
+// free in a different shard than the freeing thread's neighbours —
+// alternating scalar frees (one shard acquisition each) and batch frees
+// (one shard acquisition per class in the batch) — while the background
+// daemon meshes continuously underneath. Under -race this drives the
+// per-class shard locks against the mesh barrier ordering: writers fault
+// on protect windows and wait on the barrier, frees race meshing fix-ups
+// in their shard, and content carried across the hand-off proves no write
+// or relocation was lost.
+func TestScaleStressCrossClass(t *testing.T) {
+	a := New(WithSeed(31),
+		WithBackgroundMeshing(true),
+		WithMeshPeriod(0), // every nudge is due
+		WithMaxMeshPause(50*time.Microsecond),
+		WithMinMeshSavings(1)) // never disarm
+	defer a.Close()
+
+	classSizes := []int{16, 32, 64, 128, 256, 512, 1024, 2048}
+	const (
+		workers = 16
+		rounds  = 60
+		objs    = 32
+	)
+	rings := make([]chan []Ptr, workers)
+	for i := range rings {
+		rings[i] = make(chan []Ptr, rounds+1) // senders never block
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := a.NewThread()
+			defer th.Close()
+			size := classSizes[w%len(classSizes)]
+			val := byte(w + 1)
+			expect := byte((w-1+workers)%workers + 1)
+			buf := make([]byte, 1)
+			for r := 0; r < rounds; r++ {
+				batch := make([]Ptr, objs)
+				for j := range batch {
+					p, err := th.Malloc(size)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if err := a.Write(p, []byte{val}); err != nil {
+						errc <- err
+						return
+					}
+					batch[j] = p
+				}
+				rings[(w+1)%workers] <- batch
+				var got []Ptr
+				select {
+				case got = <-rings[w]:
+				case <-time.After(30 * time.Second):
+					errc <- errors.New("ring stalled: a neighbour died")
+					return
+				}
+				for _, p := range got {
+					if err := a.Read(p, buf); err != nil {
+						errc <- err
+						return
+					}
+					if buf[0] != expect {
+						errc <- errLost{p, buf[0], expect}
+						return
+					}
+				}
+				if r%2 == 0 {
+					if err := th.FreeBatch(got); err != nil {
+						errc <- err
+						return
+					}
+				} else {
+					for _, p := range got {
+						if err := th.Free(p); err != nil {
+							errc <- err
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	a.Mesh()
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	if live := a.Stats().Live; live != 0 {
+		t.Fatalf("live = %d after full drain", live)
+	}
+}

@@ -34,6 +34,8 @@ import (
 //	stats.frees       uint64          r         total frees
 //	stats.mesh_passes uint64          r         meshing passes run
 //	stats.mesh.pauses PauseHistogram  r         distribution of meshing lock holds (§4.5 bounded pauses)
+//	stats.arena.lookups uint64        r         lock-free page-map lookups served (free-path traffic)
+//	stats.global.shard_acquires uint64 r        per-size-class shard-lock acquisitions, summed (contention proxy)
 //
 // Integer-typed keys accept int, int32, int64 or uint64 on write;
 // mesh.period additionally accepts a time.ParseDuration string.
@@ -177,6 +179,12 @@ var controls = map[string]control{
 	},
 	"stats.mesh.pauses": {
 		get: func(a *Allocator) (any, error) { return a.Stats().Mesh.Pauses, nil },
+	},
+	"stats.arena.lookups": {
+		get: func(a *Allocator) (any, error) { return a.g.Arena().Lookups(), nil },
+	},
+	"stats.global.shard_acquires": {
+		get: func(a *Allocator) (any, error) { return a.g.ShardAcquires(), nil },
 	},
 }
 

@@ -36,6 +36,10 @@ func TestControlKeyTable(t *testing.T) {
 		// legitimately ran no pass — and therefore recorded no pauses.
 		{key: "stats.mesh_passes", want: uint64(0), readback: true},
 		{key: "stats.mesh.pauses", want: PauseHistogram{}, readback: true},
+		// No allocation has happened, so the contention introspection
+		// counters sit at zero: no page-map lookups, no shard acquisitions.
+		{key: "stats.arena.lookups", want: uint64(0), readback: true},
+		{key: "stats.global.shard_acquires", want: uint64(0), readback: true},
 	}
 
 	covered := make(map[string]bool)
@@ -166,6 +170,117 @@ func TestControlValuesTakeEffect(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = live
+}
+
+// TestContentionIntrospection drives traffic shapes with known lock
+// behaviour through the allocator and checks the contention counters move
+// accordingly: local frees bump only the lock-free lookup counter, while
+// remote (cross-thread) frees additionally acquire exactly one shard per
+// free, and batch frees one shard per class in the batch.
+func TestContentionIntrospection(t *testing.T) {
+	readU64 := func(t *testing.T, a *Allocator, key string) uint64 {
+		t.Helper()
+		v, err := a.ReadControl(key)
+		if err != nil {
+			t.Fatalf("ReadControl(%q): %v", key, err)
+		}
+		return v.(uint64)
+	}
+	cases := []struct {
+		name string
+		run  func(t *testing.T, a *Allocator)
+		// counter deltas: lookups must grow by at least minLookups, shard
+		// acquisitions by at least minShards and at most maxShards.
+		minLookups, minShards, maxShards uint64
+	}{
+		{
+			name: "local-free-lookup-only",
+			run: func(t *testing.T, a *Allocator) {
+				th := a.NewThread()
+				defer th.Close()
+				p, err := th.Malloc(64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := th.Free(p); err != nil {
+					t.Fatal(err)
+				}
+			},
+			// One local free: one lock-free lookup; shard locks only for
+			// the initial refill (alloc + registry), never for the free.
+			minLookups: 1,
+			minShards:  1,
+			maxShards:  4,
+		},
+		{
+			name: "remote-frees-take-shards",
+			run: func(t *testing.T, a *Allocator) {
+				th := a.NewThread()
+				defer th.Close()
+				other := a.NewThread()
+				defer other.Close()
+				for i := 0; i < 8; i++ {
+					p, err := th.Malloc(64)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := other.Free(p); err != nil {
+						t.Fatal(err)
+					}
+				}
+			},
+			// Each remote free: one lock-free miss on the freeing thread,
+			// then one shard acquisition (plus a re-lookup) on the global
+			// path.
+			minLookups: 16,
+			minShards:  8,
+			maxShards:  64,
+		},
+		{
+			name: "batch-free-one-shard-per-class",
+			run: func(t *testing.T, a *Allocator) {
+				th := a.NewThread()
+				defer th.Close()
+				other := a.NewThread()
+				defer other.Close()
+				var ptrs []Ptr
+				for _, size := range []int{16, 16, 16, 256, 256, 256} {
+					p, err := th.Malloc(size)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ptrs = append(ptrs, p)
+				}
+				if err := other.FreeBatch(ptrs); err != nil {
+					t.Fatal(err)
+				}
+			},
+			// Six remote frees in two classes: the batch partition takes
+			// each of the two shard locks once, not six times. Setup
+			// refills take a few more, so bound loosely from above but
+			// well under one-acquisition-per-free (6) plus setup.
+			minLookups: 12,
+			minShards:  2,
+			maxShards:  10,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := New(WithSeed(1), WithClock(NewLogicalClock()), WithMeshing(false))
+			look0 := readU64(t, a, "stats.arena.lookups")
+			shard0 := readU64(t, a, "stats.global.shard_acquires")
+			tc.run(t, a)
+			dLook := readU64(t, a, "stats.arena.lookups") - look0
+			dShard := readU64(t, a, "stats.global.shard_acquires") - shard0
+			if dLook < tc.minLookups {
+				t.Errorf("arena lookups grew %d, want >= %d", dLook, tc.minLookups)
+			}
+			if dShard < tc.minShards || dShard > tc.maxShards {
+				t.Errorf("shard acquisitions grew %d, want in [%d, %d]",
+					dShard, tc.minShards, tc.maxShards)
+			}
+		})
+	}
 }
 
 // TestDeprecatedWrappersStillWork pins the compatibility contract: the old
