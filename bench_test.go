@@ -349,6 +349,59 @@ func BenchmarkConcurrentThreads(b *testing.B) {
 	})
 }
 
+// BenchmarkDataPathContention measures the cost of the simulated kernel's
+// translation path under concurrent data traffic — the path every object
+// read, write, and memset in every workload traverses. Each worker owns
+// disjoint 8 KiB objects on a shared allocator and performs 64-byte
+// accesses at rotating offsets (some page-crossing); no allocator traffic
+// happens inside the timed region, so the benchmark isolates pointer
+// translation (§4.5.1: data-path accesses must never synchronize with the
+// allocator). One benchmark op is one 64-byte access, through the same
+// access kernel as `meshbench datapath` (experiments.DataPathWorker), so
+// the CI artifact and local benchmark runs measure the same shape. Before
+// the radix/seqlock rewrite every op took the VM's RWMutex at least once;
+// after it, translation is two atomic loads.
+func BenchmarkDataPathContention(b *testing.B) {
+	for _, mode := range []string{"read", "write", "memset"} {
+		for _, gs := range []int{1, 8, 16} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", mode, gs), func(b *testing.B) {
+				a := mesh.New(mesh.WithSeed(1))
+				ptrs := make([][]mesh.Ptr, gs)
+				for w := range ptrs {
+					ptrs[w] = make([]mesh.Ptr, experiments.DataPathObjs)
+					for j := range ptrs[w] {
+						p, err := a.Malloc(experiments.DataPathObjSize)
+						if err != nil {
+							b.Fatal(err)
+						}
+						ptrs[w][j] = p
+					}
+				}
+				iters := b.N/gs + 1
+				var wg sync.WaitGroup
+				var failed atomic.Bool
+				fail := func(err error) {
+					if failed.CompareAndSwap(false, true) {
+						b.Error(err)
+					}
+				}
+				b.ResetTimer()
+				for w := 0; w < gs; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						if err := experiments.DataPathWorker(a, ptrs[w], mode, iters); err != nil {
+							fail(err)
+						}
+					}(w)
+				}
+				wg.Wait()
+				b.StopTimer()
+			})
+		}
+	}
+}
+
 // BenchmarkScaleContention measures multi-goroutine free/refill throughput
 // on one shared allocator as goroutine count grows. Workers form a ring:
 // each allocates batches of objects in its own size class from a pinned

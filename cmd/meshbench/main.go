@@ -19,12 +19,14 @@
 //	conc      concurrent throughput: pooled vs thread heaps, scalar vs batch
 //	pause     foreground vs background meshing: tail stalls and RSS (§4.5)
 //	scale     free/refill throughput vs goroutine count (sharded global heap)
+//	datapath  object read/write/memset throughput vs goroutine count (lock-free VM translation)
 //	all       everything above
 //
 // -scale divides workload sizes (1 = the paper's full parameters; larger
 // values run proportionally smaller and faster). -csv additionally dumps
 // the RSS time series for the figure experiments. -json FILE writes the
-// scale experiment's result as JSON (the CI perf-trajectory artifact).
+// scale or datapath experiment's result as JSON (the CI perf-trajectory
+// artifacts).
 package main
 
 import (
@@ -32,6 +34,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/stats"
@@ -40,12 +44,12 @@ import (
 var (
 	scale   = flag.Int("scale", 1, "divide workload sizes by this factor (1 = paper scale)")
 	csvOut  = flag.Bool("csv", false, "also print RSS time series as CSV")
-	jsonOut = flag.String("json", "", "write the scale experiment's result as JSON to this file")
+	jsonOut = flag.String("json", "", "write the scale/datapath experiment's result as JSON to this file")
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: meshbench [-scale N] [-csv] [-json FILE] <fig6|fig7|fig8|spec|prob|lemma53|triangle|ablation|robson|conc|pause|scale|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: meshbench [-scale N] [-csv] [-json FILE] <fig6|fig7|fig8|spec|prob|lemma53|triangle|ablation|robson|conc|pause|scale|datapath|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -88,8 +92,11 @@ func run(what string) error {
 		return pause()
 	case "scale":
 		return scaleExp()
+	case "datapath":
+		return datapath()
 	case "all":
-		for _, f := range []func() error{fig6, fig7, fig8, spec, ablation, robson, conc, pause, scaleExp} {
+		runningAll = true
+		for _, f := range []func() error{fig6, fig7, fig8, spec, ablation, robson, conc, pause, scaleExp, datapath} {
 			if err := f(); err != nil {
 				return err
 			}
@@ -101,6 +108,39 @@ func run(what string) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", what)
 	}
+}
+
+// runningAll is set when the "all" experiment is driving the others;
+// jsonPath then derives a distinct artifact name per experiment so they
+// do not overwrite each other.
+var runningAll bool
+
+// jsonPath returns the -json target for one JSON-producing experiment:
+// the flag value as given for a single-experiment invocation, or — under
+// "all" — the flag value with the experiment name inserted before the
+// extension. Empty when -json is unset.
+func jsonPath(exp string) string {
+	if *jsonOut == "" {
+		return ""
+	}
+	if !runningAll {
+		return *jsonOut
+	}
+	ext := filepath.Ext(*jsonOut)
+	return strings.TrimSuffix(*jsonOut, ext) + "_" + exp + ext
+}
+
+// writeJSON dumps a result as indented JSON to path.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 func header(title string) {
@@ -326,15 +366,26 @@ func scaleExp() error {
 		fmt.Printf("%8d %7d %10d %12v %14.0f %16d %14d\n",
 			r.Workers, r.Batch, r.Ops, r.Wall.Round(1e6), r.OpsPerSec, r.ShardAcquires, r.ArenaLookups)
 	}
-	if *jsonOut != "" {
-		data, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", *jsonOut)
+	if p := jsonPath("scale"); p != "" {
+		return writeJSON(p, res)
+	}
+	return nil
+}
+
+func datapath() error {
+	header("DataPath: object access throughput vs goroutine count (lock-free VM translation)")
+	res, err := experiments.DataPath(*scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s %8s %10s %12s %14s %16s %10s\n",
+		"workers", "mode", "ops", "wall", "ops/sec", "translations", "retries")
+	for _, r := range res.Rows {
+		fmt.Printf("%8d %8s %10d %12v %14.0f %16d %10d\n",
+			r.Workers, r.Mode, r.Ops, r.Wall.Round(1e6), r.OpsPerSec, r.Translations, r.Retries)
+	}
+	if p := jsonPath("datapath"); p != "" {
+		return writeJSON(p, res)
 	}
 	return nil
 }

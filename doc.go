@@ -13,7 +13,11 @@
 // pointer-to-span table behind every non-local free is a lock-free
 // two-level radix page map (internal/arena) — a lookup is two atomic
 // loads, so frees and refills in distinct size classes never contend
-// (see the lock-hierarchy comment in internal/core/global.go).
+// (see the lock-hierarchy comment in internal/core/global.go). The
+// simulated kernel's data path (internal/vm) is lock-free the same
+// way: object reads, writes, and memsets translate through a radix
+// page table of atomic PTEs validated by a seqlock generation, so no
+// byte access ever synchronizes with the allocator (§4.5.1).
 // Compaction can run inline on the free path or — with background
 // meshing enabled — on a daemon goroutine (internal/meshd, the
 // paper's §4.5 background thread) that meshes incrementally and

@@ -109,9 +109,11 @@ func (b *Bitmap) Reset() {
 	}
 }
 
-// SetBits returns the indices of all set bits in ascending order.
-func (b *Bitmap) SetBits() []int {
-	var out []int
+// AppendSetBits appends the indices of all set bits in ascending order to
+// buf and returns the extended slice. Callers on hot paths (the mesh copy
+// loop, shuffle-vector refills) pass a reused buffer so iteration allocates
+// nothing in steady state.
+func (b *Bitmap) AppendSetBits(buf []int) []int {
 	for w := range b.bits {
 		word := b.bits[w].Load()
 		for word != 0 {
@@ -120,22 +122,40 @@ func (b *Bitmap) SetBits() []int {
 			if idx >= b.n {
 				break
 			}
-			out = append(out, idx)
+			buf = append(buf, idx)
 			word &^= 1 << tz
 		}
 	}
-	return out
+	return buf
+}
+
+// AppendFreeBits appends the indices of all clear bits in ascending order
+// to buf and returns the extended slice — the allocation-free counterpart
+// of FreeBits, one word load per 64 slots.
+func (b *Bitmap) AppendFreeBits(buf []int) []int {
+	for w := range b.bits {
+		word := ^b.bits[w].Load()
+		for word != 0 {
+			tz := bits.TrailingZeros64(word)
+			idx := w*wordBits + tz
+			if idx >= b.n {
+				break
+			}
+			buf = append(buf, idx)
+			word &^= 1 << tz
+		}
+	}
+	return buf
+}
+
+// SetBits returns the indices of all set bits in ascending order.
+func (b *Bitmap) SetBits() []int {
+	return b.AppendSetBits(nil)
 }
 
 // FreeBits returns the indices of all clear bits in ascending order.
 func (b *Bitmap) FreeBits() []int {
-	out := make([]int, 0, b.n-b.InUse())
-	for i := 0; i < b.n; i++ {
-		if !b.IsSet(i) {
-			out = append(out, i)
-		}
-	}
-	return out
+	return b.AppendFreeBits(make([]int, 0, b.n-b.InUse()))
 }
 
 // Overlaps reports whether b and o have any set bit in common. Two spans are

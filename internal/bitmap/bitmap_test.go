@@ -246,3 +246,69 @@ func BenchmarkOverlaps(b *testing.B) {
 		}
 	}
 }
+
+// TestAppendBitsMatchAndReuse checks the allocation-free iterators agree
+// with SetBits/FreeBits and genuinely reuse the caller's buffer.
+func TestAppendBitsMatchAndReuse(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		b.TryToSet(i)
+	}
+	buf := make([]int, 0, 130)
+	set := b.AppendSetBits(buf)
+	if !slicesEqual(set, b.SetBits()) {
+		t.Fatalf("AppendSetBits = %v, SetBits = %v", set, b.SetBits())
+	}
+	free := b.AppendFreeBits(buf)
+	if !slicesEqual(free, b.FreeBits()) {
+		t.Fatalf("AppendFreeBits = %v, FreeBits = %v", free, b.FreeBits())
+	}
+	if len(set)+len(free) != 130 {
+		t.Fatalf("set %d + free %d != 130", len(set), len(free))
+	}
+	// Reuse: appending into a buffer with spare capacity must not allocate.
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = b.AppendSetBits(buf[:0])
+		buf = b.AppendFreeBits(buf[:0])
+	}); allocs != 0 {
+		t.Fatalf("Append iterators allocated %.1f times per run", allocs)
+	}
+	// Appending preserves existing elements.
+	pre := b.AppendSetBits([]int{-7})
+	if pre[0] != -7 || !slicesEqual(pre[1:], b.SetBits()) {
+		t.Fatalf("AppendSetBits clobbered prefix: %v", pre)
+	}
+}
+
+// TestAppendFreeBitsTailWord checks the last partial word's phantom bits
+// (indices >= Len) never leak out of the free iterator.
+func TestAppendFreeBitsTailWord(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 100} {
+		b := New(n)
+		free := b.AppendFreeBits(nil)
+		if len(free) != n {
+			t.Fatalf("n=%d: %d free bits", n, len(free))
+		}
+		for _, i := range free {
+			if i < 0 || i >= n {
+				t.Fatalf("n=%d: phantom free bit %d", n, i)
+			}
+		}
+		b.SetAll()
+		if got := b.AppendFreeBits(nil); len(got) != 0 {
+			t.Fatalf("n=%d: free bits on full bitmap: %v", n, got)
+		}
+	}
+}
+
+func slicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -102,7 +102,6 @@ func Run(cfg Config, a alloc.Allocator, clock *core.LogicalClock) (*Result, erro
 	}
 	var cache []obj
 	var ops uint64
-	one := []byte{1}
 
 	wallStart := time.Now()
 	perThread := cfg.AllocsPerPhase / cfg.Threads
@@ -116,7 +115,9 @@ func Run(cfg Config, a alloc.Allocator, clock *core.LogicalClock) (*Result, erro
 				if err != nil {
 					return nil, fmt.Errorf("phase %d thread %d: %w", phase, th, err)
 				}
-				if err := mem.Write(p, one); err != nil {
+				// Initialize the whole node, as the DOM constructor would —
+				// full-object dirtying through the lock-free data path.
+				if err := mem.Memset(p, 1, size); err != nil {
 					return nil, err
 				}
 				phaseObjs = append(phaseObjs, obj{addr: p, thread: th})

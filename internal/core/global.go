@@ -236,7 +236,21 @@ func (cs *classState) binRemove(b int, mh *miniheap.MiniHeap) {
 //	                         class order.
 //	largeMu                — guards the large-object registry.
 //	arena/vm internals     — the arena's dirty-bin mutex and the simulated
-//	                         OS's page-table lock; leaves of the order.
+//	                         OS's mapping mutex; leaves of the order.
+//
+// Below all of them sits the VM's translation seqlock (vm.OS's generation
+// counter): not a lock but a retry protocol. Remap/Unmap/Protect bump it
+// inside the vm mapping mutex, so every protect→copy→remap window a slice
+// performs bumps the generation at least twice — once at the protect, once
+// per remap — and any lock-free data access that overlapped the window
+// discards its result and retries onto the new page-table entries. That
+// retry is what preserves the §4.5.2 invariant for readers of a
+// meshed-away page (the destination holds identical contents by the time
+// the remap publishes), while faulting writers wait on meshBarrier as
+// before. Protect(ReadOnly) additionally drains in-flight lock-free writes
+// before returning, so the engine's copy phase — which runs with no locks
+// at all beyond the barrier — can never lose a racing write (vm.OS's
+// package comment gives the full protocol).
 //
 // A holder of a later lock never acquires an earlier one; the fault hook
 // acquires only meshBarrier (never a shard lock), so a writer blocked on a
@@ -244,7 +258,9 @@ func (cs *classState) binRemove(b int, mh *miniheap.MiniHeap) {
 // (mesh period, enablement, pause budget, probe budget, savings threshold)
 // live in atomics and take no lock at all. arena.Lookup is lock-free; the
 // free path re-runs it under the owning class's shard lock for the
-// authoritative owner (see arena.Lookup).
+// authoritative owner (see arena.Lookup). vm.Read/Write/Memset are
+// likewise lock-free end to end — the data path touches no mutex in this
+// hierarchy at all.
 type GlobalHeap struct {
 	cfg   Config // immutable after construction; runtime-tunable knobs live in the atomics below
 	os    *vm.OS
@@ -293,6 +309,10 @@ type GlobalHeap struct {
 	allocs      atomic.Uint64
 	frees       atomic.Uint64
 	invalidFree atomic.Uint64
+
+	// meshScratch backs the copy loop's set-bit iteration; guarded by the
+	// mesh barrier (copyPair never runs outside it).
+	meshScratch []int
 
 	meshPasses   atomic.Uint64
 	spansMeshed  atomic.Uint64

@@ -76,9 +76,7 @@ func (t *ThreadHeap) Malloc(size int) (uint64, error) {
 func (t *ThreadHeap) refill(class int) error {
 	sv := t.svs[class]
 	if old := t.attached[class]; old != nil {
-		for _, off := range sv.Detach() {
-			old.Bitmap().Unset(int(off))
-		}
+		sv.DrainTo(old.Bitmap())
 		t.attached[class] = nil
 		if err := t.global.ReleaseMiniheap(old); err != nil {
 			return err
@@ -154,9 +152,7 @@ func (t *ThreadHeap) Done() error {
 			continue
 		}
 		sv := t.svs[c]
-		for _, off := range sv.Detach() {
-			t.attached[c].Bitmap().Unset(int(off))
-		}
+		sv.DrainTo(t.attached[c].Bitmap())
 		mh := t.attached[c]
 		t.attached[c] = nil
 		if err := t.global.ReleaseMiniheap(mh); err != nil {

@@ -330,7 +330,11 @@ func (g *GlobalHeap) protectSpans(mh *miniheap.MiniHeap, p vm.Prot) error {
 func (g *GlobalHeap) copyPair(p meshPair) error {
 	objSize := p.src.ObjectSize()
 	copied := 0
-	for _, off := range p.src.Bitmap().SetBits() {
+	// meshScratch is reused across pairs so the copy loop allocates
+	// nothing; copyPair only ever runs under the mesh barrier (both
+	// engines), so the buffer is single-flight.
+	g.meshScratch = p.src.Bitmap().AppendSetBits(g.meshScratch[:0])
+	for _, off := range g.meshScratch {
 		if err := g.os.CopyPhys(p.dst.Phys(), off*objSize, p.src.Phys(), off*objSize, objSize); err != nil {
 			return err
 		}

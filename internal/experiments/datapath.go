@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/mesh"
+)
+
+// DataPathRow is one (goroutine count, access mode) cell of the data-path
+// experiment.
+type DataPathRow struct {
+	Workers      int           `json:"workers"`
+	Mode         string        `json:"mode"`
+	Ops          int           `json:"ops"`
+	Wall         time.Duration `json:"wall_ns"`
+	OpsPerSec    float64       `json:"ops_per_sec"`
+	Translations uint64        `json:"vm_translations"`
+	Retries      uint64        `json:"vm_retries"`
+}
+
+// DataPathResult reports object access throughput versus goroutine count —
+// the trajectory of the lock-free VM translation path.
+type DataPathResult struct {
+	TotalOps  int           `json:"total_ops"`
+	AccessLen int           `json:"access_len"`
+	Rows      []DataPathRow `json:"rows"`
+}
+
+// Data-path access-kernel geometry, shared with the repo-level
+// BenchmarkDataPathContention so the experiment and the benchmark measure
+// the same access shape.
+const (
+	// DataPathObjSize is the size of each worker-private object.
+	DataPathObjSize = 8192
+	// DataPathAccessLen is the bytes accessed per operation.
+	DataPathAccessLen = 64
+	// DataPathObjs is the number of objects each worker owns.
+	DataPathObjs = 8
+)
+
+// DataPathWorker is the shared access kernel: ops accesses of the given
+// mode ("read", "write", or "memset") over the worker-owned objects in
+// ptrs, at rotating offsets so accesses periodically cross the objects'
+// interior page boundaries. No allocator traffic happens here — the loop
+// isolates pointer translation.
+func DataPathWorker(a *mesh.Allocator, ptrs []mesh.Ptr, mode string, ops int) error {
+	buf := make([]byte, DataPathAccessLen)
+	for i := 0; i < ops; i++ {
+		off := uint64(i*511) % (DataPathObjSize - DataPathAccessLen)
+		p := ptrs[i%len(ptrs)] + off
+		var err error
+		switch mode {
+		case "read":
+			err = a.Read(p, buf)
+		case "write":
+			err = a.Write(p, buf)
+		case "memset":
+			err = a.Memset(p, byte(i), DataPathAccessLen)
+		default:
+			err = fmt.Errorf("datapath: unknown access mode %q", mode)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DataPath measures concurrent read/write/memset throughput through the
+// simulated kernel's translation path — the path every object access in
+// every workload traverses (§4.5.1: data-path accesses never synchronize
+// with the allocator). Workers on one shared allocator each own disjoint
+// 8 KiB objects and perform 64-byte accesses at rotating offsets; total
+// operation count is fixed across rows so ops/sec is directly comparable
+// as goroutines grow. The VM translation and seqlock-retry counters are
+// reported alongside throughput, so the health of the lock-free path
+// (retries ≈ 0 without meshing churn) is visible, not inferred.
+func DataPath(scale int) (*DataPathResult, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	totalOps := 6_400_000 / scale
+	if totalOps < 64_000 {
+		totalOps = 64_000
+	}
+	res := &DataPathResult{TotalOps: totalOps, AccessLen: DataPathAccessLen}
+	for _, workers := range []int{1, 8, 16} {
+		for _, mode := range []string{"read", "write", "memset"} {
+			a := mesh.New(mesh.WithSeed(1))
+			ptrs := make([][]mesh.Ptr, workers)
+			for w := range ptrs {
+				ptrs[w] = make([]mesh.Ptr, DataPathObjs)
+				for j := range ptrs[w] {
+					p, err := a.Malloc(DataPathObjSize)
+					if err != nil {
+						return nil, fmt.Errorf("datapath %d/%s: %w", workers, mode, err)
+					}
+					ptrs[w][j] = p
+				}
+			}
+			startTr, err := a.ReadControl("stats.vm.translations")
+			if err != nil {
+				return nil, err
+			}
+			startRe, err := a.ReadControl("stats.vm.retries")
+			if err != nil {
+				return nil, err
+			}
+
+			perWorker := totalOps / workers
+			var wg sync.WaitGroup
+			var firstErr atomic.Pointer[error]
+			fail := func(err error) {
+				firstErr.CompareAndSwap(nil, &err)
+			}
+			start := time.Now()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					if err := DataPathWorker(a, ptrs[w], mode, perWorker); err != nil {
+						fail(err)
+					}
+				}(w)
+			}
+			wg.Wait()
+			wall := time.Since(start)
+			if ep := firstErr.Load(); ep != nil {
+				return nil, fmt.Errorf("datapath %d/%s: %w", workers, mode, *ep)
+			}
+			endTr, err := a.ReadControl("stats.vm.translations")
+			if err != nil {
+				return nil, err
+			}
+			endRe, err := a.ReadControl("stats.vm.retries")
+			if err != nil {
+				return nil, err
+			}
+			ops := perWorker * workers
+			res.Rows = append(res.Rows, DataPathRow{
+				Workers:      workers,
+				Mode:         mode,
+				Ops:          ops,
+				Wall:         wall,
+				OpsPerSec:    float64(ops) / wall.Seconds(),
+				Translations: endTr.(uint64) - startTr.(uint64),
+				Retries:      endRe.(uint64) - startRe.(uint64),
+			})
+			if err := a.Close(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}

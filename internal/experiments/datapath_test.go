@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+func TestDataPathExperiment(t *testing.T) {
+	res, err := DataPath(100) // 64_000 total ops: a smoke-scale run
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 { // {1,8,16} workers × {read, write, memset}
+		t.Fatalf("got %d rows, want 9", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.OpsPerSec <= 0 || r.Ops <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		// Every access translates at least once (multi-run accesses more).
+		if r.Translations < uint64(r.Ops) {
+			t.Fatalf("workers=%d mode=%s: %d translations for %d ops",
+				r.Workers, r.Mode, r.Translations, r.Ops)
+		}
+		// No mapping churn runs during the timed region, so the seqlock
+		// never invalidates an access: retries must stay zero.
+		if r.Retries != 0 {
+			t.Fatalf("workers=%d mode=%s: %d retries without page-table churn",
+				r.Workers, r.Mode, r.Retries)
+		}
+	}
+}

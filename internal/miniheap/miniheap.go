@@ -33,6 +33,13 @@ type MiniHeap struct {
 	spanPages int
 	objCount  int
 
+	// objRecip is the precomputed reciprocal of objSize for the
+	// multiply-shift division on the free fast path (tcmalloc-style);
+	// zero means the span geometry is outside the exactness bound and
+	// OffsetOf falls back to hardware division (only very large
+	// singleton spans).
+	objRecip uint64
+
 	bm   *bitmap.Bitmap
 	phys vm.PhysID
 
@@ -46,6 +53,27 @@ type MiniHeap struct {
 
 var nextID atomic.Uint64
 
+// recipShift is the fixed-point precision of the reciprocal multiply.
+const recipShift = 32
+
+// reciprocal returns the fixed-point reciprocal that makes
+// (rel * reciprocal) >> recipShift equal rel / objSize for every
+// rel < spanBytes, or 0 when the guarantee does not hold.
+//
+// With m = ceil(2^N / d), m*d = 2^N + r for some 0 <= r < d, so
+// rel*m/2^N = rel/d + rel*r/(d*2^N) and the error term stays below 1/d
+// whenever rel*d < 2^N — then the floor is exact for every residue. All
+// size-classed spans satisfy spanBytes*objSize < 2^32 by construction
+// (spanBytes <= 128 KiB, objSize <= 16 KiB); only large singleton spans of
+// 16+ pages fall back to division, where the quotient is taken once per
+// whole-object free anyway.
+func reciprocal(objSize, spanBytes int) uint64 {
+	if uint64(spanBytes)*uint64(objSize) >= 1<<recipShift {
+		return 0
+	}
+	return (1<<recipShift + uint64(objSize) - 1) / uint64(objSize)
+}
+
 // New creates a MiniHeap for a size-classed span backed by physical span
 // phys and mapped at virtual base vbase.
 func New(class int, vbase uint64, phys vm.PhysID) *MiniHeap {
@@ -55,6 +83,7 @@ func New(class int, vbase uint64, phys vm.PhysID) *MiniHeap {
 		objSize:   sizeclass.Size(class),
 		spanPages: sizeclass.SpanPages(class),
 		objCount:  sizeclass.ObjectCount(class),
+		objRecip:  reciprocal(sizeclass.Size(class), sizeclass.SpanPages(class)*vm.PageSize),
 		bm:        bitmap.New(sizeclass.ObjectCount(class)),
 		phys:      phys,
 		spans:     []uint64{vbase},
@@ -70,6 +99,7 @@ func NewLarge(pages int, vbase uint64, phys vm.PhysID) *MiniHeap {
 		objSize:   pages * vm.PageSize,
 		spanPages: pages,
 		objCount:  1,
+		objRecip:  reciprocal(pages*vm.PageSize, pages*vm.PageSize),
 		bm:        bitmap.New(1),
 		phys:      phys,
 		spans:     []uint64{vbase},
@@ -180,18 +210,28 @@ func (m *MiniHeap) Contains(addr uint64) bool {
 // to an object slot index. The address must point at the start of an object
 // slot; interior or foreign pointers return an error (invalid frees are
 // "easily discovered and discarded", §4.4.4).
+//
+// This sits on the Free fast path (one call per free), so the quotient and
+// remainder by the object size use a precomputed reciprocal multiply-shift
+// instead of hardware division (tcmalloc-style; see reciprocal for the
+// exactness argument).
 func (m *MiniHeap) OffsetOf(addr uint64) (int, error) {
 	for _, base := range m.spans {
 		if addr >= base && addr < base+uint64(m.SpanBytes()) {
-			rel := int(addr - base)
-			if rel%m.objSize != 0 {
+			rel := addr - base
+			var off uint64
+			if m.objRecip != 0 {
+				off = rel * m.objRecip >> recipShift
+			} else {
+				off = rel / uint64(m.objSize)
+			}
+			if off*uint64(m.objSize) != rel {
 				return 0, fmt.Errorf("miniheap: interior pointer %#x", addr)
 			}
-			off := rel / m.objSize
-			if off >= m.objCount {
+			if off >= uint64(m.objCount) {
 				return 0, fmt.Errorf("miniheap: pointer %#x past last object", addr)
 			}
-			return off, nil
+			return int(off), nil
 		}
 	}
 	return 0, fmt.Errorf("miniheap: address %#x not in any span", addr)

@@ -76,7 +76,6 @@ func Run(cfg Config, a alloc.Allocator, clock *core.LogicalClock) (*Result, erro
 
 	var prevRetained []uint64
 	wallStart := time.Now()
-	one := []byte{0xAA}
 
 	for it := 0; it < cfg.Iterations; it++ {
 		strLen := cfg.StartLen << it
@@ -90,8 +89,10 @@ func Run(cfg Config, a alloc.Allocator, clock *core.LogicalClock) (*Result, erro
 			if err != nil {
 				return nil, fmt.Errorf("iteration %d alloc %d: %w", it, i, err)
 			}
-			// Touch the string so spans are really dirtied.
-			if err := mem.Write(p, one); err != nil {
+			// Fill the whole string, as MRI's string copy would — every
+			// content byte really traverses the VM data path (cheap now
+			// that translation is lock-free with one run per span).
+			if err := mem.Memset(p, 0xAA, strLen); err != nil {
 				return nil, err
 			}
 			batch = append(batch, p)

@@ -31,6 +31,10 @@ type Vector struct {
 	max    int // object count of the attached span
 	rnd    *rng.RNG
 	random bool
+
+	// scratch backs Attach's free-slot scan between calls so a refill
+	// allocates nothing in steady state.
+	scratch []int
 }
 
 // New returns a detached shuffle vector. If randomize is false the vector
@@ -62,7 +66,14 @@ func (v *Vector) Attach(bm *bitmap.Bitmap) {
 	}
 	v.max = n
 	v.off = n
-	for i := 0; i < n; i++ {
+	// Scan for free slots word-at-a-time into the reused scratch buffer,
+	// then reserve each candidate with one CAS; a candidate lost to a
+	// racing remote operation is simply skipped. This replaces n
+	// unconditional TryToSet probes (and their CAS traffic on fully set
+	// words) with one pass over the bitmap's words plus one CAS per
+	// actually free slot, allocating nothing in steady state.
+	v.scratch = bm.AppendFreeBits(v.scratch[:0])
+	for _, i := range v.scratch {
 		if bm.TryToSet(i) {
 			v.off--
 			v.list[v.off] = uint8(i)
@@ -76,10 +87,26 @@ func (v *Vector) Attach(bm *bitmap.Bitmap) {
 	}
 }
 
+// DrainTo empties the vector, clearing the bitmap bit of every offset that
+// was still available, so the span's occupancy again reflects only live
+// objects before the MiniHeap is returned to the global heap. It returns
+// the number of offsets released. This is the allocation-free form of
+// Detach the refill and thread-exit paths use.
+func (v *Vector) DrainTo(bm *bitmap.Bitmap) int {
+	n := v.max - v.off
+	for _, off := range v.list[v.off:v.max] {
+		bm.Unset(int(off))
+	}
+	v.max = 0
+	v.off = 0
+	return n
+}
+
 // Detach empties the vector and returns the offsets that were still
 // available. The caller must clear the corresponding bitmap bits so the
 // span's occupancy again reflects only live objects before the MiniHeap is
-// returned to the global heap.
+// returned to the global heap. (Hot paths use DrainTo instead, which
+// performs the bitmap clearing itself without allocating.)
 func (v *Vector) Detach() []uint8 {
 	rem := make([]uint8, v.max-v.off)
 	copy(rem, v.list[v.off:v.max])

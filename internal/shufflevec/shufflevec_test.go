@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bitmap"
 	"repro/internal/rng"
+	"repro/internal/sizeclass"
 )
 
 func TestAttachReservesAllFreeSlots(t *testing.T) {
@@ -242,5 +243,54 @@ func BenchmarkRandomProbing90PercentFull(b *testing.B) {
 				break
 			}
 		}
+	}
+}
+
+// TestDrainToClearsBitmapAndEmpties checks the allocation-free detach:
+// remaining offsets have their bitmap bits cleared, live objects stay set,
+// and the vector comes back empty and reattachable.
+func TestDrainToClearsBitmapAndEmpties(t *testing.T) {
+	bm := bitmap.New(16)
+	v := New(rng.New(3), true)
+	v.Attach(bm)
+	live := map[int]bool{}
+	for i := 0; i < 5; i++ {
+		off, ok := v.Malloc()
+		if !ok {
+			t.Fatal("exhausted early")
+		}
+		live[off] = true
+	}
+	if n := v.DrainTo(bm); n != 11 {
+		t.Fatalf("DrainTo released %d offsets, want 11", n)
+	}
+	if !v.IsExhausted() {
+		t.Fatal("vector not empty after DrainTo")
+	}
+	for i := 0; i < 16; i++ {
+		if bm.IsSet(i) != live[i] {
+			t.Fatalf("bit %d = %v, live = %v", i, bm.IsSet(i), live[i])
+		}
+	}
+	// The vector is reusable: a fresh Attach picks up exactly the free slots.
+	v.Attach(bm)
+	if v.Remaining() != 11 {
+		t.Fatalf("Remaining after reattach = %d, want 11", v.Remaining())
+	}
+}
+
+// TestAttachSteadyStateDoesNotAllocate pins the refill path's allocation
+// behavior: after the first Attach warms the scratch buffer, attach/drain
+// cycles allocate nothing.
+func TestAttachSteadyStateDoesNotAllocate(t *testing.T) {
+	bm := bitmap.New(sizeclass.MaxObjectCount)
+	v := New(rng.New(5), true)
+	v.Attach(bm)
+	v.DrainTo(bm)
+	if allocs := testing.AllocsPerRun(100, func() {
+		v.Attach(bm)
+		v.DrainTo(bm)
+	}); allocs != 0 {
+		t.Fatalf("attach/drain cycle allocated %.1f times per run", allocs)
 	}
 }

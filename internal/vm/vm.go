@@ -14,11 +14,52 @@
 // identical algorithms against this model preserves every behaviour the
 // paper measures — and makes the central invariant (virtual addresses and
 // their contents never change across a mesh) directly checkable.
+//
+// # Lock-free translation
+//
+// The page table is a two-level radix tree of atomic.Pointer[pte] slots
+// (tcmalloc-pagemap style, mirroring internal/arena's offset-to-MiniHeap
+// map). Published pte values are immutable and cache the backing span's
+// []byte directly, so the data path — Read, Write, ByteAt, SetByte, Memset,
+// ProtAt — translates with two atomic loads and indexes straight into the
+// span's buffer: no mutex, no second physical-span lookup. This is the
+// paper's premise made literal: data-path accesses never synchronize with
+// the allocator (§4.5.1); on real hardware translation is the MMU.
+//
+// Page-table mutations still serialize on an ordinary mutex, and the ones
+// that change or revoke an existing translation — Remap, Unmap, Protect —
+// additionally bump a seqlock generation counter (odd while slots are being
+// rewritten). A lock-free access validates the generation after its copy;
+// a changed generation means the access raced a page-table mutation, so
+// the result is discarded and the access retries against the new entries.
+// A reader that races a mesh therefore lands on the destination span's pte
+// on retry — and observes identical contents, because the engine completed
+// the copy before remapping (§4.5.2: contents never change across a mesh).
+//
+// Writes need one more step, because a simulated store is a memcpy, not a
+// single instruction: a writer advertises itself on a writer counter
+// shared by the entries of one virtual mapping before copying, and
+// re-validates the generation after registering. Protect(ReadOnly) — the
+// first step of every mesh — and Unmap wait for the counters of the
+// mappings they retire to drain after publishing the replacement entries.
+// The counter is per virtual mapping, not per physical span, so the drain
+// always terminates: once the read-only (or empty) entries are published,
+// a late registrant either observes the generation bump and aborts or
+// observes ReadOnly and blocks in the fault hook (Mesh's SIGSEGV write
+// barrier, §4.5.2); writers using other, still-writable mappings of the
+// same physical span register on their own mapping's counter and are
+// never waited on. Any write that registered before the protect is
+// therefore fully in the source span before the engine's copy reads it —
+// the lost-update window the barrier exists to close stays closed with no
+// lock on the write path — and after an Unmap returns, no in-flight write
+// can land in the span, so the arena may rebind it (MapExisting) without
+// a stale write corrupting the new owner.
 package vm
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -67,49 +108,108 @@ type physSpan struct {
 	refs  int // number of virtual spans currently mapped to it
 }
 
-// pte is a page-table entry: which physical span backs a virtual page, at
-// which page offset inside that span, and with what protection.
+// pte is a page-table entry. Values are immutable once published through
+// the radix table; mutations publish a fresh entry. Beyond the classical
+// fields (span, page offset, protection) an entry caches the span's whole
+// backing store and its writer counter, so a translated access needs no
+// second lookup anywhere.
 type pte struct {
-	phys PhysID
-	off  int // page index within the physical span
-	prot Prot
+	phys      PhysID
+	off       int // page index within the physical span
+	spanPages int // physical span length, bounds the multi-page run
+	prot      Prot
+	data      []byte // the physical span's backing store
+	// wr counts in-flight lock-free writes through this virtual mapping;
+	// all entries published by one Commit/MapExisting/Remap share one
+	// counter, and Protect preserves it, so retiring a mapping can drain
+	// exactly the writers that could still touch it (see the package
+	// comment's seqlock protocol).
+	wr *atomic.Int64
+}
+
+// Page-table geometry: virtual page numbers relative to ArenaBase index a
+// two-level radix tree — rootBits select a lazily allocated leaf, leafBits
+// select the slot inside it (identical to internal/arena's page map).
+// 17+15 bits of VPN cover 16 TiB of address space above the arena base;
+// Reserve's bump pointer never reuses addresses, so this is a hard
+// capacity, checked when a mapping is established.
+const (
+	leafBits = 15
+	leafSize = 1 << leafBits
+	leafMask = leafSize - 1
+	rootBits = 17
+	rootSize = 1 << rootBits
+	maxPages = 1 << (rootBits + leafBits)
+	baseVPN  = ArenaBase >> PageShift
+)
+
+// pteLeaf is one second-level block of page-table slots.
+type pteLeaf [leafSize]atomic.Pointer[pte]
+
+// translationStripes spreads the translation counter over several cache
+// lines so the data-path fast path never shares one hot line across
+// workers (same trick as the arena's lookup counter).
+const translationStripes = 32
+
+// stripedCount is one padded counter stripe (its own cache line).
+type stripedCount struct {
+	n atomic.Uint64
+	_ [7]uint64 // pad to 64 bytes
 }
 
 // Stats counts VM operations; the benchmark harness reports these to explain
 // where meshing's overhead comes from (system calls and copies, §6.3).
 type Stats struct {
-	Commits     uint64 // fresh physical spans created (mmap)
-	Reuses      uint64 // dirty spans reused without zeroing
-	Remaps      uint64 // virtual spans repointed (meshing mmap calls)
-	Unmaps      uint64 // virtual spans unmapped
-	Punches     uint64 // physical spans released (fallocate PUNCH_HOLE)
-	Faults      uint64 // write-protection faults taken
-	BytesCopied uint64 // bytes copied between physical spans (meshing)
+	Commits      uint64 // fresh physical spans created (mmap)
+	Reuses       uint64 // dirty spans reused without zeroing
+	Remaps       uint64 // virtual spans repointed (meshing mmap calls)
+	Unmaps       uint64 // virtual spans unmapped
+	Punches      uint64 // physical spans released (fallocate PUNCH_HOLE)
+	Faults       uint64 // write-protection faults taken
+	BytesCopied  uint64 // bytes copied between physical spans (meshing)
+	Translations uint64 // lock-free data-path translations (one per page run)
+	Retries      uint64 // seqlock retries: accesses that raced a page-table mutation
 }
 
 // OS is the simulated kernel memory subsystem. All methods are safe for
-// concurrent use.
+// concurrent use; the data path takes no locks at all (see the package
+// comment).
 type OS struct {
-	mu        sync.RWMutex
-	pageTable map[uint64]pte // virtual page number -> entry
-	phys      map[PhysID]*physSpan
-	nextPhys  uint64
-	nextVirt  uint64 // bump pointer for Reserve, in pages
+	// mu serializes page-table mutations (Commit, MapExisting, Remap,
+	// Unmap, Protect, Punch) and guards the physical-span registry. The
+	// data path never takes it.
+	mu       sync.Mutex
+	phys     map[PhysID]*physSpan
+	nextPhys uint64 // guarded by mu
+
+	// gen is the translation seqlock: odd while a mutation that changes or
+	// revokes existing translations is rewriting slots, bumped to a new
+	// even value when it completes. Lock-free accesses validate it.
+	gen atomic.Uint64
+
+	// root is the first radix level. Leaves are allocated on first use and
+	// never reclaimed (the bump-pointer address space is never reused, so
+	// a leaf stays valid forever once published).
+	root [rootSize]atomic.Pointer[pteLeaf]
+
+	nextVirt atomic.Uint64 // bump pointer for Reserve, in pages
 
 	rssPages    atomic.Int64
 	mappedPages atomic.Int64
 	limitPages  atomic.Int64 // 0 = unlimited
 
-	statCommits     atomic.Uint64
-	statReuses      atomic.Uint64
-	statRemaps      atomic.Uint64
-	statUnmaps      atomic.Uint64
-	statPunches     atomic.Uint64
-	statFaults      atomic.Uint64
-	statBytesCopied atomic.Uint64
+	statCommits      atomic.Uint64
+	statReuses       atomic.Uint64
+	statRemaps       atomic.Uint64
+	statUnmaps       atomic.Uint64
+	statPunches      atomic.Uint64
+	statFaults       atomic.Uint64
+	statBytesCopied  atomic.Uint64
+	statRetries      atomic.Uint64
+	statTranslations [translationStripes]stripedCount
 
-	// faultHook is invoked (outside the page-table lock) when a write hits
-	// a read-only page. It should block until the page becomes writable
+	// faultHook is invoked (with no VM locks held) when a write hits a
+	// read-only page. It should block until the page becomes writable
 	// again (Mesh's segfault handler waits on the mesh lock). After it
 	// returns, the write is retried.
 	faultHook atomic.Value // func(addr uint64)
@@ -122,11 +222,9 @@ const ArenaBase = 0x1_0000_0000
 
 // NewOS returns an empty simulated memory subsystem.
 func NewOS() *OS {
-	return &OS{
-		pageTable: make(map[uint64]pte),
-		phys:      make(map[PhysID]*physSpan),
-		nextVirt:  ArenaBase >> PageShift,
-	}
+	o := &OS{phys: make(map[PhysID]*physSpan)}
+	o.nextVirt.Store(baseVPN)
+	return o
 }
 
 // SetFaultHook installs the write-protection fault handler.
@@ -140,13 +238,106 @@ func (o *OS) Reserve(pages int) uint64 {
 	if pages <= 0 {
 		panic("vm: Reserve of non-positive page count")
 	}
-	o.mu.Lock()
-	base := o.nextVirt
 	// Leave a one-page guard gap between reservations so adjacent spans
 	// cannot be confused by off-by-one pointer arithmetic in tests.
-	o.nextVirt += uint64(pages) + 1
-	o.mu.Unlock()
+	base := o.nextVirt.Add(uint64(pages)+1) - uint64(pages) - 1
 	return base << PageShift
+}
+
+// slot returns the page-table slot for one virtual page number, allocating
+// the leaf on first touch. Concurrent first touches race benignly: the
+// loser's leaf is discarded by the CompareAndSwap and the published one is
+// reloaded. Panics outside the radix table's 16 TiB range — the same hard
+// capacity as the arena's page map.
+func (o *OS) slot(vpn uint64) *atomic.Pointer[pte] {
+	if vpn < baseVPN || vpn-baseVPN >= maxPages {
+		panic(fmt.Sprintf("vm: page %#x outside the page table's %d-page range", vpn, maxPages))
+	}
+	off := vpn - baseVPN
+	head := &o.root[off>>leafBits]
+	leaf := head.Load()
+	for leaf == nil {
+		fresh := new(pteLeaf)
+		if head.CompareAndSwap(nil, fresh) {
+			leaf = fresh
+		} else {
+			leaf = head.Load()
+		}
+	}
+	return &leaf[off&leafMask]
+}
+
+// peek loads the page-table entry for one virtual page with two atomic
+// loads, or nil when the page is unmapped (or outside the table's range —
+// address 0 and other wild pointers resolve to nil, not a panic).
+func (o *OS) peek(vpn uint64) *pte {
+	if vpn < baseVPN || vpn-baseVPN >= maxPages {
+		return nil
+	}
+	off := vpn - baseVPN
+	leaf := o.root[off>>leafBits].Load()
+	if leaf == nil {
+		return nil
+	}
+	return leaf[off&leafMask].Load()
+}
+
+// beginUpdate opens a translation-changing page-table mutation: the
+// generation becomes odd, making concurrent lock-free accesses spin until
+// endUpdate. Caller holds o.mu.
+func (o *OS) beginUpdate() { o.gen.Add(1) }
+
+// endUpdate publishes the mutation: the generation becomes a new even
+// value, which invalidates every access that overlapped the update window.
+func (o *OS) endUpdate() { o.gen.Add(1) }
+
+// noteRetry counts one discarded lock-free access (stats.vm.retries) and
+// yields so the mutator holding the update window can finish.
+func (o *OS) noteRetry() {
+	o.statRetries.Add(1)
+	runtime.Gosched()
+}
+
+// noteTranslation counts one served page-run translation
+// (stats.vm.translations). Only validated accesses count — a retried or
+// faulted attempt re-resolves but is not an extra served run, so the
+// retries/translations health ratio keeps a clean denominator.
+func (o *OS) noteTranslation(vpn uint64) {
+	o.statTranslations[vpn%translationStripes].n.Add(1)
+}
+
+// resolveRun translates addr and extends the translation across subsequent
+// pages while they stay in the same physical span at consecutive offsets
+// with identical protection — the multi-page fast path: one translation
+// per page run, not per page. It returns the first page's entry, the byte
+// offset of addr within the span's data, and the run length in bytes
+// (capped at max). A nil entry means addr's page is unmapped.
+//
+// The caller is responsible for seqlock validation; resolveRun itself only
+// performs atomic loads.
+func (o *OS) resolveRun(addr uint64, max int) (e *pte, start, n int) {
+	vpn := addr >> PageShift
+	e = o.peek(vpn)
+	if e == nil {
+		return nil, 0, 0
+	}
+	pageOff := int(addr & (PageSize - 1))
+	start = e.off*PageSize + pageOff
+	n = PageSize - pageOff
+	off := e.off
+	for n < max && off+1 < e.spanPages {
+		vpn++
+		off++
+		next := o.peek(vpn)
+		if next == nil || next.phys != e.phys || next.off != off || next.prot != e.prot {
+			break
+		}
+		n += PageSize
+	}
+	if n > max {
+		n = max
+	}
+	return e, start, n
 }
 
 // Commit backs [vaddr, vaddr+pages*PageSize) with a fresh, zeroed physical
@@ -159,7 +350,7 @@ func (o *OS) Commit(vaddr uint64, pages int) (PhysID, error) {
 	defer o.mu.Unlock()
 	vpn := vaddr >> PageShift
 	for i := uint64(0); i < uint64(pages); i++ {
-		if _, ok := o.pageTable[vpn+i]; ok {
+		if o.peek(vpn+i) != nil {
 			return 0, fmt.Errorf("%w: page %#x", ErrDoubleMap, (vpn+i)<<PageShift)
 		}
 	}
@@ -169,14 +360,53 @@ func (o *OS) Commit(vaddr uint64, pages int) (PhysID, error) {
 	}
 	o.nextPhys++
 	id := PhysID(o.nextPhys)
-	o.phys[id] = &physSpan{data: make([]byte, pages*PageSize), pages: pages, refs: 1}
-	for i := 0; i < pages; i++ {
-		o.pageTable[vpn+uint64(i)] = pte{phys: id, off: i, prot: ReadWrite}
-	}
+	ps := &physSpan{data: make([]byte, pages*PageSize), pages: pages, refs: 1}
+	o.phys[id] = ps
+	// Publishing entries into previously empty slots needs no generation
+	// bump: a concurrent access of these addresses was racing the mapping
+	// call and may validly observe either "unmapped" or the new entry.
+	o.publishSpanLocked(vpn, id, ps)
 	o.rssPages.Add(int64(pages))
 	o.mappedPages.Add(int64(pages))
 	o.statCommits.Add(1)
 	return id, nil
+}
+
+// publishSpanLocked stores read-write entries mapping ps's pages at vpn,
+// all sharing one fresh writer counter (one mapping, one counter). One
+// allocation covers the whole span's entries. Caller holds o.mu.
+func (o *OS) publishSpanLocked(vpn uint64, id PhysID, ps *physSpan) {
+	wr := new(atomic.Int64)
+	entries := make([]pte, ps.pages)
+	for i := 0; i < ps.pages; i++ {
+		entries[i] = pte{phys: id, off: i, spanPages: ps.pages, prot: ReadWrite, data: ps.data, wr: wr}
+		o.slot(vpn + uint64(i)).Store(&entries[i])
+	}
+}
+
+// drainWriters waits until every in-flight lock-free write registered on
+// the given mapping counters has completed. Callers have already published
+// entries that stop new registrations (read-only, or cleared slots), so
+// only writers that validated before the generation bump — a bounded set,
+// each mid-memcpy with nothing to block on — are waited for; late
+// registrants observe the bump and deregister immediately.
+func drainWriters(counters []*atomic.Int64) {
+	for _, wr := range counters {
+		for wr.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// appendCounter adds wr to counters if not already present (ranges span
+// few distinct mappings, so linear scan beats a map).
+func appendCounter(counters []*atomic.Int64, wr *atomic.Int64) []*atomic.Int64 {
+	for _, c := range counters {
+		if c == wr {
+			return counters
+		}
+	}
+	return append(counters, wr)
 }
 
 // MapExisting maps [vaddr, vaddr+pages) onto an existing physical span
@@ -198,13 +428,11 @@ func (o *OS) MapExisting(vaddr uint64, id PhysID) error {
 	}
 	vpn := vaddr >> PageShift
 	for i := 0; i < ps.pages; i++ {
-		if _, exists := o.pageTable[vpn+uint64(i)]; exists {
+		if o.peek(vpn+uint64(i)) != nil {
 			return fmt.Errorf("%w: page %#x", ErrDoubleMap, (vpn+uint64(i))<<PageShift)
 		}
 	}
-	for i := 0; i < ps.pages; i++ {
-		o.pageTable[vpn+uint64(i)] = pte{phys: id, off: i, prot: ReadWrite}
-	}
+	o.publishSpanLocked(vpn, id, ps)
 	ps.refs++
 	o.mappedPages.Add(int64(ps.pages))
 	o.statReuses.Add(1)
@@ -216,7 +444,8 @@ func (o *OS) MapExisting(vaddr uint64, id PhysID) error {
 // dst, also at offset 0. It returns the previously backing span's id and its
 // remaining reference count. This is the meshing page-table update (§4.5.1):
 // after Remap, reads of vaddr observe dst's contents; the virtual addresses
-// themselves never change.
+// themselves never change. The generation bump makes lock-free accesses
+// that overlapped the update retry onto the new entries.
 func (o *OS) Remap(vaddr uint64, pages int, dst PhysID) (old PhysID, oldRefs int, err error) {
 	if vaddr%PageSize != 0 {
 		return 0, 0, ErrMisaligned
@@ -224,8 +453,8 @@ func (o *OS) Remap(vaddr uint64, pages int, dst PhysID) (old PhysID, oldRefs int
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	vpn := vaddr >> PageShift
-	first, ok := o.pageTable[vpn]
-	if !ok {
+	first := o.peek(vpn)
+	if first == nil {
 		return 0, 0, ErrUnmapped
 	}
 	dstSpan, ok := o.phys[dst]
@@ -240,15 +469,15 @@ func (o *OS) Remap(vaddr uint64, pages int, dst PhysID) (old PhysID, oldRefs int
 	}
 	old = first.phys
 	oldSpan := o.phys[old]
-	for i := 0; i < pages; i++ {
-		e, ok := o.pageTable[vpn+uint64(i)]
-		if !ok || e.phys != old {
+	for i := uint64(0); i < uint64(pages); i++ {
+		e := o.peek(vpn + i)
+		if e == nil || e.phys != old {
 			return 0, 0, fmt.Errorf("vm: remap range not a single span at %#x", vaddr)
 		}
 	}
-	for i := 0; i < pages; i++ {
-		o.pageTable[vpn+uint64(i)] = pte{phys: dst, off: i, prot: ReadWrite}
-	}
+	o.beginUpdate()
+	o.publishSpanLocked(vpn, dst, dstSpan)
+	o.endUpdate()
 	if old != dst {
 		oldSpan.refs--
 		dstSpan.refs++
@@ -267,20 +496,30 @@ func (o *OS) Unmap(vaddr uint64, pages int) (PhysID, int, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	vpn := vaddr >> PageShift
-	first, ok := o.pageTable[vpn]
-	if !ok {
+	first := o.peek(vpn)
+	if first == nil {
 		return 0, 0, ErrUnmapped
 	}
 	id := first.phys
-	for i := 0; i < pages; i++ {
-		e, ok := o.pageTable[vpn+uint64(i)]
-		if !ok || e.phys != id {
+	var counters []*atomic.Int64
+	for i := uint64(0); i < uint64(pages); i++ {
+		e := o.peek(vpn + i)
+		if e == nil || e.phys != id {
 			return 0, 0, fmt.Errorf("vm: unmap range not a single span at %#x", vaddr)
 		}
+		counters = appendCounter(counters, e.wr)
 	}
-	for i := 0; i < pages; i++ {
-		delete(o.pageTable, vpn+uint64(i))
+	o.beginUpdate()
+	for i := uint64(0); i < uint64(pages); i++ {
+		o.slot(vpn + i).Store(nil)
 	}
+	o.endUpdate()
+	// Quiesce the retired mapping: once this returns, no in-flight write
+	// can land in the span, so the caller (the arena) may park it in a
+	// dirty bin and rebind it without a stale racing write corrupting the
+	// next owner. Cleared slots stop new registrations, so the wait is
+	// bounded.
+	drainWriters(counters)
 	ps := o.phys[id]
 	ps.refs--
 	o.mappedPages.Add(int64(-pages))
@@ -290,7 +529,9 @@ func (o *OS) Unmap(vaddr uint64, pages int) (PhysID, int, error) {
 
 // Punch releases the physical memory of span id (fallocate
 // FALLOC_FL_PUNCH_HOLE, §4.4.1). The span must have no live mappings. Its id
-// remains known but unusable.
+// remains known but unusable. No generation bump is needed: the span lost
+// its last mapping in an Unmap or Remap that already bumped, so any access
+// still holding one of its entries fails validation and retries.
 func (o *OS) Punch(id PhysID) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -311,7 +552,16 @@ func (o *OS) Punch(id PhysID) error {
 	return nil
 }
 
-// Protect sets the protection on [vaddr, vaddr+pages) (mprotect).
+// Protect sets the protection on [vaddr, vaddr+pages) (mprotect). When
+// write-protecting, Protect returns only after every in-flight lock-free
+// write through the protected mappings has landed — the §4.5.2 guarantee
+// the meshing engine relies on: after protectSpans, the source span's
+// contents are stable until the fault hook releases a blocked writer.
+// (Writers using other, still-writable virtual mappings of the same
+// physical span are not waited on — they registered on their own
+// mapping's counter. The engine protects every virtual span of a meshing
+// source, so after the last Protect returns the physical span is fully
+// quiescent.)
 func (o *OS) Protect(vaddr uint64, pages int, p Prot) error {
 	if vaddr%PageSize != 0 {
 		return ErrMisaligned
@@ -319,13 +569,30 @@ func (o *OS) Protect(vaddr uint64, pages int, p Prot) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	vpn := vaddr >> PageShift
-	for i := 0; i < pages; i++ {
-		e, ok := o.pageTable[vpn+uint64(i)]
-		if !ok {
+	entries := make([]pte, pages)
+	var counters []*atomic.Int64
+	for i := uint64(0); i < uint64(pages); i++ {
+		e := o.peek(vpn + i)
+		if e == nil {
 			return ErrUnmapped
 		}
-		e.prot = p
-		o.pageTable[vpn+uint64(i)] = e
+		entries[i] = *e
+		entries[i].prot = p
+		counters = appendCounter(counters, e.wr)
+	}
+	o.beginUpdate()
+	for i := range entries {
+		o.slot(vpn + uint64(i)).Store(&entries[i])
+	}
+	o.endUpdate()
+	if p == ReadOnly {
+		// Wait out writers that registered before the generation bump;
+		// registrants after it observe ReadOnly and fault (or observe the
+		// bump and abort), so the wait is bounded. When only part of a
+		// mapping is protected, writers of the unprotected remainder share
+		// the counter and extend the wait — the engine always protects
+		// whole spans, so this affects only partial-protect callers.
+		drainWriters(counters)
 	}
 	return nil
 }
@@ -333,94 +600,177 @@ func (o *OS) Protect(vaddr uint64, pages int, p Prot) error {
 // ProtAt returns the current protection of the page containing addr —
 // observability for tests of the write-barrier protocol (§4.5.2).
 func (o *OS) ProtAt(addr uint64) (Prot, error) {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	e, ok := o.pageTable[addr>>PageShift]
-	if !ok {
-		return ReadWrite, fmt.Errorf("%w: %#x", ErrUnmapped, addr)
+	for {
+		g := o.gen.Load()
+		if g&1 != 0 {
+			o.noteRetry()
+			continue
+		}
+		e := o.peek(addr >> PageShift)
+		if e == nil {
+			if o.gen.Load() != g {
+				o.noteRetry()
+				continue
+			}
+			return ReadWrite, fmt.Errorf("%w: %#x", ErrUnmapped, addr)
+		}
+		p := e.prot
+		if o.gen.Load() != g {
+			o.noteRetry()
+			continue
+		}
+		return p, nil
 	}
-	return e.prot, nil
-}
-
-// translateLocked resolves one virtual address to (span, byte offset) and
-// the page's protection. Caller holds o.mu (read or write); accessors must
-// use the returned span before releasing it.
-func (o *OS) translateLocked(addr uint64) (*physSpan, int, Prot, error) {
-	e, ok := o.pageTable[addr>>PageShift]
-	if !ok {
-		return nil, 0, ReadWrite, fmt.Errorf("%w: %#x", ErrUnmapped, addr)
-	}
-	ps := o.phys[e.phys]
-	if ps == nil || ps.data == nil {
-		return nil, 0, ReadWrite, fmt.Errorf("%w: %#x", ErrPhysReleased, addr)
-	}
-	return ps, e.off*PageSize + int(addr%PageSize), e.prot, nil
 }
 
 // Read copies len(buf) bytes from virtual address addr into buf. Reads may
 // cross page (and span) boundaries. Reads are always permitted — the first
 // meshing invariant (§4.5.2): reads of objects being relocated are always
-// correct and available to concurrent threads. Each page chunk translates
-// and copies under one hold of the lock, so a read can never observe a
-// physical span between remap and hole punch.
+// correct and available to concurrent threads. Each page run translates
+// lock-free and validates the seqlock generation after the copy, so a read
+// that raced a remap is discarded and retried against the new page table —
+// it can never return a torn mix of two physical spans.
 func (o *OS) Read(addr uint64, buf []byte) error {
 	done := 0
 	for done < len(buf) {
-		a := addr + uint64(done)
-		n := PageSize - int(a%PageSize)
-		if rem := len(buf) - done; n > rem {
-			n = rem
-		}
-		o.mu.RLock()
-		ps, off, _, err := o.translateLocked(a)
+		n, err := o.readRun(addr+uint64(done), buf[done:])
 		if err != nil {
-			o.mu.RUnlock()
 			return err
 		}
-		copy(buf[done:done+n], ps.data[off:off+n])
-		o.mu.RUnlock()
 		done += n
 	}
 	return nil
 }
 
-// Write copies data to virtual address addr, page by page. If a page is
-// write-protected, the fault hook is invoked (once per fault) and the write
-// retried — Mesh's write barrier: the handler blocks until meshing completes
-// and the page is remapped read-write (§4.5.2). The protection check and the
-// data copy happen under one hold of the lock — the same lock Protect and
-// CopyPhys take — so a write can never sneak into a physical span between
-// the engine write-protecting it and copying its objects out (the lost-
-// update hazard §4.5.2's barrier exists to prevent).
+// readRun performs one lock-free read of up to one page run.
+func (o *OS) readRun(addr uint64, buf []byte) (int, error) {
+	for {
+		g := o.gen.Load()
+		if g&1 != 0 {
+			o.noteRetry()
+			continue
+		}
+		e, start, n := o.resolveRun(addr, len(buf))
+		if e == nil {
+			if o.gen.Load() != g {
+				o.noteRetry()
+				continue
+			}
+			return 0, fmt.Errorf("%w: %#x", ErrUnmapped, addr)
+		}
+		copy(buf[:n], e.data[start:start+n])
+		if o.gen.Load() != g {
+			o.noteRetry()
+			continue
+		}
+		o.noteTranslation(addr >> PageShift)
+		return n, nil
+	}
+}
+
+// Write copies data to virtual address addr. If a page is write-protected,
+// the fault hook is invoked (once per fault) and the write retried —
+// Mesh's write barrier: the handler blocks until meshing completes and the
+// page is remapped read-write (§4.5.2). The write path takes no lock: it
+// registers on the target mapping's writer counter, re-validates the seqlock
+// generation, and copies; Protect's drain orders it against the engine's
+// copy phase (see the package comment), so a write can never sneak into a
+// physical span between the engine write-protecting it and copying its
+// objects out.
 func (o *OS) Write(addr uint64, data []byte) error {
 	done := 0
 	for done < len(data) {
-		a := addr + uint64(done)
-		n := PageSize - int(a%PageSize)
-		if rem := len(data) - done; n > rem {
-			n = rem
-		}
-		o.mu.Lock()
-		ps, off, prot, err := o.translateLocked(a)
+		n, err := o.writeRun(addr+uint64(done), data[done:])
 		if err != nil {
-			o.mu.Unlock()
 			return err
 		}
-		if prot == ReadOnly {
-			o.mu.Unlock()
-			o.statFaults.Add(1)
-			h, ok := o.faultHook.Load().(func(uint64))
-			if !ok || h == nil {
-				return fmt.Errorf("vm: write to read-only page %#x with no fault handler", a)
-			}
-			h(a)
-			continue // retry translation; meshing has remapped the page
-		}
-		copy(ps.data[off:off+n], data[done:done+n])
-		o.mu.Unlock()
 		done += n
 	}
 	return nil
+}
+
+// writeRun performs one lock-free write of up to one page run. A nil fill
+// writes data; a non-nil fill ignores data and memsets the run instead
+// (shared by Write and Memset so the protocol lives in one place).
+func (o *OS) writeRun(addr uint64, data []byte) (int, error) {
+	return o.writeOrFillRun(addr, data, len(data), 0, false)
+}
+
+func (o *OS) writeOrFillRun(addr uint64, data []byte, max int, v byte, fill bool) (int, error) {
+	for {
+		g := o.gen.Load()
+		if g&1 != 0 {
+			o.noteRetry()
+			continue
+		}
+		e, start, n := o.resolveRun(addr, max)
+		if e == nil {
+			if o.gen.Load() != g {
+				o.noteRetry()
+				continue
+			}
+			return 0, fmt.Errorf("%w: %#x", ErrUnmapped, addr)
+		}
+		if e.prot == ReadOnly {
+			if o.gen.Load() != g {
+				// The protection observation itself may be stale; only
+				// fault on a validated read-only entry.
+				o.noteRetry()
+				continue
+			}
+			o.statFaults.Add(1)
+			h, ok := o.faultHook.Load().(func(uint64))
+			if !ok || h == nil {
+				return 0, fmt.Errorf("vm: write to read-only page %#x with no fault handler", addr)
+			}
+			h(addr)
+			continue // retry translation; meshing has remapped the page
+		}
+		// Advertise the in-flight write, then re-validate: if the
+		// generation is unchanged the entry was still current when we
+		// registered, so a subsequent Protect drain waits for us.
+		e.wr.Add(1)
+		if o.gen.Load() != g {
+			e.wr.Add(-1)
+			o.noteRetry()
+			continue
+		}
+		if fill {
+			fillBytes(e.data[start:start+n], v)
+		} else {
+			copy(e.data[start:start+n], data[:n])
+		}
+		e.wr.Add(-1)
+		if o.gen.Load() != g {
+			// The page table changed while we copied: the bytes may have
+			// landed in a span this address no longer maps to. Redo the
+			// write against the current translation; rewriting the same
+			// data is idempotent, and a source span we dirtied has either
+			// already been copied out (drain ordering) or is unreferenced.
+			o.noteRetry()
+			continue
+		}
+		o.noteTranslation(addr >> PageShift)
+		return n, nil
+	}
+}
+
+// fillBytes memsets b to v without an intermediate buffer.
+func fillBytes(b []byte, v byte) {
+	if len(b) == 0 {
+		return
+	}
+	if v == 0 {
+		// Recognized by the compiler as memclr.
+		for i := range b {
+			b[i] = 0
+		}
+		return
+	}
+	b[0] = v
+	for i := 1; i < len(b); i *= 2 {
+		copy(b[i:], b[:i])
+	}
 }
 
 // ByteAt reads a single byte at addr.
@@ -432,24 +782,16 @@ func (o *OS) ByteAt(addr uint64) (byte, error) {
 
 // SetByte writes a single byte at addr.
 func (o *OS) SetByte(addr uint64, v byte) error {
-	return o.Write(addr, []byte{v})
+	b := [1]byte{v}
+	return o.Write(addr, b[:])
 }
 
-// Memset fills n bytes starting at addr with v.
+// Memset fills n bytes starting at addr with v, filling each page run in
+// place — no intermediate buffer, no lock, one translation per run.
 func (o *OS) Memset(addr uint64, v byte, n int) error {
-	const chunk = PageSize
-	buf := make([]byte, chunk)
-	if v != 0 {
-		for i := range buf {
-			buf[i] = v
-		}
-	}
 	for n > 0 {
-		c := chunk
-		if n < c {
-			c = n
-		}
-		if err := o.Write(addr, buf[:c]); err != nil {
+		c, err := o.writeOrFillRun(addr, nil, n, v, true)
+		if err != nil {
 			return err
 		}
 		addr += uint64(c)
@@ -463,8 +805,8 @@ func (o *OS) Memset(addr uint64, v byte, n int) error {
 // between spans at the physical layer, below page protections (§4.5: "Mesh
 // copies data at the physical span layer").
 func (o *OS) PhysSlice(id PhysID) ([]byte, error) {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	ps, ok := o.phys[id]
 	if !ok {
 		return nil, ErrBadPhys
@@ -476,7 +818,9 @@ func (o *OS) PhysSlice(id PhysID) ([]byte, error) {
 }
 
 // CopyPhys copies n bytes from span src at srcOff to span dst at dstOff,
-// tracking the copy volume in Stats.
+// tracking the copy volume in Stats. The copy itself runs outside the
+// mapping lock: meshing's ordering against application writes comes from
+// Protect's writer drain, not from this function (see the package comment).
 func (o *OS) CopyPhys(dst PhysID, dstOff int, src PhysID, srcOff, n int) error {
 	d, err := o.PhysSlice(dst)
 	if err != nil {
@@ -486,17 +830,15 @@ func (o *OS) CopyPhys(dst PhysID, dstOff int, src PhysID, srcOff, n int) error {
 	if err != nil {
 		return err
 	}
-	o.mu.Lock()
 	copy(d[dstOff:dstOff+n], s[srcOff:srcOff+n])
-	o.mu.Unlock()
 	o.statBytesCopied.Add(uint64(n))
 	return nil
 }
 
 // Refs returns the current mapping count of a physical span (for tests).
 func (o *OS) Refs(id PhysID) int {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	if ps, ok := o.phys[id]; ok {
 		return ps.refs
 	}
@@ -526,15 +868,34 @@ func (o *OS) RSSPages() int64 { return o.rssPages.Load() }
 // meshing this exceeds RSS (several virtual spans per physical span).
 func (o *OS) MappedBytes() int64 { return o.mappedPages.Load() * PageSize }
 
+// Translations returns the number of lock-free data-path translations
+// served (stats.vm.translations) — one per page run, the VM-side analogue
+// of the arena's lookup counter.
+func (o *OS) Translations() uint64 {
+	var n uint64
+	for i := range o.statTranslations {
+		n += o.statTranslations[i].n.Load()
+	}
+	return n
+}
+
+// Retries returns the number of seqlock retries taken by the data path
+// (stats.vm.retries) — accesses discarded because they raced a page-table
+// mutation. A high rate relative to Translations means heavy data traffic
+// is racing remaps; near-zero is healthy.
+func (o *OS) Retries() uint64 { return o.statRetries.Load() }
+
 // Snapshot returns the operation counters.
 func (o *OS) Snapshot() Stats {
 	return Stats{
-		Commits:     o.statCommits.Load(),
-		Reuses:      o.statReuses.Load(),
-		Remaps:      o.statRemaps.Load(),
-		Unmaps:      o.statUnmaps.Load(),
-		Punches:     o.statPunches.Load(),
-		Faults:      o.statFaults.Load(),
-		BytesCopied: o.statBytesCopied.Load(),
+		Commits:      o.statCommits.Load(),
+		Reuses:       o.statReuses.Load(),
+		Remaps:       o.statRemaps.Load(),
+		Unmaps:       o.statUnmaps.Load(),
+		Punches:      o.statPunches.Load(),
+		Faults:       o.statFaults.Load(),
+		BytesCopied:  o.statBytesCopied.Load(),
+		Translations: o.Translations(),
+		Retries:      o.Retries(),
 	}
 }

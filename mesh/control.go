@@ -36,6 +36,8 @@ import (
 //	stats.mesh.pauses PauseHistogram  r         distribution of meshing lock holds (§4.5 bounded pauses)
 //	stats.arena.lookups uint64        r         lock-free page-map lookups served (free-path traffic)
 //	stats.global.shard_acquires uint64 r        per-size-class shard-lock acquisitions, summed (contention proxy)
+//	stats.vm.translations uint64      r         lock-free data-path translations served (one per page run)
+//	stats.vm.retries  uint64          r         seqlock retries on the data path (health metric: ≈0 is healthy)
 //
 // Integer-typed keys accept int, int32, int64 or uint64 on write;
 // mesh.period additionally accepts a time.ParseDuration string.
@@ -182,6 +184,12 @@ var controls = map[string]control{
 	},
 	"stats.arena.lookups": {
 		get: func(a *Allocator) (any, error) { return a.g.Arena().Lookups(), nil },
+	},
+	"stats.vm.translations": {
+		get: func(a *Allocator) (any, error) { return a.g.OS().Translations(), nil },
+	},
+	"stats.vm.retries": {
+		get: func(a *Allocator) (any, error) { return a.g.OS().Retries(), nil },
 	},
 	"stats.global.shard_acquires": {
 		get: func(a *Allocator) (any, error) { return a.g.ShardAcquires(), nil },

@@ -37,9 +37,12 @@ func TestControlKeyTable(t *testing.T) {
 		{key: "stats.mesh_passes", want: uint64(0), readback: true},
 		{key: "stats.mesh.pauses", want: PauseHistogram{}, readback: true},
 		// No allocation has happened, so the contention introspection
-		// counters sit at zero: no page-map lookups, no shard acquisitions.
+		// counters sit at zero: no page-map lookups, no shard acquisitions,
+		// no data-path translations, no seqlock retries.
 		{key: "stats.arena.lookups", want: uint64(0), readback: true},
 		{key: "stats.global.shard_acquires", want: uint64(0), readback: true},
+		{key: "stats.vm.translations", want: uint64(0), readback: true},
+		{key: "stats.vm.retries", want: uint64(0), readback: true},
 	}
 
 	covered := make(map[string]bool)
@@ -301,4 +304,75 @@ func TestDeprecatedWrappersStillWork(t *testing.T) {
 		t.Fatalf("SetMemoryLimit not visible through ReadControl: %v", got)
 	}
 	a.SetMemoryLimit(0)
+}
+
+// TestVMCounterShapes pins the translation/retry counters to traffic
+// shapes: a multi-page access through one span costs one translation, each
+// additional access costs one more, and an uncontended allocator never
+// retries. Then a meshing pass racing live readers must leave the data
+// readable with retries still observable (usually 0, but any value is
+// legal — the test asserts the counter reads, not the schedule).
+func TestVMCounterShapes(t *testing.T) {
+	readU64 := func(t *testing.T, a *Allocator, key string) uint64 {
+		t.Helper()
+		v, err := a.ReadControl(key)
+		if err != nil {
+			t.Fatalf("ReadControl(%q): %v", key, err)
+		}
+		return v.(uint64)
+	}
+	a := New(WithSeed(1), WithClock(NewLogicalClock()))
+	p, err := a.Malloc(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Memset(p, 0xDD, 8192); err != nil {
+		t.Fatal(err)
+	}
+	tr0 := readU64(t, a, "stats.vm.translations")
+	buf := make([]byte, 8192)
+	if err := a.Read(p, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := readU64(t, a, "stats.vm.translations") - tr0; d != 1 {
+		t.Errorf("whole-object read cost %d translations, want 1 (single span run)", d)
+	}
+	for i := 0; i < 64; i++ {
+		if err := a.Write(p+uint64(i)*64, buf[:64]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := readU64(t, a, "stats.vm.translations") - tr0; d < 65 {
+		t.Errorf("translations grew %d over 1 read + 64 writes, want >= 65", d)
+	}
+	if r := readU64(t, a, "stats.vm.retries"); r != 0 {
+		t.Errorf("uncontended allocator recorded %d retries", r)
+	}
+	// Build meshable garbage and run a pass while rereading the object:
+	// contents must hold (§4.5.2) and the counters must stay readable.
+	var junk []Ptr
+	for i := 0; i < 4*256; i++ {
+		q, err := a.Malloc(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		junk = append(junk, q)
+	}
+	for i, q := range junk {
+		if i%4 != 0 {
+			if err := a.Free(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	a.Mesh()
+	if err := a.Read(p, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0xDD {
+			t.Fatalf("byte %d corrupted across mesh: %#x", i, b)
+		}
+	}
+	_ = readU64(t, a, "stats.vm.retries")
 }

@@ -273,6 +273,10 @@ func (a *Allocator) Read(p Ptr, buf []byte) error { return a.g.OS().Read(p, buf)
 // mesh completes, exactly like the SIGSEGV handler in the paper (§4.5.2).
 func (a *Allocator) Write(p Ptr, data []byte) error { return a.g.OS().Write(p, data) }
 
+// Memset fills n bytes at p with v; like Write it participates in the
+// meshing write barrier.
+func (a *Allocator) Memset(p Ptr, v byte, n int) error { return a.g.OS().Memset(p, v, n) }
+
 // Mesh forces a full compaction pass and returns the number of physical
 // spans released. Applications can call this at quiescent points; normally
 // meshing also triggers automatically — inline on frees in foreground
