@@ -20,6 +20,7 @@
 //	pause     foreground vs background meshing: tail stalls and RSS (§4.5)
 //	scale     free/refill throughput vs goroutine count (sharded global heap)
 //	datapath  object read/write/memset throughput vs goroutine count (lock-free VM translation)
+//	remote    producer–consumer remote frees: message-passing queues vs shard locks
 //	all       everything above
 //
 // -scale divides workload sizes (1 = the paper's full parameters; larger
@@ -49,7 +50,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: meshbench [-scale N] [-csv] [-json FILE] <fig6|fig7|fig8|spec|prob|lemma53|triangle|ablation|robson|conc|pause|scale|datapath|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: meshbench [-scale N] [-csv] [-json FILE] <fig6|fig7|fig8|spec|prob|lemma53|triangle|ablation|robson|conc|pause|scale|datapath|remote|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -94,9 +95,11 @@ func run(what string) error {
 		return scaleExp()
 	case "datapath":
 		return datapath()
+	case "remote":
+		return remote()
 	case "all":
 		runningAll = true
-		for _, f := range []func() error{fig6, fig7, fig8, spec, ablation, robson, conc, pause, scaleExp, datapath} {
+		for _, f := range []func() error{fig6, fig7, fig8, spec, ablation, robson, conc, pause, scaleExp, datapath, remote} {
 			if err := f(); err != nil {
 				return err
 			}
@@ -367,6 +370,25 @@ func scaleExp() error {
 			r.Workers, r.Batch, r.Ops, r.Wall.Round(1e6), r.OpsPerSec, r.ShardAcquires, r.ArenaLookups)
 	}
 	if p := jsonPath("scale"); p != "" {
+		return writeJSON(p, res)
+	}
+	return nil
+}
+
+func remote() error {
+	header("Remote: producer–consumer frees, message-passing queues vs shard locks")
+	res, err := experiments.Remote(*scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s %6s %10s %12s %14s %16s %12s %12s\n",
+		"workers", "mode", "ops", "wall", "ops/sec", "shard acquires", "queued", "drained")
+	for _, r := range res.Rows {
+		fmt.Printf("%8d %6s %10d %12v %14.0f %16d %12d %12d\n",
+			r.Workers, r.Mode, r.Ops, r.Wall.Round(1e6), r.OpsPerSec,
+			r.ShardAcquires, r.RemoteQueued, r.RemoteDrained)
+	}
+	if p := jsonPath("remote"); p != "" {
 		return writeJSON(p, res)
 	}
 	return nil

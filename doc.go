@@ -13,7 +13,13 @@
 // pointer-to-span table behind every non-local free is a lock-free
 // two-level radix page map (internal/arena) — a lookup is two atomic
 // loads, so frees and refills in distinct size classes never contend
-// (see the lock-hierarchy comment in internal/core/global.go). The
+// (see the lock-hierarchy comment in internal/core/global.go).
+// Cross-thread frees of objects on spans attached to a live heap are
+// message-passing: posted to the owning heap's lock-free MPSC queue
+// (internal/core/remote.go) with a single CAS and recycled by the
+// owner at its next drain point, so producer–consumer pipelines take
+// no shard lock at all on the free path (toggle with the remote.queue
+// control). The
 // simulated kernel's data path (internal/vm) is lock-free the same
 // way: object reads, writes, and memsets translate through a radix
 // page table of atomic PTEs validated by a seqlock generation, so no

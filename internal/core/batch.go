@@ -68,10 +68,13 @@ func (t *ThreadHeap) MallocBatch(sizes []int, out []uint64) ([]uint64, error) {
 
 // FreeBatch releases every object in addrs. Frees local to this heap's
 // attached spans are handled by the shuffle vectors with one accounting
-// update for the whole batch; the rest are passed to the global heap in a
-// single FreeBatch call, which partitions them by owning size class and
-// takes each shard lock once for the whole batch. Errors on individual
-// addresses are joined; valid addresses in the same batch are still freed.
+// update for the whole batch; frees of objects on spans attached to other
+// live heaps are message-passed to the owners' lock-free queues, coalesced
+// into segments by owner (remote.go) — no shard lock at all; the remainder
+// goes to the global heap in a single FreeBatch call, which partitions by
+// owning size class and takes each shard lock once for the whole batch.
+// Errors on individual addresses are joined; valid addresses in the same
+// batch are still freed.
 func (t *ThreadHeap) FreeBatch(addrs []uint64) error {
 	var errs []error
 	var bytes int64
@@ -95,13 +98,17 @@ func (t *ThreadHeap) FreeBatch(addrs []uint64) error {
 		t.localFrees.Add(n)
 		t.global.noteLocalFreeN(bytes, n)
 	}
+	allOwners := owners // full-length view for the post-batch clear
+	if len(nonLocal) > 0 && t.global.remoteEnabled.Load() {
+		nonLocal, owners = t.queueRemoteBatch(nonLocal, owners)
+	}
 	if len(nonLocal) > 0 {
 		if err := t.global.freeBatchResolved(nonLocal, owners); err != nil {
 			errs = append(errs, err)
 		}
 	}
 	t.scratch = nonLocal[:0]
-	clear(owners) // don't pin destroyed MiniHeaps between batches
-	t.ownerScratch = owners[:0]
+	clear(allOwners) // don't pin destroyed MiniHeaps between batches
+	t.ownerScratch = allOwners[:0]
 	return errors.Join(errs...)
 }

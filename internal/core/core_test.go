@@ -179,7 +179,9 @@ func mustClass(t *testing.T, size int) int {
 }
 
 func TestRemoteFreeUpdatesBitmapOnly(t *testing.T) {
-	g, th := testHeap(t, nil)
+	// With message-passing disabled, a cross-thread free takes the classic
+	// §3.2 path: the shard-locked bitmap update, nothing else.
+	g, th := testHeap(t, func(c *Config) { c.RemoteQueues = false })
 	addr, _ := th.Malloc(128)
 	// Another "thread" frees it through the global heap.
 	other := NewThreadHeap(g, 2)
@@ -197,6 +199,9 @@ func TestRemoteFreeUpdatesBitmapOnly(t *testing.T) {
 	}
 	if g.Stats().Live != 0 {
 		t.Fatalf("live = %d", g.Stats().Live)
+	}
+	if q := g.RemoteQueued(); q != 0 {
+		t.Fatalf("remote.queue disabled but %d frees queued", q)
 	}
 }
 

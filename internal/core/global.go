@@ -70,6 +70,13 @@ type Config struct {
 	// CopyPhys elides. Tests of the §4.5.2 write-barrier protocol set it
 	// to widen the protect window so racing writers reliably fault.
 	MeshCopyCost time.Duration
+	// RemoteQueues enables message-passing remote frees (default true in
+	// DefaultConfig): cross-thread frees of objects on spans attached to a
+	// live heap are posted to that heap's lock-free queue instead of
+	// taking the owning class's shard lock. Disable to restore the fully
+	// shard-locked remote-free path (and with it double-free detection on
+	// cross-thread frees). Runtime-togglable via the remote.queue control.
+	RemoteQueues bool
 }
 
 // DefaultMaxPause is the per-slice pause bound used when Config.MaxPause
@@ -86,6 +93,7 @@ func DefaultConfig() Config {
 		MinMeshSavings: 1 << 20,
 		SplitMesherT:   64,
 		MaxPause:       DefaultMaxPause,
+		RemoteQueues:   true,
 	}
 }
 
@@ -147,6 +155,15 @@ type MeshStats struct {
 	Pauses       PauseHistogram // distribution of shard-lock holds by the engine
 }
 
+// RemoteStats counts message-passing remote frees (the per-heap lock-free
+// queues of remote.go). At quiescence — every heap drained or Done —
+// Drained equals Queued; a persistent gap means frees are parked on a
+// heap that has not reached a drain point yet.
+type RemoteStats struct {
+	Queued  uint64 // frees posted to owner queues instead of taking a shard lock
+	Drained uint64 // queued frees settled by their owners
+}
+
 // HeapStats is a point-in-time snapshot of heap state.
 type HeapStats struct {
 	RSS         int64  // resident physical bytes (the paper's headline metric)
@@ -156,6 +173,7 @@ type HeapStats struct {
 	Frees       uint64 // total frees
 	Mesh        MeshStats
 	VM          vm.Stats
+	Remote      RemoteStats
 	InvalidFree uint64 // discarded bad frees (§4.4.4)
 }
 
@@ -261,6 +279,23 @@ func (cs *classState) binRemove(b int, mh *miniheap.MiniHeap) {
 // authoritative owner (see arena.Lookup). vm.Read/Write/Memset are
 // likewise lock-free end to end — the data path touches no mutex in this
 // hierarchy at all.
+//
+// The remote-free queue protocol (remote.go) sits entirely outside this
+// hierarchy: a push is a segment-slot reservation (or a Treiber-stack
+// CAS for a fresh segment) on the owning heap's queue, performed while
+// holding no lock, and never blocks on — or is blocked by — the mesh
+// barrier or a shard lock. Its correctness leans on
+// the hierarchy indirectly: a non-nil owner sink proves the span is
+// attached, attached spans are never meshed (the engine only pins
+// detached spans, under the barrier plus the class's shard lock), and the
+// drain-side fallback for spans that detached after the push re-enters
+// the hierarchy normally — shard lock, address re-resolution — so it
+// serializes with meshing fix-ups exactly like any other non-local free.
+// Drains therefore must not run while holding any lock in the hierarchy;
+// every drain point (refill, Done, pool park/unpark) calls with none
+// held. Ordering the queue below the barrier would be wrong in the other
+// direction too: the engine never touches remote queues, so no hold-and-
+// wait cycle through them exists.
 type GlobalHeap struct {
 	cfg   Config // immutable after construction; runtime-tunable knobs live in the atomics below
 	os    *vm.OS
@@ -310,6 +345,12 @@ type GlobalHeap struct {
 	frees       atomic.Uint64
 	invalidFree atomic.Uint64
 
+	// Message-passing remote-free state (remote.go): the runtime enable
+	// knob plus the queued/drained counters behind stats.remote.*.
+	remoteEnabled atomic.Bool
+	remoteQueued  atomic.Uint64
+	remoteDrained atomic.Uint64
+
 	// meshScratch backs the copy loop's set-bit iteration; guarded by the
 	// mesh barrier (copyPair never runs outside it).
 	meshScratch []int
@@ -343,6 +384,7 @@ func NewGlobalHeap(cfg Config) *GlobalHeap {
 		large: make(map[uint64]*miniheap.MiniHeap),
 	}
 	g.background.Store(cfg.BackgroundMeshing)
+	g.remoteEnabled.Store(cfg.RemoteQueues)
 	g.meshEnabled.Store(cfg.Meshing)
 	g.meshPeriod.Store(int64(cfg.MeshPeriod))
 	g.minSavings.Store(int64(cfg.MinMeshSavings))
@@ -405,6 +447,45 @@ func (g *GlobalHeap) OS() *vm.OS { return g.os }
 
 // Arena exposes the meshable arena.
 func (g *GlobalHeap) Arena() *arena.Arena { return g.arena }
+
+// SetRemoteQueues toggles message-passing remote frees at runtime (the
+// remote.queue control). Turning the path off only stops new pushes;
+// entries already queued are still settled at the owners' drain points.
+func (g *GlobalHeap) SetRemoteQueues(on bool) { g.remoteEnabled.Store(on) }
+
+// RemoteQueuesEnabled reports whether cross-thread frees may be posted to
+// owner queues instead of taking shard locks.
+func (g *GlobalHeap) RemoteQueuesEnabled() bool { return g.remoteEnabled.Load() }
+
+// RemoteQueued returns the number of frees posted to owner queues
+// (stats.remote.queued).
+func (g *GlobalHeap) RemoteQueued() uint64 { return g.remoteQueued.Load() }
+
+// RemoteDrained returns the number of queued frees settled by their owners
+// (stats.remote.drained). At quiescence it equals RemoteQueued.
+func (g *GlobalHeap) RemoteDrained() uint64 { return g.remoteDrained.Load() }
+
+// noteRemoteQueued records n message-passed frees totalling bytes at
+// enqueue time, so Live and Frees stay exact while entries are in flight
+// (the drain side therefore skips accounting — see freeSmallLocked's
+// preAccounted flag). Callers account *before* the push and unwind on
+// failure: a queued entry is drainable the instant it is published, so
+// counting afterwards would let a concurrent stats reader observe
+// drained > queued — the monitoring signal for a lost free — spuriously.
+func (g *GlobalHeap) noteRemoteQueued(bytes int64, n uint64) {
+	g.liveBytes.Add(-bytes)
+	g.frees.Add(n)
+	g.remoteQueued.Add(n)
+}
+
+// noteRemoteUnqueued reverses noteRemoteQueued for pushes that failed
+// after being pre-accounted; the caller then routes the frees to the
+// locked path, which accounts normally.
+func (g *GlobalHeap) noteRemoteUnqueued(bytes int64, n uint64) {
+	g.liveBytes.Add(bytes)
+	g.frees.Add(^(n - 1)) // atomic subtract n
+	g.remoteQueued.Add(^(n - 1))
+}
 
 // ShardAcquires returns the summed per-class shard-lock acquisition count
 // (stats.global.shard_acquires) — the contention introspection counter:
@@ -584,7 +665,26 @@ func (g *GlobalHeap) freeRouted(addr uint64, mh *miniheap.MiniHeap) (reachedGlob
 	cs := &g.classes[mh.SizeClass()]
 	cs.lock()
 	defer cs.unlock()
-	return g.freeSmallLocked(cs, addr)
+	return g.freeSmallLocked(cs, addr, false)
+}
+
+// freeQueuedStale completes one queued remote free whose span is no longer
+// attached to the draining heap: the shard-locked path, minus the
+// accounting that already happened at enqueue. It reports whether the free
+// reached a detached span (a mesh-trigger event); failures — possible only
+// through caller double frees racing span turnover — are absorbed into the
+// invalid-free counter, since the originating Free already returned.
+func (g *GlobalHeap) freeQueuedStale(addr uint64) (reachedGlobal bool) {
+	mh := g.arena.Lookup(addr)
+	if mh == nil || mh.IsLarge() {
+		g.invalidFree.Add(1)
+		return false
+	}
+	cs := &g.classes[mh.SizeClass()]
+	cs.lock()
+	defer cs.unlock()
+	reached, _ := g.freeSmallLocked(cs, addr, true)
+	return reached
 }
 
 // batchPartition is a reusable per-class partition of one free batch;
@@ -659,7 +759,7 @@ func (g *GlobalHeap) freeBatchResolved(addrs []uint64, owners []*miniheap.MiniHe
 		cs := &g.classes[c]
 		cs.lock()
 		for _, addr := range bp.byClass[c] {
-			reached, err := g.freeSmallLocked(cs, addr)
+			reached, err := g.freeSmallLocked(cs, addr, false)
 			if err != nil {
 				errs = append(errs, err)
 			}
@@ -690,8 +790,9 @@ func (g *GlobalHeap) freeBatchResolved(addrs []uint64, owners []*miniheap.MiniHe
 // lock: a meshing fix-up may have reassigned the span since (same class,
 // same shard lock), or a concurrent free may have emptied and destroyed
 // the span (slot now nil — reported as an invalid/double free, like the
-// stale free it is).
-func (g *GlobalHeap) freeSmallLocked(cs *classState, addr uint64) (reachedGlobal bool, err error) {
+// stale free it is). preAccounted marks a drained queue entry whose
+// live-byte and free-count accounting already happened at enqueue.
+func (g *GlobalHeap) freeSmallLocked(cs *classState, addr uint64, preAccounted bool) (reachedGlobal bool, err error) {
 	mh := g.arena.Lookup(addr)
 	if mh == nil || mh.IsLarge() || &g.classes[mh.SizeClass()] != cs {
 		g.invalidFree.Add(1)
@@ -706,8 +807,10 @@ func (g *GlobalHeap) freeSmallLocked(cs *classState, addr uint64) (reachedGlobal
 		g.invalidFree.Add(1)
 		return false, fmt.Errorf("%w: %#x", ErrDoubleFree, addr)
 	}
-	g.liveBytes.Add(int64(-mh.ObjectSize()))
-	g.frees.Add(1)
+	if !preAccounted {
+		g.liveBytes.Add(int64(-mh.ObjectSize()))
+		g.frees.Add(1)
+	}
 
 	if mh.IsAttached() {
 		// Remote free to another thread's span: the bitmap update is all
@@ -794,7 +897,11 @@ func (g *GlobalHeap) Stats() HeapStats {
 			LongestPause: time.Duration(g.longestPause.Load()),
 			Pauses:       g.pauseHistogram(),
 		},
-		VM:          g.os.Snapshot(),
+		VM: g.os.Snapshot(),
+		Remote: RemoteStats{
+			Queued:  g.remoteQueued.Load(),
+			Drained: g.remoteDrained.Load(),
+		},
 		InvalidFree: g.invalidFree.Load(),
 	}
 }

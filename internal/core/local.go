@@ -31,10 +31,18 @@ type ThreadHeap struct {
 	// scratch and ownerScratch back FreeBatch's non-local partition
 	// between calls so the batch path stays allocation free: addresses and
 	// the page-map owners freeLocal resolved for them, passed to the
-	// global heap so batch routing needs no second lookup. Owned by
+	// global heap so batch routing needs no second lookup. offScratch
+	// backs queueRemoteBatch's slot-index runs the same way. Owned by
 	// whoever owns the heap.
 	scratch      []uint64
 	ownerScratch []*miniheap.MiniHeap
+	offScratch   []int
+
+	// remote is this heap's MPSC remote-free queue (see remote.go): other
+	// threads post frees of objects on our attached spans here instead of
+	// taking shard locks, and we drain at refill, Done, and pool
+	// park/unpark. Its address is published on each attached MiniHeap.
+	remote remoteQueue
 
 	localAllocs atomic.Uint64
 	localFrees  atomic.Uint64
@@ -69,13 +77,24 @@ func (t *ThreadHeap) Malloc(size int) (uint64, error) {
 	return t.mallocFromClass(class)
 }
 
-// refill swaps the exhausted attached MiniHeap for a fresh one from the
-// global heap (§3.1): the old span is relinquished (with its unused
-// reserved slots returned to the bitmap), and a partially full or fresh
-// span is attached and drained into the shuffle vector.
+// refill restocks an exhausted shuffle vector (§3.1). It first drains the
+// remote-free queue: frees posted by other threads for the still-attached
+// span land straight back on the vector, so a producer–consumer pipeline
+// recycles the same span without ever detaching it — the malloc-slow-path
+// drain point of the message-passing free protocol. Only if the vector is
+// still exhausted is the old span relinquished (owner sink withdrawn
+// first, unused reserved slots returned to the bitmap) and a partially
+// full or fresh span attached in its place.
 func (t *ThreadHeap) refill(class int) error {
 	sv := t.svs[class]
+	if t.DrainRemoteFrees() > 0 && !sv.IsExhausted() {
+		return nil
+	}
 	if old := t.attached[class]; old != nil {
+		// Withdraw the owner sink before detaching: a push that already
+		// loaded it either lands before our next drain (settled there) or
+		// is parked for the drain-by-address fallback — never lost.
+		old.SetOwner(nil)
 		sv.DrainTo(old.Bitmap())
 		t.attached[class] = nil
 		if err := t.global.ReleaseMiniheap(old); err != nil {
@@ -88,15 +107,20 @@ func (t *ThreadHeap) refill(class int) error {
 	}
 	t.attached[class] = mh
 	sv.Attach(mh.Bitmap())
+	t.remote.reopen()
+	mh.SetOwner(&t.remote)
 	t.refills.Add(1)
 	return nil
 }
 
 // Free releases the object at addr. Frees of objects in one of this
 // thread's attached spans are handled locally by the shuffle vector
-// (Figure 4); everything else is passed to the global heap (§3.2),
-// reusing the owner freeLocal already resolved so a remote free pays one
-// routing lookup, not two.
+// (Figure 4). Frees of objects on spans attached to *another* live heap
+// are message-passed: posted to the owner's lock-free queue (remote.go)
+// for it to recycle at its next drain point — no shard lock taken.
+// Everything else is passed to the global heap (§3.2), reusing the owner
+// freeLocal already resolved so a remote free pays one routing lookup,
+// not two.
 func (t *ThreadHeap) Free(addr uint64) error {
 	size, ok, owner, err := t.freeLocal(addr)
 	if err != nil {
@@ -105,6 +129,9 @@ func (t *ThreadHeap) Free(addr uint64) error {
 	if ok {
 		t.localFrees.Add(1)
 		t.global.noteLocalFree(size)
+		return nil
+	}
+	if t.tryQueueRemote(addr, owner) {
 		return nil
 	}
 	return t.global.freeResolved(addr, owner)
@@ -146,14 +173,21 @@ func (t *ThreadHeap) freeLocal(addr uint64) (objSize int, ok bool, owner *minihe
 
 // Done relinquishes every attached span back to the global heap; call it
 // when the owning goroutine finishes (thread exit in the paper's model).
+// It drains before releasing: the remote-free queue is closed — so no free
+// can be parked on a heap that will never drain again; late pushers see
+// the closed queue and fall back to the locked path — and the remnant is
+// settled while the spans are still attached. The queue reopens if the
+// heap attaches a span again (refill).
 func (t *ThreadHeap) Done() error {
+	t.drainRemote(t.remote.close())
 	for c := range t.attached {
 		if t.attached[c] == nil {
 			continue
 		}
-		sv := t.svs[c]
-		sv.DrainTo(t.attached[c].Bitmap())
 		mh := t.attached[c]
+		mh.SetOwner(nil)
+		sv := t.svs[c]
+		sv.DrainTo(mh.Bitmap())
 		t.attached[c] = nil
 		if err := t.global.ReleaseMiniheap(mh); err != nil {
 			return err

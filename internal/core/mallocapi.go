@@ -63,11 +63,9 @@ func (t *ThreadHeap) Realloc(addr uint64, size int) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	buf := make([]byte, usable)
-	if err := t.global.os.Read(addr, buf); err != nil {
-		return 0, err
-	}
-	if err := t.global.os.Write(newAddr, buf); err != nil {
+	// Span-to-span copy through the VM's lock-free data path: no staging
+	// buffer, so the growth path allocates nothing beyond the new object.
+	if err := t.global.os.Copy(newAddr, addr, usable); err != nil {
 		return 0, err
 	}
 	if err := t.Free(addr); err != nil {

@@ -107,6 +107,43 @@ func TestReallocContract(t *testing.T) {
 	}
 }
 
+// TestReallocGrowthAllocationFree pins the realloc growth path's zero-Go-
+// allocation property: the object moves via a span-to-span vm.Copy rather
+// than staging through a fresh []byte per call. Steady-state churn (the
+// shuffle vectors recycle both classes' slots, so no refill runs) must
+// allocate nothing on the Go heap.
+func TestReallocGrowthAllocationFree(t *testing.T) {
+	_, th := testHeap(t, nil)
+	// Warm both classes so the measured loop never refills.
+	p, err := th.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := th.Realloc(p, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Free(q); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		p, err := th.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := th.Realloc(p, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := th.Free(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("realloc growth churn allocates %.1f objects per round, want 0", avg)
+	}
+}
+
 func TestReallocLargeToLarger(t *testing.T) {
 	g, th := testHeap(t, nil)
 	p, err := th.Malloc(sizeclass.MaxSize + 100)

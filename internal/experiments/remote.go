@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/workload"
+	"repro/mesh"
+)
+
+// RemoteRow is one (goroutine count, free-path mode) cell of the
+// remote-free experiment.
+type RemoteRow struct {
+	Workers       int           `json:"workers"`
+	Producers     int           `json:"producers"`
+	Mode          string        `json:"mode"` // "queued" or "locked"
+	Ops           int           `json:"ops"`
+	Wall          time.Duration `json:"wall_ns"`
+	OpsPerSec     float64       `json:"ops_per_sec"`
+	ShardAcquires uint64        `json:"shard_acquires"`
+	RemoteQueued  uint64        `json:"remote_queued"`
+	RemoteDrained uint64        `json:"remote_drained"`
+}
+
+// RemoteResult reports producer–consumer throughput with message-passing
+// remote frees versus the shard-locked baseline.
+type RemoteResult struct {
+	TotalOps int         `json:"total_ops"`
+	Rows     []RemoteRow `json:"rows"`
+}
+
+// Remote measures the producer–consumer hand-off shape — the dominant
+// traffic of pipelined Go servers, where one goroutine allocates and
+// another frees — with the message-passing remote-free queues on
+// ("queued") and off ("locked", every cross-thread free takes the owning
+// class's shard lock). Workers split evenly into allocating producers and
+// freeing consumers on explicit per-worker Threads, so every free is
+// remote. Total operation count is fixed across rows; the shard-acquire
+// counter makes the lock traffic visible — in queued mode it collapses to
+// refill setup, while locked mode pays roughly one acquisition per free.
+func Remote(scale int) (*RemoteResult, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	totalOps := 320_000 / scale
+	if totalOps < 8_000 {
+		totalOps = 8_000
+	}
+	res := &RemoteResult{TotalOps: totalOps}
+	for _, workers := range []int{2, 8, 16} {
+		for _, mode := range []string{"queued", "locked"} {
+			producers := workers / 2
+			ad := mesh.NewAdapter("mesh", mesh.WithSeed(1),
+				mesh.WithRemoteQueues(mode == "queued"))
+			cfg := workload.ConcurrentConfig{
+				Workers:   workers,
+				Producers: producers,
+				// Ops is the per-producer malloc floor; frees double it, so
+				// halve per producer to keep rows comparable.
+				Ops:   totalOps / (2 * producers),
+				Batch: 1,
+				// Keep the hand-off window tight: a small in-flight budget
+				// means consumers free into spans the producers still have
+				// attached, which is the shape the message-passing path
+				// serves (a deep backlog degenerates to detached-span frees
+				// on both paths). Drain-at-refill then recycles the same
+				// spans instead of detaching them. Sizes stay in classes
+				// with roomy spans (256/128/64 objects per page) so the
+				// window fits inside a span.
+				MaxLive: 16 * workers,
+				Sizes: workload.Choice{
+					Sizes:   []int{16, 32, 64},
+					Weights: []float64{4, 3, 2},
+				},
+				Seed: 1,
+			}
+			newHeap := func(int) alloc.Heap { return ad.Allocator.NewThread() }
+			r, err := workload.RunConcurrent(ad, newHeap, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("remote %d/%s: %w", workers, mode, err)
+			}
+			// Snapshot contention counters before the drain/integrity
+			// passes, which take shard locks of their own.
+			shard, err := ad.ReadControl("stats.global.shard_acquires")
+			if err != nil {
+				return nil, err
+			}
+			queued, err := ad.ReadControl("stats.remote.queued")
+			if err != nil {
+				return nil, err
+			}
+			drained, err := ad.ReadControl("stats.remote.drained")
+			if err != nil {
+				return nil, err
+			}
+			if err := ad.Allocator.Flush(); err != nil {
+				return nil, fmt.Errorf("remote %d/%s: flush: %w", workers, mode, err)
+			}
+			if err := ad.Allocator.CheckIntegrity(); err != nil {
+				return nil, fmt.Errorf("remote %d/%s: integrity after run: %w", workers, mode, err)
+			}
+			if live := ad.Live(); live != 0 {
+				return nil, fmt.Errorf("remote %d/%s: %d live bytes after full drain", workers, mode, live)
+			}
+			res.Rows = append(res.Rows, RemoteRow{
+				Workers:       workers,
+				Producers:     producers,
+				Mode:          mode,
+				Ops:           r.Ops,
+				Wall:          r.Wall,
+				OpsPerSec:     r.OpsPerSec,
+				ShardAcquires: shard.(uint64),
+				RemoteQueued:  queued.(uint64),
+				RemoteDrained: drained.(uint64),
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+func TestRemoteExperiment(t *testing.T) {
+	res, err := Remote(40) // 8000 total ops: a smoke-scale run
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 { // {2,8,16} workers × {queued, locked}
+		t.Fatalf("got %d rows, want 6", len(res.Rows))
+	}
+	for i := 0; i+1 < len(res.Rows); i += 2 {
+		queued, locked := res.Rows[i], res.Rows[i+1]
+		if queued.Mode != "queued" || locked.Mode != "locked" || queued.Workers != locked.Workers {
+			t.Fatalf("unexpected row order: %+v then %+v", queued, locked)
+		}
+		if queued.OpsPerSec <= 0 || locked.OpsPerSec <= 0 {
+			t.Fatalf("degenerate rows: %+v / %+v", queued, locked)
+		}
+		// The structural claim: message-passing must reduce shard-lock
+		// traffic relative to the locked baseline at the same width (at
+		// smoke scale the widest rows run few ops per producer, so only
+		// strict ordering is stable; full-scale runs show orders of
+		// magnitude)…
+		if queued.ShardAcquires >= locked.ShardAcquires {
+			t.Errorf("workers=%d: queued took %d shard locks vs locked %d — queue not bypassing shards",
+				queued.Workers, queued.ShardAcquires, locked.ShardAcquires)
+		}
+		// …and every queued free must be settled (no lost frees).
+		if queued.RemoteQueued == 0 {
+			t.Errorf("workers=%d: no frees queued in queued mode", queued.Workers)
+		}
+		if queued.RemoteQueued != queued.RemoteDrained {
+			t.Errorf("workers=%d: queued %d != drained %d",
+				queued.Workers, queued.RemoteQueued, queued.RemoteDrained)
+		}
+		if locked.RemoteQueued != 0 {
+			t.Errorf("workers=%d: locked mode queued %d frees", locked.Workers, locked.RemoteQueued)
+		}
+	}
+}

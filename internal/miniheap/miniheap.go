@@ -21,11 +21,29 @@ import (
 	"repro/internal/vm"
 )
 
+// RemoteSink accepts message-passed remote frees on behalf of the thread
+// heap that currently has a MiniHeap attached (the lock-free free queues of
+// the core package). Implementations must be safe for concurrent use by any
+// number of pushers. A false return means the sink is closed (the owner is
+// relinquishing its spans); the caller must fall back to the global heap's
+// locked free path.
+type RemoteSink interface {
+	// PushRemote posts one allocated slot of mh for the owning heap to
+	// recycle on its own schedule.
+	PushRemote(mh *MiniHeap, off int) bool
+	// PushRemoteBatch posts a batch of allocated slots of mh, returning how
+	// many were accepted; slots past the returned count were rejected
+	// because the sink closed mid-batch.
+	PushRemoteBatch(mh *MiniHeap, offs []int) int
+}
+
 // MiniHeap is the metadata record for one physical span. Bitmap operations
-// are safe for concurrent use (remote frees); structural fields (virtual
-// span list, physical span id) are guarded by the global heap's lock during
-// meshing and must not be read concurrently with it except through the
-// owning heap.
+// are safe for concurrent use (remote frees); the virtual-span list is an
+// atomically published immutable snapshot, so geometry queries (OffsetOf,
+// AddrOf, Contains, Spans) are likewise safe from any goroutine — a reader
+// holding a stale MiniHeap reference sees a consistent (if slightly old)
+// snapshot, never a torn slice. Remaining structural fields (physical span
+// id, bin membership) are guarded by the owning shard lock during meshing.
 type MiniHeap struct {
 	id        uint64 // unique, for deterministic ordering and debugging
 	sizeClass int    // -1 for large (page-multiple) singleton MiniHeaps
@@ -43,9 +61,19 @@ type MiniHeap struct {
 	bm   *bitmap.Bitmap
 	phys vm.PhysID
 
-	// spans lists the base virtual addresses mapped onto phys. spans[0]
-	// is the span new allocations are addressed through.
-	spans []uint64
+	// spans atomically publishes the immutable list of base virtual
+	// addresses mapped onto phys. The slice behind the pointer is never
+	// mutated: AbsorbSpans installs a fresh copy, so lock-free readers on
+	// the remote-free path can keep using an old snapshot (virtual spans
+	// are only ever added to a live MiniHeap, never removed). spans[0] is
+	// the span new allocations are addressed through.
+	spans atomic.Pointer[[]uint64]
+
+	// owner is the remote-free sink of the thread heap this MiniHeap is
+	// attached to, atomically published on attach and cleared before
+	// detach. A nil owner routes cross-thread frees to the global heap's
+	// locked path.
+	owner atomic.Pointer[RemoteSink]
 
 	attached atomic.Bool
 	pinned   atomic.Bool
@@ -77,7 +105,7 @@ func reciprocal(objSize, spanBytes int) uint64 {
 // New creates a MiniHeap for a size-classed span backed by physical span
 // phys and mapped at virtual base vbase.
 func New(class int, vbase uint64, phys vm.PhysID) *MiniHeap {
-	return &MiniHeap{
+	m := &MiniHeap{
 		id:        nextID.Add(1),
 		sizeClass: class,
 		objSize:   sizeclass.Size(class),
@@ -86,8 +114,9 @@ func New(class int, vbase uint64, phys vm.PhysID) *MiniHeap {
 		objRecip:  reciprocal(sizeclass.Size(class), sizeclass.SpanPages(class)*vm.PageSize),
 		bm:        bitmap.New(sizeclass.ObjectCount(class)),
 		phys:      phys,
-		spans:     []uint64{vbase},
 	}
+	m.spans.Store(&[]uint64{vbase})
+	return m
 }
 
 // NewLarge creates a singleton MiniHeap accounting for one large object
@@ -102,8 +131,8 @@ func NewLarge(pages int, vbase uint64, phys vm.PhysID) *MiniHeap {
 		objRecip:  reciprocal(pages*vm.PageSize, pages*vm.PageSize),
 		bm:        bitmap.New(1),
 		phys:      phys,
-		spans:     []uint64{vbase},
 	}
+	mh.spans.Store(&[]uint64{vbase})
 	mh.bm.TryToSet(0)
 	return mh
 }
@@ -139,22 +168,51 @@ func (m *MiniHeap) Phys() vm.PhysID { return m.phys }
 // the global lock) uses this.
 func (m *MiniHeap) SetPhys(p vm.PhysID) { m.phys = p }
 
-// Spans returns the virtual spans mapped onto the physical span. The slice
-// must not be mutated by callers.
-func (m *MiniHeap) Spans() []uint64 { return m.spans }
+// Spans returns the current snapshot of virtual spans mapped onto the
+// physical span. The slice must not be mutated by callers. Safe to call
+// from any goroutine; a stale snapshot is still internally consistent.
+func (m *MiniHeap) Spans() []uint64 { return *m.spans.Load() }
 
 // SpanStart returns the primary virtual base address — the one used to
 // mint addresses for new allocations.
-func (m *MiniHeap) SpanStart() uint64 { return m.spans[0] }
+func (m *MiniHeap) SpanStart() uint64 { return (*m.spans.Load())[0] }
 
-// AbsorbSpans appends the virtual spans of a meshed-away source MiniHeap.
+// AbsorbSpans appends the virtual spans of a meshed-away source MiniHeap,
+// publishing a fresh snapshot so concurrent lock-free readers keep a
+// consistent view. Only meshing (under the owning shard lock) calls this,
+// so loads below need no CAS loop.
 func (m *MiniHeap) AbsorbSpans(src *MiniHeap) {
-	m.spans = append(m.spans, src.spans...)
+	cur, add := *m.spans.Load(), *src.spans.Load()
+	merged := make([]uint64, 0, len(cur)+len(add))
+	merged = append(append(merged, cur...), add...)
+	m.spans.Store(&merged)
 }
 
 // MeshCount returns the number of virtual spans mapped to this MiniHeap's
 // physical span (1 means never meshed).
-func (m *MiniHeap) MeshCount() int { return len(m.spans) }
+func (m *MiniHeap) MeshCount() int { return len(*m.spans.Load()) }
+
+// SetOwner publishes (or, with nil, withdraws) the remote-free sink of the
+// thread heap this MiniHeap is attached to. The owning heap stores the sink
+// after attaching and clears it before detaching, so a non-nil load proves
+// the MiniHeap was attached at the moment of the load.
+func (m *MiniHeap) SetOwner(s RemoteSink) {
+	if s == nil {
+		m.owner.Store(nil)
+		return
+	}
+	m.owner.Store(&s)
+}
+
+// Owner returns the currently published remote-free sink, or nil when the
+// MiniHeap is detached (or its owner does not accept message-passed frees).
+func (m *MiniHeap) Owner() RemoteSink {
+	p := m.owner.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
 
 // Attach marks the MiniHeap as owned by a thread-local heap. It panics on
 // double attach, which would violate the single-owner invariant (§4.5.3).
@@ -198,7 +256,7 @@ func (m *MiniHeap) IsPinned() bool { return m.pinned.Load() }
 // Contains reports whether addr falls inside any of the MiniHeap's virtual
 // spans.
 func (m *MiniHeap) Contains(addr uint64) bool {
-	for _, base := range m.spans {
+	for _, base := range *m.spans.Load() {
 		if addr >= base && addr < base+uint64(m.SpanBytes()) {
 			return true
 		}
@@ -216,7 +274,7 @@ func (m *MiniHeap) Contains(addr uint64) bool {
 // instead of hardware division (tcmalloc-style; see reciprocal for the
 // exactness argument).
 func (m *MiniHeap) OffsetOf(addr uint64) (int, error) {
-	for _, base := range m.spans {
+	for _, base := range *m.spans.Load() {
 		if addr >= base && addr < base+uint64(m.SpanBytes()) {
 			rel := addr - base
 			var off uint64
@@ -242,7 +300,7 @@ func (m *MiniHeap) AddrOf(off int) uint64 {
 	if off < 0 || off >= m.objCount {
 		panic(fmt.Sprintf("miniheap: offset %d out of range", off))
 	}
-	return m.spans[0] + uint64(off*m.objSize)
+	return (*m.spans.Load())[0] + uint64(off*m.objSize)
 }
 
 // InUse returns the number of allocated objects.
@@ -305,5 +363,5 @@ func (m *MiniHeap) Meshable(o *MiniHeap) bool {
 // String renders a compact description for debugging.
 func (m *MiniHeap) String() string {
 	return fmt.Sprintf("MiniHeap{id=%d class=%d objSize=%d inUse=%d/%d spans=%d}",
-		m.id, m.sizeClass, m.objSize, m.InUse(), m.objCount, len(m.spans))
+		m.id, m.sizeClass, m.objSize, m.InUse(), m.objCount, m.MeshCount())
 }

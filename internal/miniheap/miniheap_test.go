@@ -310,3 +310,50 @@ func BenchmarkOffsetOfHardwareDivide(b *testing.B) {
 	}
 	_ = sink
 }
+
+// fakeSink is a no-op RemoteSink for owner-publication tests.
+type fakeSink struct{ pushed int }
+
+func (f *fakeSink) PushRemote(*MiniHeap, int) bool { f.pushed++; return true }
+func (f *fakeSink) PushRemoteBatch(_ *MiniHeap, offs []int) int {
+	f.pushed += len(offs)
+	return len(offs)
+}
+
+func TestOwnerPublication(t *testing.T) {
+	mh := New(class16(t), vm.ArenaBase, 1)
+	if mh.Owner() != nil {
+		t.Fatal("fresh MiniHeap has an owner")
+	}
+	sink := &fakeSink{}
+	mh.SetOwner(sink)
+	got := mh.Owner()
+	if got == nil {
+		t.Fatal("owner not published")
+	}
+	if !got.PushRemote(mh, 0) || sink.pushed != 1 {
+		t.Fatal("published owner is not the sink that was set")
+	}
+	mh.SetOwner(nil)
+	if mh.Owner() != nil {
+		t.Fatal("owner not withdrawn")
+	}
+}
+
+// TestSpansSnapshotStableAcrossAbsorb pins the atomic-snapshot contract:
+// a Spans slice taken before an AbsorbSpans stays internally consistent
+// (the published slice is never mutated in place).
+func TestSpansSnapshotStableAcrossAbsorb(t *testing.T) {
+	c := class16(t)
+	dst := New(c, vm.ArenaBase, 1)
+	src := New(c, vm.ArenaBase+0x10000, 2)
+	before := dst.Spans()
+	dst.AbsorbSpans(src)
+	if len(before) != 1 || before[0] != vm.ArenaBase {
+		t.Fatalf("pre-absorb snapshot mutated: %v", before)
+	}
+	after := dst.Spans()
+	if len(after) != 2 || after[1] != vm.ArenaBase+0x10000 {
+		t.Fatalf("post-absorb snapshot wrong: %v", after)
+	}
+}

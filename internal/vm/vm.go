@@ -755,6 +755,88 @@ func (o *OS) writeOrFillRun(addr uint64, data []byte, max int, v byte, fill bool
 	}
 }
 
+// Copy copies n bytes from virtual address src to virtual address dst
+// span-to-span — no caller staging buffer, no lock, one translation per
+// page run on each side. It follows the same seqlock protocol as Write:
+// the destination run registers on its mapping's writer counter so
+// Protect's drain orders the copy against a meshing protect window, a
+// write-protected destination page faults into the write barrier, and a
+// generation change during the copy discards and redoes the chunk (the
+// rewrite is idempotent, exactly as for Write). The regions must not
+// overlap; the allocator's realloc path — fresh destination object — is
+// the intended caller.
+func (o *OS) Copy(dst, src uint64, n int) error {
+	for n > 0 {
+		c, err := o.copyRun(dst, src, n)
+		if err != nil {
+			return err
+		}
+		dst += uint64(c)
+		src += uint64(c)
+		n -= c
+	}
+	return nil
+}
+
+// copyRun performs one lock-free copy of up to one page run on both sides
+// (the chunk is the shorter of the two runs).
+func (o *OS) copyRun(dst, src uint64, max int) (int, error) {
+	for {
+		g := o.gen.Load()
+		if g&1 != 0 {
+			o.noteRetry()
+			continue
+		}
+		se, ss, sn := o.resolveRun(src, max)
+		if se == nil {
+			if o.gen.Load() != g {
+				o.noteRetry()
+				continue
+			}
+			return 0, fmt.Errorf("%w: %#x", ErrUnmapped, src)
+		}
+		de, ds, dn := o.resolveRun(dst, sn)
+		if de == nil {
+			if o.gen.Load() != g {
+				o.noteRetry()
+				continue
+			}
+			return 0, fmt.Errorf("%w: %#x", ErrUnmapped, dst)
+		}
+		n := dn
+		if de.prot == ReadOnly {
+			if o.gen.Load() != g {
+				// The protection observation itself may be stale; only
+				// fault on a validated read-only entry.
+				o.noteRetry()
+				continue
+			}
+			o.statFaults.Add(1)
+			h, ok := o.faultHook.Load().(func(uint64))
+			if !ok || h == nil {
+				return 0, fmt.Errorf("vm: write to read-only page %#x with no fault handler", dst)
+			}
+			h(dst)
+			continue // retry translation; meshing has remapped the page
+		}
+		de.wr.Add(1)
+		if o.gen.Load() != g {
+			de.wr.Add(-1)
+			o.noteRetry()
+			continue
+		}
+		copy(de.data[ds:ds+n], se.data[ss:ss+n])
+		de.wr.Add(-1)
+		if o.gen.Load() != g {
+			o.noteRetry()
+			continue
+		}
+		o.noteTranslation(src >> PageShift)
+		o.noteTranslation(dst >> PageShift)
+		return n, nil
+	}
+}
+
 // fillBytes memsets b to v without an intermediate buffer.
 func fillBytes(b []byte, v byte) {
 	if len(b) == 0 {

@@ -622,3 +622,93 @@ func TestWriteProtCheckIsAtomicWithCopy(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCopySpanToSpan(t *testing.T) {
+	o := NewOS()
+	src := o.Reserve(2)
+	dst := o.Reserve(3)
+	if _, err := o.Commit(src, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Commit(dst, 3); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 2*PageSize)
+	for i := range want {
+		want[i] = byte(i*31 + 7)
+	}
+	if err := o.Write(src, want); err != nil {
+		t.Fatal(err)
+	}
+	// Page-crossing copy at unaligned offsets on both sides.
+	if err := o.Copy(dst+123, src+1, 2*PageSize-1); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2*PageSize-1)
+	if err := o.Read(dst+123, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want[1:]) {
+		t.Fatal("span-to-span copy mismatch")
+	}
+	// The source is untouched.
+	back := make([]byte, len(want))
+	if err := o.Read(src, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, want) {
+		t.Fatal("Copy disturbed the source")
+	}
+}
+
+func TestCopyErrors(t *testing.T) {
+	o := NewOS()
+	v := o.Reserve(1)
+	if _, err := o.Commit(v, 1); err != nil {
+		t.Fatal(err)
+	}
+	hole := o.Reserve(1) // reserved but never committed
+	if err := o.Copy(hole, v, 16); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("copy to unmapped dst = %v, want ErrUnmapped", err)
+	}
+	if err := o.Copy(v, hole, 16); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("copy from unmapped src = %v, want ErrUnmapped", err)
+	}
+}
+
+func TestCopyFaultsOnProtectedDestination(t *testing.T) {
+	o := NewOS()
+	src := o.Reserve(1)
+	dst := o.Reserve(1)
+	if _, err := o.Commit(src, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Commit(dst, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Protect(dst, 1, ReadOnly); err != nil {
+		t.Fatal(err)
+	}
+	faults := 0
+	o.SetFaultHook(func(addr uint64) {
+		faults++
+		// The barrier's job: make the page writable again, then let the
+		// copy retry.
+		if err := o.Protect(dst, 1, ReadWrite); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := o.Copy(dst, src, 64); err != nil {
+		t.Fatal(err)
+	}
+	if faults != 1 {
+		t.Fatalf("faults = %d, want 1 (write barrier must fire once)", faults)
+	}
+	// Reading a protected source is always allowed (§4.5.2 invariant).
+	if err := o.Protect(src, 1, ReadOnly); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Copy(dst, src, 64); err != nil {
+		t.Fatal(err)
+	}
+}

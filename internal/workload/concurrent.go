@@ -30,6 +30,16 @@ type ConcurrentConfig struct {
 	// syscall per operation, so throughput numbers from tracked runs are
 	// not comparable to untracked ones.
 	TrackStalls bool
+	// Producers, when positive, switches the run to the producer–consumer
+	// hand-off shape: the first Producers workers only allocate, pushing
+	// object batches onto a shared ring, and the remaining Workers-
+	// Producers workers only free what they receive — so every free is a
+	// cross-thread (remote) free, the dominant shape of pipelined servers
+	// and the traffic the allocator's message-passing free queues exist
+	// for. The ring holds at most MaxLive objects, bounding in-flight
+	// memory. Must be < Workers. 0 keeps the default mixed loop, where
+	// each worker frees what it allocated.
+	Producers int
 }
 
 // ConcurrentResult reports one concurrent run.
@@ -61,11 +71,18 @@ type batchBuf struct {
 // exercises a pooled allocator; returning a distinct heap per worker
 // exercises the explicit per-thread fast path. Batches go through
 // alloc.MallocBatch/FreeBatch, so heaps without a batch path are driven
-// scalar — the comparison the meshbench conc experiment prints. Every
-// object is freed before RunConcurrent returns.
+// scalar — the comparison the meshbench conc experiment prints. With
+// cfg.Producers set, the run switches from the mixed malloc/free loop to
+// the producer–consumer ring hand-off, where allocating and freeing
+// goroutines are disjoint (see ConcurrentConfig.Producers). Every object
+// is freed before RunConcurrent returns.
 func RunConcurrent(a alloc.Allocator, newHeap func(worker int) alloc.Heap, cfg ConcurrentConfig) (ConcurrentResult, error) {
 	if cfg.Workers <= 0 || cfg.Ops <= 0 {
 		return ConcurrentResult{}, fmt.Errorf("workload: bad concurrent config %+v", cfg)
+	}
+	if cfg.Producers < 0 || cfg.Producers >= cfg.Workers {
+		return ConcurrentResult{}, fmt.Errorf("workload: Producers (%d) must be in [0, Workers) with Workers=%d",
+			cfg.Producers, cfg.Workers)
 	}
 	batch := cfg.Batch
 	if batch < 1 {
@@ -116,6 +133,31 @@ func RunConcurrent(a alloc.Allocator, newHeap func(worker int) alloc.Heap, cfg C
 		}
 	}
 	errc := make(chan error, cfg.Workers)
+
+	// Producer–consumer plumbing (cfg.Producers > 0): a ring of object
+	// batches sized so at most ~MaxLive objects are in flight, a failure
+	// latch that unblocks ring senders when a worker dies, and a closer
+	// that shuts the ring once every producer finishes.
+	var ring chan []uint64
+	var producerWG sync.WaitGroup
+	failed := make(chan struct{})
+	var failOnce sync.Once
+	fail := func(err error) {
+		errc <- err
+		failOnce.Do(func() { close(failed) })
+	}
+	if cfg.Producers > 0 {
+		slots := maxLive / batch
+		if slots < 1 {
+			slots = 1
+		}
+		ring = make(chan []uint64, slots)
+		producerWG.Add(cfg.Producers)
+		go func() {
+			producerWG.Wait()
+			close(ring)
+		}()
+	}
 	start := time.Now()
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -130,10 +172,13 @@ func RunConcurrent(a alloc.Allocator, newHeap func(worker int) alloc.Heap, cfg C
 			ops := 0
 			defer func() { totalOps.Add(int64(ops)) }()
 
-			// mallocSome / freeSome: batch > 1 goes through the batch API;
+			// allocChunk / freeSome: batch > 1 goes through the batch API;
 			// batch == 1 stays on the scalar Malloc/Free methods so the
 			// scalar configurations really measure the scalar path.
-			mallocSome := func() error {
+			// allocChunk is the one allocation core both traffic shapes
+			// share: mallocSome appends the chunk to the worker's live
+			// set, produceChunk hands it across the ring.
+			allocChunk := func(out []uint64) ([]uint64, error) {
 				if batch == 1 {
 					size := cfg.Sizes.Sample(rnd)
 					var t0 time.Time
@@ -145,11 +190,10 @@ func RunConcurrent(a alloc.Allocator, newHeap func(worker int) alloc.Heap, cfg C
 						noteStall(time.Since(t0))
 					}
 					if err != nil {
-						return err
+						return out, err
 					}
-					live = append(live, addr)
 					ops++
-					return nil
+					return append(out, addr), nil
 				}
 				sizes := buf.sizes[:0]
 				for i := 0; i < batch; i++ {
@@ -165,11 +209,15 @@ func RunConcurrent(a alloc.Allocator, newHeap func(worker int) alloc.Heap, cfg C
 					noteStall(time.Since(t0))
 				}
 				if err != nil {
-					return err
+					return out, err
 				}
-				live = append(live, addrs...)
 				ops += len(addrs)
-				return nil
+				return append(out, addrs...), nil
+			}
+			mallocSome := func() error {
+				var err error
+				live, err = allocChunk(live)
+				return err
 			}
 			freeSome := func(addrs []uint64) error {
 				if batch == 1 {
@@ -204,26 +252,63 @@ func RunConcurrent(a alloc.Allocator, newHeap func(worker int) alloc.Heap, cfg C
 				return nil
 			}
 
-			for ops < cfg.Ops {
-				if err := mallocSome(); err != nil {
-					errc <- fmt.Errorf("worker %d: %w", w, err)
-					return
+			// produceChunk allocates one hand-off batch into a fresh slice
+			// (ownership crosses the ring, so the worker scratch cannot back
+			// it).
+			produceChunk := func() ([]uint64, error) {
+				return allocChunk(make([]uint64, 0, batch))
+			}
+
+			switch {
+			case cfg.Producers > 0 && w < cfg.Producers:
+				// Producer: allocate and hand off; never free. The ring's
+				// capacity bounds in-flight memory; the failure latch keeps
+				// a send from blocking forever when the consumers died.
+				defer producerWG.Done()
+				for ops < cfg.Ops {
+					chunk, err := produceChunk()
+					if err != nil {
+						fail(fmt.Errorf("producer %d: %w", w, err))
+						return
+					}
+					select {
+					case ring <- chunk:
+					case <-failed:
+						return
+					}
 				}
-				if len(live) >= maxLive {
-					// Free the older half; servers churn oldest state first.
-					n := len(live) / 2
-					if err := freeSome(live[:n]); err != nil {
+			case cfg.Producers > 0:
+				// Consumer: every free is a cross-thread free of another
+				// heap's objects — the remote-free path, end to end. Keep
+				// draining after a peer failure so producers can unblock.
+				for chunk := range ring {
+					if err := freeSome(chunk); err != nil {
+						fail(fmt.Errorf("consumer %d: %w", w, err))
+						return
+					}
+				}
+			default:
+				for ops < cfg.Ops {
+					if err := mallocSome(); err != nil {
 						errc <- fmt.Errorf("worker %d: %w", w, err)
 						return
 					}
-					live = append(live[:0], live[n:]...)
+					if len(live) >= maxLive {
+						// Free the older half; servers churn oldest state first.
+						n := len(live) / 2
+						if err := freeSome(live[:n]); err != nil {
+							errc <- fmt.Errorf("worker %d: %w", w, err)
+							return
+						}
+						live = append(live[:0], live[n:]...)
+					}
 				}
+				if err := freeSome(live); err != nil {
+					errc <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+				live = live[:0]
 			}
-			if err := freeSome(live); err != nil {
-				errc <- fmt.Errorf("worker %d: %w", w, err)
-				return
-			}
-			live = live[:0]
 			if tc, ok := heap.(alloc.ThreadCloser); ok && !shared {
 				if err := tc.Close(); err != nil {
 					errc <- fmt.Errorf("worker %d: %w", w, err)

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/baseline"
+	"repro/mesh"
+)
+
+// TestRunConcurrentProducerConsumer drives the ring hand-off shape: the
+// producers only allocate, the consumers only free, so every free crosses
+// threads — on the mesh allocator, the message-passing remote-free path.
+// The run must drain to zero live bytes (the harness's own invariant) and,
+// for mesh with per-worker threads, must actually have queued remote frees.
+func TestRunConcurrentProducerConsumer(t *testing.T) {
+	sizes := Choice{Sizes: []int{16, 64, 256}, Weights: []float64{3, 2, 1}}
+	for _, tc := range []struct {
+		name  string
+		batch int
+	}{
+		{"scalar", 1},
+		{"batch-16", 16},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ad := mesh.NewAdapter("mesh", mesh.WithSeed(3))
+			res, err := RunConcurrent(ad, func(int) alloc.Heap { return ad.Allocator.NewThread() },
+				ConcurrentConfig{
+					Workers:   4,
+					Producers: 2,
+					Ops:       4000,
+					Batch:     tc.batch,
+					MaxLive:   512,
+					Sizes:     sizes,
+					Seed:      11,
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FinalLive != 0 {
+				t.Fatalf("live = %d after producer–consumer run", res.FinalLive)
+			}
+			// Producers do >= 2*4000 mallocs; consumers free all of them.
+			if res.Ops < 2*2*4000 {
+				t.Fatalf("ops = %d, want >= %d", res.Ops, 2*2*4000)
+			}
+			st := ad.Stats()
+			if st.Remote.Queued == 0 {
+				t.Fatal("hand-off run queued no remote frees")
+			}
+			if st.Remote.Drained != st.Remote.Queued {
+				t.Fatalf("remote drained %d != queued %d at quiescence",
+					st.Remote.Drained, st.Remote.Queued)
+			}
+			if err := ad.Allocator.CheckIntegrity(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRunConcurrentProducerConsumerBaseline checks the shape works on an
+// allocator without batch or remote-queue support (scalar fallbacks).
+func TestRunConcurrentProducerConsumerBaseline(t *testing.T) {
+	a := baseline.NewJemalloc()
+	res, err := RunConcurrent(a, func(int) alloc.Heap { return a.NewThread() },
+		ConcurrentConfig{
+			Workers:   3,
+			Producers: 1,
+			Ops:       2000,
+			Batch:     1,
+			MaxLive:   256,
+			Sizes:     Fixed(64),
+			Seed:      5,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalLive != 0 {
+		t.Fatalf("live = %d", res.FinalLive)
+	}
+}
+
+// TestRunConcurrentProducerConsumerValidation pins the config contract.
+func TestRunConcurrentProducerConsumerValidation(t *testing.T) {
+	ad := mesh.NewAdapter("mesh", mesh.WithSeed(1))
+	for _, producers := range []int{-1, 2, 3} {
+		_, err := RunConcurrent(ad, func(int) alloc.Heap { return ad.Allocator },
+			ConcurrentConfig{Workers: 2, Producers: producers, Ops: 10, Sizes: Fixed(64)})
+		if err == nil {
+			t.Fatalf("Producers=%d with Workers=2 accepted", producers)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 //	mesh.min_savings  int (bytes)     rw        pass-productivity threshold that disarms the timer (§4.5)
 //	mesh.split_t      int             rw        SplitMesher probe budget (§3.3, paper t=64)
 //	mesh.compact      (ignored)       w         force a full meshing pass now
+//	remote.queue      bool            rw        message-passing remote frees on/off (off = always use the shard-locked path, restoring cross-thread double-free detection)
 //	os.memory_limit   int64 (bytes)   rw        resident-memory cap, 0 = unlimited (§1); rounded down to pages
 //	pool.idle         int             r         thread heaps parked in the pool
 //	pool.created      int             r         thread heaps ever created by the pool
@@ -38,6 +39,8 @@ import (
 //	stats.global.shard_acquires uint64 r        per-size-class shard-lock acquisitions, summed (contention proxy)
 //	stats.vm.translations uint64      r         lock-free data-path translations served (one per page run)
 //	stats.vm.retries  uint64          r         seqlock retries on the data path (health metric: ≈0 is healthy)
+//	stats.remote.queued uint64        r         frees message-passed to owner queues (no shard lock taken)
+//	stats.remote.drained uint64       r         queued frees settled by owners; equals queued at quiescence
 //
 // Integer-typed keys accept int, int32, int64 or uint64 on write;
 // mesh.period additionally accepts a time.ParseDuration string.
@@ -140,6 +143,23 @@ var controls = map[string]control{
 		// with the incremental engine (bounded pauses), like explicit Mesh
 		// calls.
 		set: func(a *Allocator, _ any) error { a.Mesh(); return nil },
+	},
+	"remote.queue": {
+		set: func(a *Allocator, v any) error {
+			b, ok := v.(bool)
+			if !ok {
+				return fmt.Errorf("%w: need bool, got %T", ErrControlType, v)
+			}
+			a.g.SetRemoteQueues(b)
+			return nil
+		},
+		get: func(a *Allocator) (any, error) { return a.g.RemoteQueuesEnabled(), nil },
+	},
+	"stats.remote.queued": {
+		get: func(a *Allocator) (any, error) { return a.g.RemoteQueued(), nil },
+	},
+	"stats.remote.drained": {
+		get: func(a *Allocator) (any, error) { return a.g.RemoteDrained(), nil },
 	},
 	"os.memory_limit": {
 		set: func(a *Allocator, v any) error {

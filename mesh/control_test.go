@@ -24,6 +24,7 @@ func TestControlKeyTable(t *testing.T) {
 		{key: "mesh.min_savings", set: 4096, want: 4096, readback: true},
 		{key: "mesh.split_t", set: 32, want: 32, readback: true},
 		{key: "mesh.compact", set: struct{}{}},
+		{key: "remote.queue", set: false, want: false, readback: true},
 		{key: "os.memory_limit", set: int64(1 << 20), want: int64(1 << 20), readback: true},
 		{key: "pool.idle", want: 0, readback: true},
 		{key: "pool.created", want: 0, readback: true},
@@ -43,6 +44,8 @@ func TestControlKeyTable(t *testing.T) {
 		{key: "stats.global.shard_acquires", want: uint64(0), readback: true},
 		{key: "stats.vm.translations", want: uint64(0), readback: true},
 		{key: "stats.vm.retries", want: uint64(0), readback: true},
+		{key: "stats.remote.queued", want: uint64(0), readback: true},
+		{key: "stats.remote.drained", want: uint64(0), readback: true},
 	}
 
 	covered := make(map[string]bool)
@@ -97,6 +100,7 @@ func TestControlBadTypes(t *testing.T) {
 		{"mesh.period", 3.5},
 		{"mesh.period", "not-a-duration"},
 		{"mesh.enabled", 1},
+		{"remote.queue", 1},
 		{"mesh.min_savings", "many"},
 		{"mesh.split_t", false},
 		{"mesh.split_t", 0}, // must be positive
@@ -177,9 +181,11 @@ func TestControlValuesTakeEffect(t *testing.T) {
 
 // TestContentionIntrospection drives traffic shapes with known lock
 // behaviour through the allocator and checks the contention counters move
-// accordingly: local frees bump only the lock-free lookup counter, while
-// remote (cross-thread) frees additionally acquire exactly one shard per
-// free, and batch frees one shard per class in the batch.
+// accordingly: local frees bump only the lock-free lookup counter; with
+// message-passing disabled, remote (cross-thread) frees acquire exactly
+// one shard per free and batch frees one shard per class; with it enabled
+// (the default), remote frees queue on the owner's heap and take no shard
+// lock at all beyond refill setup.
 func TestContentionIntrospection(t *testing.T) {
 	readU64 := func(t *testing.T, a *Allocator, key string) uint64 {
 		t.Helper()
@@ -190,11 +196,14 @@ func TestContentionIntrospection(t *testing.T) {
 		return v.(uint64)
 	}
 	cases := []struct {
-		name string
-		run  func(t *testing.T, a *Allocator)
+		name         string
+		remoteQueues bool
+		run          func(t *testing.T, a *Allocator)
 		// counter deltas: lookups must grow by at least minLookups, shard
-		// acquisitions by at least minShards and at most maxShards.
+		// acquisitions by at least minShards and at most maxShards, and
+		// queued message-passed frees by exactly wantQueued.
 		minLookups, minShards, maxShards uint64
+		wantQueued                       uint64
 	}{
 		{
 			name: "local-free-lookup-only",
@@ -232,12 +241,38 @@ func TestContentionIntrospection(t *testing.T) {
 					}
 				}
 			},
-			// Each remote free: one lock-free miss on the freeing thread,
-			// then one shard acquisition (plus a re-lookup) on the global
-			// path.
+			// Each remote free with remote.queue off: one lock-free miss
+			// on the freeing thread, then one shard acquisition (plus a
+			// re-lookup) on the global path.
 			minLookups: 16,
 			minShards:  8,
 			maxShards:  64,
+		},
+		{
+			name:         "remote-frees-queue-without-shards",
+			remoteQueues: true,
+			run: func(t *testing.T, a *Allocator) {
+				th := a.NewThread()
+				defer th.Close()
+				other := a.NewThread()
+				defer other.Close()
+				for i := 0; i < 8; i++ {
+					p, err := th.Malloc(64)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := other.Free(p); err != nil {
+						t.Fatal(err)
+					}
+				}
+			},
+			// Each remote free with remote.queue on: one lock-free miss,
+			// one CAS onto the owner's queue — the only shard acquisitions
+			// left are th's single refill (span alloc + registry).
+			minLookups: 8,
+			minShards:  1,
+			maxShards:  4,
+			wantQueued: 8,
 		},
 		{
 			name: "batch-free-one-shard-per-class",
@@ -258,18 +293,47 @@ func TestContentionIntrospection(t *testing.T) {
 					t.Fatal(err)
 				}
 			},
-			// Six remote frees in two classes: the batch partition takes
-			// each of the two shard locks once, not six times. Setup
-			// refills take a few more, so bound loosely from above but
-			// well under one-acquisition-per-free (6) plus setup.
+			// Six remote frees in two classes with remote.queue off: the
+			// batch partition takes each of the two shard locks once, not
+			// six times. Setup refills take a few more, so bound loosely
+			// from above but well under one-acquisition-per-free (6) plus
+			// setup.
 			minLookups: 12,
 			minShards:  2,
 			maxShards:  10,
 		},
+		{
+			name:         "batch-free-queues-without-shards",
+			remoteQueues: true,
+			run: func(t *testing.T, a *Allocator) {
+				th := a.NewThread()
+				defer th.Close()
+				other := a.NewThread()
+				defer other.Close()
+				var ptrs []Ptr
+				for _, size := range []int{16, 16, 16, 256, 256, 256} {
+					p, err := th.Malloc(size)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ptrs = append(ptrs, p)
+				}
+				if err := other.FreeBatch(ptrs); err != nil {
+					t.Fatal(err)
+				}
+			},
+			// The whole remote batch coalesces onto th's queue: the only
+			// shard acquisitions are th's two refills.
+			minLookups: 6,
+			minShards:  2,
+			maxShards:  8,
+			wantQueued: 6,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			a := New(WithSeed(1), WithClock(NewLogicalClock()), WithMeshing(false))
+			a := New(WithSeed(1), WithClock(NewLogicalClock()), WithMeshing(false),
+				WithRemoteQueues(tc.remoteQueues))
 			look0 := readU64(t, a, "stats.arena.lookups")
 			shard0 := readU64(t, a, "stats.global.shard_acquires")
 			tc.run(t, a)
@@ -281,6 +345,12 @@ func TestContentionIntrospection(t *testing.T) {
 			if dShard < tc.minShards || dShard > tc.maxShards {
 				t.Errorf("shard acquisitions grew %d, want in [%d, %d]",
 					dShard, tc.minShards, tc.maxShards)
+			}
+			if got := readU64(t, a, "stats.remote.queued"); got != tc.wantQueued {
+				t.Errorf("stats.remote.queued = %d, want %d", got, tc.wantQueued)
+			}
+			if drained := readU64(t, a, "stats.remote.drained"); drained != tc.wantQueued {
+				t.Errorf("stats.remote.drained = %d, want %d (all heaps closed)", drained, tc.wantQueued)
 			}
 		})
 	}

@@ -22,10 +22,18 @@
 // malloc replacement the paper describes (§4), any goroutine may call any
 // method at any time with no external synchronization. Internally each
 // call borrows a thread-local heap (§4.3) from a lock-free pool for its
-// duration, so concurrent Mallocs proceed in parallel on distinct heaps,
-// and frees of objects owned by other heaps take the global-heap path
-// exactly as cross-thread frees do in the paper (§4.4.4). Stats, RSS,
-// ClassStats and the Control surface are likewise safe under concurrency.
+// duration, so concurrent Mallocs proceed in parallel on distinct heaps.
+// Frees of objects owned by other heaps are message-passed: posted to the
+// owning heap's lock-free remote-free queue (two atomic loads and a CAS,
+// no lock) and recycled by the owner at its next drain point — the malloc
+// slow path, thread exit, or pool park/unpark. Only frees of detached
+// spans and large objects take the shard-locked global-heap path
+// (§4.4.4). The message-passing path can be disabled at runtime with
+// Control("remote.queue", false), which restores the fully locked remote
+// path and, with it, reliable double-free detection on cross-thread frees
+// — the queued path extends the paper's trust-the-caller fast-path
+// semantics (§4.1) to remote frees. Stats, RSS, ClassStats and the
+// Control surface are likewise safe under concurrency.
 //
 // Basic usage:
 //
@@ -114,6 +122,10 @@ type Stats = core.HeapStats
 
 // MeshStats aggregates compaction activity.
 type MeshStats = core.MeshStats
+
+// RemoteStats counts message-passing remote frees; read it from
+// Stats().Remote or the stats.remote.* controls.
+type RemoteStats = core.RemoteStats
 
 // PauseHistogram is the distribution of meshing pauses — every interval
 // the engine held the allocator's global lock. Read it from
@@ -209,6 +221,16 @@ func WithMaxMeshPause(d time.Duration) Option {
 // allocators leave it unset.
 func WithMeshStepCost(d time.Duration) Option {
 	return func(c *core.Config) { c.MeshStepCost = d }
+}
+
+// WithRemoteQueues enables or disables message-passing remote frees
+// (default enabled): cross-thread frees of objects on spans attached to a
+// live heap are posted to that heap's lock-free queue instead of taking
+// the owning size class's shard lock. Disabling restores the fully
+// shard-locked remote path — and with it, reliable double-free detection
+// on cross-thread frees. Runtime-togglable via Control("remote.queue", b).
+func WithRemoteQueues(enabled bool) Option {
+	return func(c *core.Config) { c.RemoteQueues = enabled }
 }
 
 // Allocator is a Mesh heap, safe for concurrent use by any number of

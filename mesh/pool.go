@@ -56,7 +56,10 @@ func newHeapPool(g *core.GlobalHeap, nextID *atomic.Uint64) *heapPool {
 }
 
 // acquire returns an idle heap, creating one if the pool is empty. The
-// caller owns the heap until it calls release.
+// caller owns the heap until it calls release. Unparking drains the
+// heap's remote-free queue: message-passed frees that accumulated while
+// it sat idle go back onto its shuffle vectors before the borrower's
+// first allocation (the unpark drain point of the remote-free protocol).
 func (p *heapPool) acquire() *core.ThreadHeap {
 	for i := range p.slots {
 		if p.slots[i].Load() == nil {
@@ -64,6 +67,7 @@ func (p *heapPool) acquire() *core.ThreadHeap {
 		}
 		if th := p.slots[i].Swap(nil); th != nil {
 			p.idle.Add(-1)
+			th.DrainRemoteFrees()
 			return th
 		}
 	}
@@ -75,13 +79,21 @@ func (p *heapPool) acquire() *core.ThreadHeap {
 		}
 		if p.head.CompareAndSwap(n, n.next) {
 			p.idle.Add(-1)
+			n.th.DrainRemoteFrees()
 			return n.th
 		}
 	}
 }
 
 // release parks a heap for reuse, publishing every write the owner made.
+// Parking drains the remote-free queue first (the park drain point):
+// frees posted during the borrow are settled while we still own the heap,
+// so a heap never parks carrying work another borrower already paid for.
+// Pushes that land between the drain and the park simply wait for the
+// next acquire's drain — the queue stays open while parked, because the
+// heap's attached spans remain attached (and thus never meshed).
 func (p *heapPool) release(th *core.ThreadHeap) {
+	th.DrainRemoteFrees()
 	for i := range p.slots {
 		if p.slots[i].Load() != nil {
 			continue
