@@ -36,4 +36,16 @@
 // the paper's evaluation plus hot-path microbenchmarks of the public
 // API. See README.md for the architecture map and how to run the
 // evaluation at full scale.
+//
+// The concurrency invariants above are machine-checked by meshvet
+// (internal/analysis, run with `go run ./cmd/meshvet ./...`): the lock
+// hierarchy is verified against the spec mirrored from the global.go
+// comment, no field may mix sync/atomic and plain access, and functions
+// whose doc comment carries a //mesh:lockfree directive — the declared
+// fast paths: shuffle-vector Malloc/Free, the remote-free push, the
+// page-map Lookup, the VM data path — are proven allocation-free,
+// lock-free, and non-blocking, transitively through every static
+// callee. Deliberate exceptions are annotated in place
+// (//mesh:slowpath, //mesh:lockorder-ok, //mesh:nonatomic); CI runs the
+// suite as the meshvet job.
 package repro

@@ -1,0 +1,168 @@
+// Package analysistest runs an analyzer over golden-file fixture
+// packages and checks its diagnostics against // want comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdata>/src/<pkg>/ and are loaded with
+// load.LoadDir (standard-library imports only). A line expecting a
+// diagnostic carries a trailing comment of the form
+//
+//	x.mu.Lock() // want `regexp`
+//
+// with one Go string literal (backquoted or double-quoted) per expected
+// diagnostic on that line. Diagnostics with no matching want, and wants
+// with no matching diagnostic, both fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// TestData returns the test's testdata directory.
+func TestData() string {
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return abs
+}
+
+type expectation struct {
+	file    string // base name
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	claimed bool
+}
+
+// Run loads each fixture package and checks the analyzer's diagnostics
+// against the package's // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(pkg))
+		mod, pi, err := load.LoadDir(dir, pkg)
+		if err != nil {
+			t.Errorf("%s: %v", pkg, err)
+			continue
+		}
+		diags, err := analysis.Run([]*analysis.Analyzer{a}, []*analysis.PackageInfo{pi}, mod)
+		if err != nil {
+			t.Errorf("%s: %v", pkg, err)
+			continue
+		}
+		expects, err := collectExpectations(mod, pi)
+		if err != nil {
+			t.Errorf("%s: %v", pkg, err)
+			continue
+		}
+		for _, d := range diags {
+			posn := mod.Fset.Position(d.Pos)
+			if !claim(expects, filepath.Base(posn.Filename), posn.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic at %s:%d: %s",
+					pkg, filepath.Base(posn.Filename), posn.Line, d.Message)
+			}
+		}
+		for _, e := range expects {
+			if !e.claimed {
+				t.Errorf("%s: no diagnostic at %s:%d matching %q", pkg, e.file, e.line, e.raw)
+			}
+		}
+	}
+}
+
+func claim(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if !e.claimed && e.file == file && e.line == line && e.re.MatchString(msg) {
+			e.claimed = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+func collectExpectations(mod *analysis.Module, pi *analysis.PackageInfo) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pi.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := mod.Fset.Position(c.Pos())
+				patterns, err := parseWantPatterns(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %w", filepath.Base(posn.Filename), posn.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %w",
+							filepath.Base(posn.Filename), posn.Line, p, err)
+					}
+					out = append(out, &expectation{
+						file: filepath.Base(posn.Filename),
+						line: posn.Line,
+						re:   re,
+						raw:  p,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseWantPatterns reads a sequence of Go string literals.
+func parseWantPatterns(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		var lit string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquoted want pattern")
+			}
+			lit = s[:end+2]
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quoted want pattern")
+			}
+			lit = s[:end+1]
+		default:
+			return nil, fmt.Errorf("want patterns must be Go string literals, got %q", s)
+		}
+		p, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want literal %s: %w", lit, err)
+		}
+		out = append(out, p)
+		s = s[len(lit):]
+	}
+}

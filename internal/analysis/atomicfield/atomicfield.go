@@ -1,0 +1,252 @@
+// Package atomicfield flags struct fields that are accessed both through
+// sync/atomic and through plain loads or stores in the same package —
+// the mixed-access bug class that silently breaks the VM's seqlock and
+// the remote-free queue's publication protocol (one careless plain write
+// to a generation counter and the whole retry protocol is fiction).
+//
+// Two rules:
+//
+//   - A field whose address is passed to a function-style sync/atomic
+//     call (atomic.LoadUint64(&x.f), atomic.CompareAndSwapPointer(&x.f,
+//     ...)) must not also be read, written, or address-escaped plainly
+//     anywhere in the package. Each plain access is reported, citing one
+//     of the atomic sites.
+//
+//   - A field of a typed-atomic type (sync/atomic.Uint64, atomic.Pointer,
+//     atomic.Value, ...) must only be used as a method receiver or have
+//     its address taken; using it as a plain value (copying it) tears the
+//     atomic and defeats the type's protection, and is reported directly.
+//
+// Intentional exceptions — none exist in the tree today — are silenced
+// with a "//mesh:nonatomic" comment on the offending line.
+package atomicfield
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// Marker silences a finding on its line.
+const Marker = "mesh:nonatomic"
+
+// Analyzer is the atomicfield pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "flag struct fields accessed both atomically and with plain loads/stores",
+	Run:  run,
+}
+
+type plainUse struct {
+	pos  token.Pos
+	kind string // "read", "write", "address escape"
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+
+	// First pass: find every &x.f argument of a function-style
+	// sync/atomic call. Those selector nodes are the atomic accesses; any
+	// other touch of the same field is plain.
+	atomicSites := map[*types.Var][]token.Pos{}
+	atomicArgs := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // typed-atomic method: the good pattern
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldOf(info, sel); fv != nil {
+					atomicSites[fv] = append(atomicSites[fv], sel.Pos())
+					atomicArgs[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Second pass: classify every other field selector.
+	plainUses := map[*types.Var][]plainUse{}
+	fieldDisplay := map[*types.Var]string{}
+	supp := analysis.NewSuppressor(pass.Fset, pass.Pkg.Files, Marker)
+	for _, f := range pass.Pkg.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicArgs[sel] {
+				return true
+			}
+			fv := fieldOf(info, sel)
+			if fv == nil || fv.Pkg() != pass.Pkg.Pkg {
+				return true
+			}
+			if _, ok := fieldDisplay[fv]; !ok {
+				fieldDisplay[fv] = displayName(info, sel, fv)
+			}
+			parent := parentOf(stack)
+			if atomicTypeName(fv.Type()) != "" {
+				// Typed-atomic field: fine as a method receiver or with
+				// its address shared; anything else copies the value.
+				switch p := parent.(type) {
+				case *ast.SelectorExpr:
+					if p.X == sel {
+						return true // x.f.Load()
+					}
+				case *ast.UnaryExpr:
+					if p.Op == token.AND {
+						return true // &x.f handed to something atomic-aware
+					}
+				}
+				if !supp.Suppressed(pass.Fset, sel.Pos()) {
+					pass.Reportf(sel.Pos(),
+						"field %s has atomic type %s but is used as a plain value here; atomics must not be copied — call its methods instead",
+						fieldDisplay[fv], atomicTypeName(fv.Type()))
+				}
+				return true
+			}
+			plainUses[fv] = append(plainUses[fv], plainUse{sel.Pos(), plainKind(stack, sel)})
+			return true
+		})
+	}
+
+	// Report plain uses of fields that also have atomic sites.
+	var fields []*types.Var
+	for fv := range atomicSites {
+		if len(plainUses[fv]) > 0 {
+			fields = append(fields, fv)
+		}
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+	for _, fv := range fields {
+		atom := pass.Fset.Position(atomicSites[fv][0])
+		cite := fmt.Sprintf("%s:%d", filepath.Base(atom.Filename), atom.Line)
+		name := fieldDisplay[fv]
+		if name == "" {
+			name = fv.Name()
+		}
+		for _, u := range plainUses[fv] {
+			if supp.Suppressed(pass.Fset, u.pos) {
+				continue
+			}
+			pass.Reportf(u.pos,
+				"plain %s of field %s, which is accessed with sync/atomic (e.g. at %s); every access to an atomic field must go through sync/atomic",
+				u.kind, name, cite)
+		}
+	}
+	return nil
+}
+
+// fieldOf returns the struct field a selector denotes, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := selection.Obj().(*types.Var)
+	if v == nil || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// displayName renders Owner.field for diagnostics.
+func displayName(info *types.Info, sel *ast.SelectorExpr, fv *types.Var) string {
+	t := info.Selections[sel].Recv()
+	for {
+		if p, ok := types.Unalias(t).(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		return named.Obj().Name() + "." + fv.Name()
+	}
+	return fv.Name()
+}
+
+// atomicTypeName reports the sync/atomic type name of t ("atomic.Uint64")
+// or "" if t is not a typed atomic.
+func atomicTypeName(t types.Type) string {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	return "atomic." + obj.Name()
+}
+
+// plainKind classifies a plain access by its syntactic parent.
+func plainKind(stack []ast.Node, sel *ast.SelectorExpr) string {
+	parent := parentOf(stack)
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == sel {
+				return "write"
+			}
+		}
+	case *ast.IncDecStmt:
+		return "write"
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return "address escape"
+		}
+	}
+	return "read"
+}
+
+func parentOf(stack []ast.Node) ast.Node {
+	// stack[len-1] is the node itself; walk outward past parens.
+	for i := len(stack) - 2; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// calleeFunc resolves a call to its static *types.Func, or nil.
+func calleeFunc(info *types.Info, c *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(c.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

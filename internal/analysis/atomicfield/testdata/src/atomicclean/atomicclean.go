@@ -1,0 +1,45 @@
+// Package atomicclean is the atomicfield negative fixture: typed
+// atomics used through methods, function-style atomics used
+// consistently, and plain fields that stay plain.
+package atomicclean
+
+import "sync/atomic"
+
+type node struct{ next *node }
+
+type queue struct {
+	head    atomic.Pointer[node]
+	pending atomic.Int64
+}
+
+func (q *queue) push(n *node) {
+	for {
+		old := q.head.Load()
+		n.next = old
+		if q.head.CompareAndSwap(old, n) {
+			q.pending.Add(1)
+			return
+		}
+	}
+}
+
+func (q *queue) drain() int {
+	var n int
+	for s := q.head.Swap(nil); s != nil; s = s.next {
+		n++
+	}
+	q.pending.Store(0)
+	return n
+}
+
+// stats uses function-style atomics for every access of n.
+type stats struct{ n uint64 }
+
+func (s *stats) inc()        { atomic.AddUint64(&s.n, 1) }
+func (s *stats) get() uint64 { return atomic.LoadUint64(&s.n) }
+
+// plainBox never touches sync/atomic; plain accesses are fine.
+type plainBox struct{ v int }
+
+func (b *plainBox) set(v int) { b.v = v }
+func (b *plainBox) get() int  { return b.v }

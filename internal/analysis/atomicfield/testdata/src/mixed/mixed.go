@@ -1,0 +1,54 @@
+// Package mixed is the atomicfield positive fixture: the seqlock's
+// generation counter is accessed both through sync/atomic and plainly.
+package mixed
+
+import "sync/atomic"
+
+type seqlock struct {
+	gen  uint64
+	data uint64 // plain-only on purpose: must NOT be reported
+}
+
+func (s *seqlock) bump() {
+	atomic.AddUint64(&s.gen, 1)
+	s.data++
+}
+
+func (s *seqlock) load() uint64 {
+	return atomic.LoadUint64(&s.gen)
+}
+
+func (s *seqlock) torn() uint64 {
+	g := s.gen // want `plain read of field seqlock\.gen, which is accessed with sync/atomic`
+	return g + s.data
+}
+
+func (s *seqlock) reset() {
+	s.gen = 0 // want `plain write of field seqlock\.gen, which is accessed with sync/atomic`
+}
+
+func (s *seqlock) leak() *uint64 {
+	return &s.gen // want `plain address escape of field seqlock\.gen, which is accessed with sync/atomic`
+}
+
+// construct is the sanctioned exception pattern: the marker documents a
+// not-yet-published store.
+func construct() *seqlock {
+	s := &seqlock{}
+	s.gen = 1 //mesh:nonatomic — not yet shared
+	return s
+}
+
+// counter shows the typed-atomic variant of the same bug: copying the
+// atomic value instead of calling its methods.
+type counter struct {
+	hits atomic.Uint64
+}
+
+func (c *counter) snapshot() atomic.Uint64 {
+	return c.hits // want `field counter\.hits has atomic type atomic\.Uint64 but is used as a plain value`
+}
+
+func (c *counter) ok() uint64 {
+	return c.hits.Load()
+}

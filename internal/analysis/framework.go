@@ -1,0 +1,232 @@
+// Package analysis is the home of meshvet, the allocator's custom static
+// analysis suite. It provides a small, self-contained analysis framework
+// modeled on golang.org/x/tools/go/analysis — the subset the meshvet
+// passes need — built entirely on the standard library's go/ast,
+// go/parser, and go/types so the repository keeps its zero-dependency
+// policy (and so the checker builds in hermetic environments with no
+// module proxy).
+//
+// Three passes live in subpackages and are wired together by
+// cmd/meshvet:
+//
+//   - lockorder enforces the lock hierarchy documented on
+//     core.GlobalHeap ("Lock hierarchy" in internal/core/global.go) from
+//     the machine-readable spec in lockspec.go. It walks every function
+//     body tracking the set of hierarchy locks held, propagates lock
+//     effects across module-local calls to a fixpoint, and reports any
+//     acquisition that does not strictly descend the hierarchy, plus any
+//     call to a drain/mesh entry point made while a hierarchy lock is
+//     held. Deliberate exceptions carry a //mesh:lockorder-ok line
+//     comment.
+//
+//   - atomicfield reports struct fields accessed both through sync/atomic
+//     calls (atomic.LoadUint64(&x.f), ...) and through plain loads or
+//     stores in the same package — the mixed-access bug class that breaks
+//     the seqlock and remote-free publication protocols. Fields that are
+//     intentionally mixed carry a //mesh:nonatomic line comment.
+//
+//   - nolockfast enforces //mesh:lockfree annotations: an annotated
+//     function (a documented fast path) must not allocate, acquire a
+//     mutex, block, or touch a map, and may call only other annotated
+//     functions, sync/atomic, math/bits, runtime.Gosched, and
+//     non-allocating builtins. Statements that are deliberate fast-path
+//     exits (error construction, fault hooks, slow-path refills) carry a
+//     //mesh:slowpath line comment.
+//
+// See the package-level docs of each subpackage for the precise rules,
+// and README.md ("Static analysis") for how to run the suite.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// PackageInfo bundles everything a pass needs to know about one
+// type-checked package: its syntax trees, its types.Package, and the
+// types.Info side tables filled in during checking.
+type PackageInfo struct {
+	PkgPath string // import path, e.g. "repro/internal/core"
+	Dir     string // directory the sources were read from
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// Module is the unit meshvet analyzes: every loaded package of the main
+// module, indexed by import path, sharing one token.FileSet. Passes that
+// need cross-package context (lockorder's call-graph effects, nolockfast's
+// annotation index) reach sibling packages through it.
+type Module struct {
+	Path string // module path from go.mod, e.g. "repro"
+	Dir  string // module root directory
+	Fset *token.FileSet
+
+	packages map[string]*PackageInfo
+}
+
+// NewModule creates an empty module; the loader populates it.
+func NewModule(path, dir string, fset *token.FileSet) *Module {
+	return &Module{Path: path, Dir: dir, Fset: fset, packages: map[string]*PackageInfo{}}
+}
+
+// AddPackage registers a loaded package.
+func (m *Module) AddPackage(pi *PackageInfo) { m.packages[pi.PkgPath] = pi }
+
+// Package returns the loaded package with the given import path, or nil.
+func (m *Module) Package(path string) *PackageInfo { return m.packages[path] }
+
+// Packages returns every loaded package sorted by import path.
+func (m *Module) Packages() []*PackageInfo {
+	out := make([]*PackageInfo, 0, len(m.packages))
+	for _, pi := range m.packages {
+		out = append(out, pi)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out
+}
+
+// Analyzer describes one pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package plus the surrounding
+// module, and collects diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Module   *Module
+	Pkg      *PackageInfo
+	Fset     *token.FileSet
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Run executes each analyzer over each package and returns every
+// diagnostic, deduplicated and sorted by position. Suppression markers
+// (//mesh:lockorder-ok, //mesh:nonatomic, //mesh:slowpath) have already
+// been honored by the passes themselves; Run does not filter.
+func Run(analyzers []*Analyzer, pkgs []*PackageInfo, mod *Module) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pi := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Module: mod, Pkg: pi, Fset: mod.Fset}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pi.PkgPath, err)
+			}
+			all = append(all, pass.diags...)
+		}
+	}
+	// Deduplicate: branch re-walking (loop bodies are traversed twice to
+	// model cross-iteration state) can record the same finding twice.
+	seen := map[string]bool{}
+	out := all[:0]
+	for _, d := range all {
+		key := fmt.Sprintf("%v|%s|%s", d.Pos, d.Analyzer, d.Message)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, d)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := mod.Fset.Position(out[i].Pos), mod.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out, nil
+}
+
+// Suppressor answers whether a source line is covered by a given marker
+// comment (for example "//mesh:slowpath"). A marker suppresses findings
+// on its own line and, when it is the only content of its line, on the
+// line directly below — so both trailing markers and markers-on-their-
+// own-line read naturally.
+type Suppressor struct {
+	lines map[string]map[int]bool
+}
+
+// NewSuppressor scans the package's comments for the marker.
+func NewSuppressor(fset *token.FileSet, files []*ast.File, marker string) *Suppressor {
+	s := &Suppressor{lines: map[string]map[int]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !isMarkerComment(c, marker) {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				m := s.lines[posn.Filename]
+				if m == nil {
+					m = map[int]bool{}
+					s.lines[posn.Filename] = m
+				}
+				m[posn.Line] = true
+				m[posn.Line+1] = true
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a finding at pos is covered by the marker.
+func (s *Suppressor) Suppressed(fset *token.FileSet, pos token.Pos) bool {
+	posn := fset.Position(pos)
+	return s.lines[posn.Filename][posn.Line]
+}
+
+// FuncDoc returns the doc comment text of a function or interface-method
+// declaration, or "".
+func FuncDoc(decl *ast.FuncDecl) string {
+	if decl == nil || decl.Doc == nil {
+		return ""
+	}
+	return decl.Doc.Text()
+}
+
+// HasMarker reports whether a comment group contains the given //mesh:
+// marker as a directive line. Like Go directives, a marker only counts
+// when the comment line starts with it ("//mesh:lockfree"); mentioning a
+// marker mid-prose does not trigger it.
+func HasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if isMarkerComment(c, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func isMarkerComment(c *ast.Comment, marker string) bool {
+	return strings.HasPrefix(c.Text, "//"+marker)
+}

@@ -1,0 +1,278 @@
+// Package load type-checks the module's packages from source so the
+// meshvet passes can analyze them. It is the framework's replacement for
+// golang.org/x/tools/go/packages, built only on the standard library:
+// module-local import paths are resolved by walking the module tree and
+// type-checking recursively, and standard-library imports are resolved by
+// the go/importer source importer (which reads GOROOT/src and therefore
+// works with no network, no module cache, and no compiled export data).
+//
+// Test files (_test.go) are not loaded: meshvet gates production code.
+package load
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Load resolves patterns (relative to dir) against the enclosing module,
+// type-checks every matched package plus all module-local dependencies,
+// and returns the module and the pattern-matched packages in import-path
+// order. Supported patterns are Go-tool style directory patterns:
+// "./...", "./internal/core", "./x/...".
+func Load(dir string, patterns ...string) (*analysis.Module, []*analysis.PackageInfo, error) {
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	modRoot, modPath, err := findModule(absDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := newLoader(modRoot, modPath)
+	paths, err := l.expand(absDir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	var matched []*analysis.PackageInfo
+	for _, p := range paths {
+		pi, err := l.loadPackage(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		matched = append(matched, pi)
+	}
+	return l.mod, matched, nil
+}
+
+// LoadDir type-checks a single directory as one package with the given
+// import path, outside any module. Imports resolve to the standard
+// library, or to subdirectories of dir when they start with importPath
+// followed by "/". This is how analysistest loads fixture packages.
+func LoadDir(dir, importPath string) (*analysis.Module, *analysis.PackageInfo, error) {
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := newLoader(absDir, importPath)
+	pi, err := l.loadPackage(importPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l.mod, pi, nil
+}
+
+type loader struct {
+	fset    *token.FileSet
+	mod     *analysis.Module
+	std     types.ImporterFrom
+	loading map[string]bool
+}
+
+func newLoader(modRoot, modPath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		mod:     analysis.NewModule(modPath, modRoot, fset),
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		loading: map[string]bool{},
+	}
+}
+
+// findModule walks upward from dir to the enclosing go.mod and returns
+// the module root and module path.
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; {
+		gomod := filepath.Join(d, "go.mod")
+		if data, err := os.ReadFile(gomod); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("load: %s has no module directive", gomod)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("load: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// expand turns directory patterns into module import paths.
+func (l *loader) expand(base string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(dir string) error {
+		p, err := l.dirImportPath(dir)
+		if err != nil {
+			return err
+		}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." {
+			pat, recursive = ".", true
+		} else if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			pat, recursive = rest, true
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(base, dir)
+		}
+		if !recursive {
+			if !hasGoFiles(dir) {
+				return nil, fmt.Errorf("load: no Go files in %s", dir)
+			}
+			if err := add(dir); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				return add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// hasGoFiles reports whether dir contains at least one buildable non-test
+// Go file.
+func hasGoFiles(dir string) bool {
+	bp, err := build.Default.ImportDir(dir, 0)
+	return err == nil && len(bp.GoFiles) > 0
+}
+
+// dirImportPath maps a directory inside the module to its import path.
+func (l *loader) dirImportPath(dir string) (string, error) {
+	rel, err := filepath.Rel(l.mod.Dir, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("load: %s is outside module %s", dir, l.mod.Dir)
+	}
+	if rel == "." {
+		return l.mod.Path, nil
+	}
+	return l.mod.Path + "/" + filepath.ToSlash(rel), nil
+}
+
+// importPathDir is the inverse of dirImportPath.
+func (l *loader) importPathDir(path string) string {
+	if path == l.mod.Path {
+		return l.mod.Dir
+	}
+	return filepath.Join(l.mod.Dir, filepath.FromSlash(strings.TrimPrefix(path, l.mod.Path+"/")))
+}
+
+// loadPackage parses and type-checks one module-local package (and,
+// recursively, its module-local imports), memoizing the result.
+func (l *loader) loadPackage(importPath string) (*analysis.PackageInfo, error) {
+	if pi := l.mod.Package(importPath); pi != nil {
+		return pi, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("load: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	dir := l.importPathDir(importPath)
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", importPath, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: (*moduleImporter)(l),
+		Sizes:    types.SizesFor(build.Default.Compiler, build.Default.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, err := conf.Check(importPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("load: type errors in %s: %w", importPath, errors.Join(typeErrs...))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", importPath, err)
+	}
+	pi := &analysis.PackageInfo{
+		PkgPath: importPath,
+		Dir:     dir,
+		Files:   files,
+		Pkg:     pkg,
+		Info:    info,
+	}
+	l.mod.AddPackage(pi)
+	return pi, nil
+}
+
+// moduleImporter routes module-local imports back through the loader and
+// everything else to the source importer.
+type moduleImporter loader
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	l := (*loader)(m)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.mod.Path || strings.HasPrefix(path, l.mod.Path+"/") {
+		pi, err := l.loadPackage(path)
+		if err != nil {
+			return nil, err
+		}
+		return pi.Pkg, nil
+	}
+	return l.std.ImportFrom(path, srcDir, 0)
+}

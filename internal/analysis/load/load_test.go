@@ -1,0 +1,62 @@
+package load_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/load"
+)
+
+// TestLoadModule loads the enclosing module the way cmd/meshvet does and
+// checks the essentials: patterns resolve, module-local imports land in
+// the module table, and the type information passes rely on is present.
+func TestLoadModule(t *testing.T) {
+	mod, pkgs, err := load.Load("../../..", "./internal/core", "./internal/vm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Path != "repro" {
+		t.Fatalf("module path = %q, want repro", mod.Path)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("matched %d packages, want 2", len(pkgs))
+	}
+	core := mod.Package("repro/internal/core")
+	if core == nil {
+		t.Fatal("repro/internal/core not loaded")
+	}
+	// core imports miniheap; the dependency must be in the module table
+	// with its own syntax, or cross-package annotation lookup breaks.
+	mh := mod.Package("repro/internal/miniheap")
+	if mh == nil || len(mh.Files) == 0 {
+		t.Fatal("dependency repro/internal/miniheap not retained with syntax")
+	}
+	if core.Pkg.Scope().Lookup("GlobalHeap") == nil {
+		t.Fatal("core.GlobalHeap not in package scope")
+	}
+	if len(core.Info.Selections) == 0 {
+		t.Fatal("types.Info.Selections not populated")
+	}
+}
+
+// TestLoadPatternRecursive checks ./... expansion skips testdata.
+func TestLoadPatternRecursive(t *testing.T) {
+	mod, pkgs, err := load.Load("../../..", "./internal/analysis/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		t.Log(p.PkgPath)
+	}
+	if mod.Package("repro/internal/analysis") == nil {
+		t.Fatal("repro/internal/analysis not matched")
+	}
+	for _, p := range pkgs {
+		if p.PkgPath != "repro/internal/analysis" && p.PkgPath != "repro/internal/analysis/load" &&
+			p.PkgPath != "repro/internal/analysis/analysistest" &&
+			p.PkgPath != "repro/internal/analysis/lockorder" &&
+			p.PkgPath != "repro/internal/analysis/atomicfield" &&
+			p.PkgPath != "repro/internal/analysis/nolockfast" {
+			t.Errorf("unexpected package matched (testdata leak?): %s", p.PkgPath)
+		}
+	}
+}

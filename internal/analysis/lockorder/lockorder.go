@@ -1,0 +1,585 @@
+// Package lockorder checks every mutex acquisition in the module against
+// the allocator's documented lock hierarchy (the machine-readable
+// analysis.LockSpec mirroring the "Lock hierarchy" comment in
+// internal/core/global.go).
+//
+// The pass walks each function body lexically, tracking the set of
+// hierarchy locks held along every control-flow path (branches are
+// union-merged; loop bodies are walked twice so a lock still held at the
+// bottom of an iteration is seen by the acquisitions at the top). It
+// reports:
+//
+//   - any acquisition whose rank is not strictly greater (more inner)
+//     than every rank already held — including a second acquisition at
+//     the same level, which covers both self-deadlock and the forbidden
+//     leaf-within-leaf (arena/vm) nesting;
+//   - any call that may transitively acquire a rank at or outside one
+//     already held: per-function lock effects are summarized for every
+//     module package and propagated through module-local calls;
+//   - any call to a spec-listed drain/mesh entry point
+//     (LockSpec.NoLockHeld) made while any hierarchy lock is held.
+//
+// Wrapper methods listed in LockSpec.Acquirers (classState.lock/unlock)
+// count as acquisitions/releases of the underlying lock at the call
+// site. Locks outside the spec (meshd's daemon mutex, test scaffolding)
+// are ignored. Function literals are analyzed as their own contexts with
+// an empty held set (the fault hook, pool flush callbacks); `go`
+// statements likewise start empty, and a spawned callee's effects are
+// not charged to the spawner. Dynamic calls through interfaces or
+// function values are not tracked.
+//
+// A deliberate exception — today only CheckIntegrity's ascending
+// all-shards sweep — is silenced by a "//mesh:lockorder-ok" comment on
+// the acquisition's line.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"slices"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Marker silences a finding on its line.
+const Marker = "mesh:lockorder-ok"
+
+// New returns a lockorder analyzer enforcing spec. Production callers
+// pass analysis.Default(); tests pass fixture-local specs.
+func New(spec *analysis.LockSpec) *analysis.Analyzer {
+	states := map[*analysis.Module]*modState{}
+	return &analysis.Analyzer{
+		Name: "lockorder",
+		Doc:  "check mutex acquisitions against the documented lock hierarchy",
+		Run: func(pass *analysis.Pass) error {
+			st := states[pass.Module]
+			if st == nil {
+				st = newModState(spec, pass.Module)
+				states[pass.Module] = st
+			}
+			report(pass, st)
+			return nil
+		},
+	}
+}
+
+// heldLock is one hierarchy lock on the abstract "currently held" set.
+type heldLock struct {
+	lock analysis.LockID
+	pos  token.Pos
+}
+
+// acqEvent is a direct acquisition with a snapshot of what was held.
+type acqEvent struct {
+	lock analysis.LockID
+	pos  token.Pos
+	held []heldLock
+}
+
+// callEvent is a resolved static call with a snapshot of what was held.
+// spawned marks `go` statements: the callee runs without the caller's
+// locks and its effects are not the caller's.
+type callEvent struct {
+	callee  *types.Func
+	pos     token.Pos
+	held    []heldLock
+	spawned bool
+}
+
+// funcSummary is the per-function analysis result. fn is nil for
+// function literals.
+type funcSummary struct {
+	fn       *types.Func
+	name     string
+	acquires []acqEvent
+	calls    []callEvent
+}
+
+// modState caches summaries and lock effects across the packages of one
+// module so cross-package propagation happens once.
+type modState struct {
+	spec    *analysis.LockSpec
+	mod     *analysis.Module
+	byPkg   map[string][]*funcSummary
+	byFunc  map[*types.Func]*funcSummary
+	eff     map[*types.Func]map[string]analysis.LockRank
+	onStack map[*types.Func]bool
+}
+
+func newModState(spec *analysis.LockSpec, mod *analysis.Module) *modState {
+	return &modState{
+		spec:    spec,
+		mod:     mod,
+		byPkg:   map[string][]*funcSummary{},
+		byFunc:  map[*types.Func]*funcSummary{},
+		eff:     map[*types.Func]map[string]analysis.LockRank{},
+		onStack: map[*types.Func]bool{},
+	}
+}
+
+// packageSummaries builds (once) the summaries for every function and
+// function literal of a package.
+func (st *modState) packageSummaries(pi *analysis.PackageInfo) []*funcSummary {
+	if s, ok := st.byPkg[pi.PkgPath]; ok {
+		return s
+	}
+	st.byPkg[pi.PkgPath] = nil // cycle guard for mutually importing walks
+	var sums []*funcSummary
+	for _, f := range pi.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pi.Info.Defs[fd.Name].(*types.Func)
+			name := fd.Name.Name
+			if fn != nil {
+				name = fn.FullName()
+			}
+			sum := &funcSummary{fn: fn, name: name}
+			w := &walker{st: st, info: pi.Info, sum: sum}
+			w.stmts(fd.Body.List, nil)
+			sums = append(sums, sum)
+			if fn != nil {
+				st.byFunc[fn] = sum
+			}
+			// Function literals get their own contexts, starting with
+			// nothing held; nested literals queue more work.
+			for len(w.lits) > 0 {
+				lit := w.lits[0]
+				w.lits = w.lits[1:]
+				litSum := &funcSummary{name: "function literal in " + name}
+				lw := &walker{st: st, info: pi.Info, sum: litSum, lits: w.lits}
+				lw.stmts(lit.Body.List, nil)
+				w.lits = lw.lits
+				sums = append(sums, litSum)
+			}
+		}
+	}
+	st.byPkg[pi.PkgPath] = sums
+	return sums
+}
+
+// summaryFor resolves a callee to its summary, loading its package's
+// summaries on demand; nil for anything outside the module (stdlib,
+// interface methods, externals).
+func (st *modState) summaryFor(fn *types.Func) *funcSummary {
+	if s, ok := st.byFunc[fn]; ok {
+		return s
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	pi := st.mod.Package(pkg.Path())
+	if pi == nil {
+		return nil
+	}
+	st.packageSummaries(pi)
+	return st.byFunc[fn]
+}
+
+// effects returns every hierarchy lock fn may acquire, directly or
+// through module-local synchronous calls, as name→rank. Recursion is cut
+// by returning the partial (possibly empty) result for on-stack callees.
+func (st *modState) effects(fn *types.Func) map[string]analysis.LockRank {
+	if e, ok := st.eff[fn]; ok {
+		return e
+	}
+	if st.onStack[fn] {
+		return nil
+	}
+	st.onStack[fn] = true
+	defer delete(st.onStack, fn)
+	sum := st.summaryFor(fn)
+	if sum == nil {
+		st.eff[fn] = nil
+		return nil
+	}
+	e := map[string]analysis.LockRank{}
+	for _, a := range sum.acquires {
+		e[a.lock.Name] = a.lock.Rank
+	}
+	for _, c := range sum.calls {
+		if c.spawned {
+			continue
+		}
+		for n, r := range st.effects(c.callee) {
+			e[n] = r
+		}
+	}
+	st.eff[fn] = e
+	return e
+}
+
+// report emits diagnostics for the pass's package only; summaries of
+// other packages exist solely to feed effects.
+func report(pass *analysis.Pass, st *modState) {
+	supp := analysis.NewSuppressor(pass.Fset, pass.Pkg.Files, Marker)
+	hier := strings.Join(st.spec.LevelNames(), " → ")
+	for _, sum := range st.packageSummaries(pass.Pkg) {
+		for _, a := range sum.acquires {
+			r, top := maxRank(a.held)
+			if r == 0 || a.lock.Rank > r {
+				continue
+			}
+			if supp.Suppressed(pass.Fset, a.pos) {
+				continue
+			}
+			pass.Reportf(a.pos,
+				"acquires %s (rank %d) while holding %s (rank %d); the lock hierarchy (%s) requires strictly descending acquisition",
+				a.lock.Name, a.lock.Rank, top.lock.Name, r, hier)
+		}
+		for _, c := range sum.calls {
+			if c.spawned || len(c.held) == 0 {
+				continue
+			}
+			r, top := maxRank(c.held)
+			full := c.callee.FullName()
+			if reason, ok := st.spec.NoLockHeld[full]; ok {
+				if !supp.Suppressed(pass.Fset, c.pos) {
+					pass.Reportf(c.pos, "calls %s while holding %s: %s", full, top.lock.Name, reason)
+				}
+				continue
+			}
+			// Worst (outermost) transitive acquisition wins the message.
+			var names []string
+			eff := st.effects(c.callee)
+			for n, rank := range eff {
+				if rank <= r {
+					names = append(names, n)
+				}
+			}
+			if len(names) == 0 {
+				continue
+			}
+			sort.Slice(names, func(i, j int) bool {
+				if eff[names[i]] != eff[names[j]] {
+					return eff[names[i]] < eff[names[j]]
+				}
+				return names[i] < names[j]
+			})
+			if supp.Suppressed(pass.Fset, c.pos) {
+				continue
+			}
+			pass.Reportf(c.pos,
+				"call to %s may acquire %s (rank %d) while %s (rank %d) is held; the lock hierarchy (%s) requires strictly descending acquisition",
+				full, names[0], eff[names[0]], top.lock.Name, r, hier)
+		}
+	}
+}
+
+func maxRank(held []heldLock) (analysis.LockRank, heldLock) {
+	var r analysis.LockRank
+	var top heldLock
+	for _, h := range held {
+		if h.lock.Rank >= r {
+			r = h.lock.Rank
+			top = h
+		}
+	}
+	return r, top
+}
+
+func cloneHeld(h []heldLock) []heldLock { return slices.Clone(h) }
+
+// mergeHeld unions two held sets, deduplicating by lock name (the
+// abstraction does not distinguish instances of the same shard lock).
+func mergeHeld(a, b []heldLock) []heldLock {
+	out := cloneHeld(a)
+outer:
+	for _, x := range b {
+		for _, y := range out {
+			if y.lock.Name == x.lock.Name {
+				continue outer
+			}
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+func releaseHeld(held []heldLock, lock analysis.LockID) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].lock.Name == lock.Name {
+			out := cloneHeld(held[:i])
+			return append(out, held[i+1:]...)
+		}
+	}
+	return held // unlock of something we never saw locked: ignore
+}
+
+// walker performs the lexical walk of one function context.
+type walker struct {
+	st   *modState
+	info *types.Info
+	sum  *funcSummary
+	lits []*ast.FuncLit
+}
+
+func (w *walker) stmts(list []ast.Stmt, held []heldLock) []heldLock {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *walker) stmt(s ast.Stmt, held []heldLock) []heldLock {
+	if s == nil {
+		return held
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		held = w.stmt(s.Init, held)
+		held = w.scan(s.Cond, held)
+		bodyOut := w.stmts(s.Body.List, cloneHeld(held))
+		var outs [][]heldLock
+		if !listTerminates(s.Body.List) {
+			outs = append(outs, bodyOut)
+		}
+		if s.Else != nil {
+			elseOut := w.stmt(s.Else, cloneHeld(held))
+			if !stmtTerminates(s.Else) {
+				outs = append(outs, elseOut)
+			}
+		} else {
+			outs = append(outs, held)
+		}
+		return foldMerge(outs, held)
+	case *ast.ForStmt:
+		held = w.stmt(s.Init, held)
+		held = w.scan(s.Cond, held)
+		h1 := w.stmts(s.Body.List, cloneHeld(held))
+		h1 = w.stmt(s.Post, h1)
+		// Second walk models cross-iteration state: what iteration n
+		// leaves held, iteration n+1's acquisitions see.
+		h2 := w.stmts(s.Body.List, mergeHeld(held, h1))
+		h2 = w.stmt(s.Post, h2)
+		return mergeHeld(held, h2)
+	case *ast.RangeStmt:
+		held = w.scan(s.X, held)
+		h1 := w.stmts(s.Body.List, cloneHeld(held))
+		h2 := w.stmts(s.Body.List, mergeHeld(held, h1))
+		return mergeHeld(held, h2)
+	case *ast.SwitchStmt:
+		held = w.stmt(s.Init, held)
+		held = w.scan(s.Tag, held)
+		return w.caseClauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		held = w.stmt(s.Init, held)
+		held = w.stmt(s.Assign, held)
+		return w.caseClauses(s.Body, held)
+	case *ast.SelectStmt:
+		var outs [][]heldLock
+		for _, cc := range s.Body.List {
+			c := cc.(*ast.CommClause)
+			entry := w.stmt(c.Comm, cloneHeld(held))
+			out := w.stmts(c.Body, entry)
+			if !listTerminates(c.Body) {
+				outs = append(outs, out)
+			}
+		}
+		return foldMerge(outs, held)
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			held = w.scan(a, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.lits = append(w.lits, lit)
+		} else if fn := calleeFunc(w.info, s.Call); fn != nil {
+			w.sum.calls = append(w.sum.calls, callEvent{fn, s.Call.Pos(), nil, true})
+		}
+		return held
+	case *ast.DeferStmt:
+		if lock, release, ok := w.classify(s.Call); ok {
+			if release {
+				// Deferred unlock: the lock stays held to the end of the
+				// walk, which is the conservative (and usual) reading.
+				return held
+			}
+			// A deferred acquire is bizarre; treat it like an immediate one.
+			w.sum.acquires = append(w.sum.acquires, acqEvent{lock, s.Call.Pos(), cloneHeld(held)})
+			return append(cloneHeld(held), heldLock{lock, s.Call.Pos()})
+		}
+		return w.scan(s.Call, held)
+	default:
+		// Leaf statements: assignments, expressions, returns, sends,
+		// declarations. Scan for calls in syntactic order.
+		return w.scan(s, held)
+	}
+}
+
+func (w *walker) caseClauses(body *ast.BlockStmt, held []heldLock) []heldLock {
+	var outs [][]heldLock
+	sawDefault := false
+	for _, cc := range body.List {
+		c, ok := cc.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if c.List == nil {
+			sawDefault = true
+		}
+		entry := cloneHeld(held)
+		for _, e := range c.List {
+			entry = w.scan(e, entry)
+		}
+		out := w.stmts(c.Body, entry)
+		if !listTerminates(c.Body) {
+			outs = append(outs, out)
+		}
+	}
+	if !sawDefault {
+		outs = append(outs, held)
+	}
+	return foldMerge(outs, held)
+}
+
+func foldMerge(outs [][]heldLock, fallback []heldLock) []heldLock {
+	if len(outs) == 0 {
+		return fallback
+	}
+	out := outs[0]
+	for _, o := range outs[1:] {
+		out = mergeHeld(out, o)
+	}
+	return out
+}
+
+// scan visits an expression or leaf statement, classifying every call in
+// pre-order and queueing function literals for separate analysis.
+func (w *walker) scan(n ast.Node, held []heldLock) []heldLock {
+	if n == nil {
+		return held
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			w.lits = append(w.lits, x)
+			return false
+		case *ast.CallExpr:
+			held = w.call(x, held)
+		}
+		return true
+	})
+	return held
+}
+
+func (w *walker) call(c *ast.CallExpr, held []heldLock) []heldLock {
+	if lock, release, ok := w.classify(c); ok {
+		if release {
+			return releaseHeld(held, lock)
+		}
+		w.sum.acquires = append(w.sum.acquires, acqEvent{lock, c.Pos(), cloneHeld(held)})
+		return append(cloneHeld(held), heldLock{lock, c.Pos()})
+	}
+	if fn := calleeFunc(w.info, c); fn != nil {
+		w.sum.calls = append(w.sum.calls, callEvent{fn, c.Pos(), cloneHeld(held), false})
+	}
+	return held
+}
+
+// classify decides whether a call acquires or releases a spec lock:
+// either a spec acquirer wrapper, or a sync.Mutex/RWMutex method whose
+// receiver is a spec-listed field.
+func (w *walker) classify(c *ast.CallExpr) (analysis.LockID, bool, bool) {
+	fn := calleeFunc(w.info, c)
+	if fn == nil {
+		return analysis.LockID{}, false, false
+	}
+	full := fn.FullName()
+	if lock, release, ok := w.st.spec.AcquirerFor(full); ok {
+		return lock, release, true
+	}
+	var isRel bool
+	switch full {
+	case "(*sync.Mutex).Lock", "(*sync.Mutex).TryLock",
+		"(*sync.RWMutex).Lock", "(*sync.RWMutex).TryLock",
+		"(*sync.RWMutex).RLock", "(*sync.RWMutex).TryRLock":
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+		isRel = true
+	default:
+		return analysis.LockID{}, false, false
+	}
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return analysis.LockID{}, false, false
+	}
+	recv, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return analysis.LockID{}, false, false // local mutex variable: untracked
+	}
+	selection := w.info.Selections[recv]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return analysis.LockID{}, false, false
+	}
+	t := selection.Recv()
+	for {
+		if p, ok := types.Unalias(t).(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return analysis.LockID{}, false, false
+	}
+	obj := named.Obj()
+	typeName := obj.Name()
+	if obj.Pkg() != nil {
+		typeName = obj.Pkg().Path() + "." + obj.Name()
+	}
+	lock, ok := w.st.spec.FieldLock(typeName, recv.Sel.Name)
+	if !ok {
+		return analysis.LockID{}, false, false // mutex outside the hierarchy
+	}
+	return lock, isRel, true
+}
+
+// calleeFunc resolves a call to its static *types.Func, or nil for
+// dynamic calls, conversions, and builtins.
+func calleeFunc(info *types.Info, c *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(c.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// listTerminates reports (shallowly) whether control cannot flow past the
+// end of the statement list.
+func listTerminates(list []ast.Stmt) bool {
+	return len(list) > 0 && stmtTerminates(list[len(list)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if c, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return listTerminates(s.List)
+	case *ast.IfStmt:
+		return s.Else != nil && listTerminates(s.Body.List) && stmtTerminates(s.Else)
+	}
+	return false
+}

@@ -1,0 +1,47 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockorder"
+)
+
+// fixtureSpec mirrors the production hierarchy onto the fixture package's
+// types, demonstrating that the spec really is configuration: the same
+// pass checks any hierarchy it is handed.
+func fixtureSpec(pkg string) *analysis.LockSpec {
+	return &analysis.LockSpec{
+		Levels: []analysis.Level{
+			{Rank: 1, Name: "meshBarrier"},
+			{Rank: 2, Name: "shard.mu"},
+			{Rank: 3, Name: "largeMu"},
+			{Rank: 4, Name: "schedMu"},
+			{Rank: 5, Name: "leaves"},
+		},
+		Locks: []analysis.LockID{
+			{Type: pkg + ".Heap", Field: "meshBarrier", Rank: 1, Name: "Heap.meshBarrier"},
+			{Type: pkg + ".shard", Field: "mu", Rank: 2, Name: "shard.mu"},
+			{Type: pkg + ".Heap", Field: "largeMu", Rank: 3, Name: "Heap.largeMu"},
+			{Type: pkg + ".Heap", Field: "schedMu", Rank: 4, Name: "Heap.schedMu"},
+			{Type: pkg + ".Arena", Field: "mu", Rank: 5, Name: "Arena.mu"},
+			{Type: pkg + ".OS", Field: "mu", Rank: 5, Name: "OS.mu"},
+		},
+		Acquirers: []analysis.Acquirer{
+			{Func: "(*" + pkg + ".shard).lock", Lock: "shard.mu"},
+			{Func: "(*" + pkg + ".shard).unlock", Lock: "shard.mu", Release: true},
+		},
+		NoLockHeld: map[string]string{
+			"(*" + pkg + ".Heap).Drain": "drain points must run with no hierarchy lock held",
+		},
+	}
+}
+
+func TestLockOrderPositive(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.New(fixtureSpec("inversion")), "inversion")
+}
+
+func TestLockOrderNegative(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.New(fixtureSpec("clean")), "clean")
+}

@@ -1,0 +1,97 @@
+// Package clean is the lockorder negative fixture: every pattern here is
+// legal under the fixture hierarchy and must produce no diagnostics.
+package clean
+
+import "sync"
+
+type Heap struct {
+	meshBarrier sync.Mutex
+	largeMu     sync.Mutex
+	schedMu     sync.Mutex
+	classes     [4]shard
+}
+
+type shard struct{ mu sync.Mutex }
+
+func (s *shard) lock()   { s.mu.Lock() }
+func (s *shard) unlock() { s.mu.Unlock() }
+
+type Arena struct{ mu sync.Mutex }
+
+type OS struct{ mu sync.Mutex }
+
+// descend acquires strictly inward through every level, which is exactly
+// what the hierarchy permits.
+func (h *Heap) descend(c int, a *Arena) {
+	h.meshBarrier.Lock()
+	defer h.meshBarrier.Unlock()
+	h.classes[c].lock()
+	defer h.classes[c].unlock()
+	h.largeMu.Lock()
+	defer h.largeMu.Unlock()
+	h.schedMu.Lock()
+	defer h.schedMu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// slice releases before re-acquiring at the same level — the background
+// mesh engine's unlock/relock pattern.
+func (h *Heap) slice(c int) {
+	h.classes[c].lock()
+	for i := 0; i < 4; i++ {
+		h.classes[c].unlock()
+		h.classes[c].lock()
+	}
+	h.classes[c].unlock()
+}
+
+// sequential leaves are fine; only nesting them is forbidden.
+func sequential(a *Arena, o *OS) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	o.mu.Lock()
+	o.mu.Unlock()
+}
+
+// integrity is the deliberate exception: an ascending sweep that holds
+// every shard, silenced by the marker the real CheckIntegrity uses.
+func (h *Heap) integrity() {
+	for c := range h.classes {
+		h.classes[c].mu.Lock() //mesh:lockorder-ok — ascending all-shards sweep
+	}
+	for c := range h.classes {
+		h.classes[c].mu.Unlock()
+	}
+}
+
+// Drain is the declared drain point; calling it with nothing held is the
+// correct pattern.
+func (h *Heap) Drain() {}
+
+func (h *Heap) drainAfterUnlock(c int) {
+	h.classes[c].lock()
+	h.classes[c].unlock()
+	h.Drain()
+}
+
+// branches that unlock on one path and return on the other leave a
+// consistent picture for the merge.
+func (h *Heap) branchy(c int, full bool) {
+	h.classes[c].lock()
+	if full {
+		h.classes[c].unlock()
+		return
+	}
+	h.classes[c].unlock()
+	h.largeMu.Lock()
+	h.largeMu.Unlock()
+}
+
+// spawn hands work to a goroutine: the spawned callee starts with no
+// locks, so calling the drain point there is fine even under a lock.
+func (h *Heap) spawn(c int) {
+	h.classes[c].lock()
+	go h.Drain()
+	h.classes[c].unlock()
+}

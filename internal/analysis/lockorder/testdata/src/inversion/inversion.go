@@ -1,0 +1,79 @@
+// Package inversion is the lockorder positive fixture: every function
+// here violates the fixture hierarchy (meshBarrier → shard.mu → largeMu
+// → schedMu → Arena.mu/OS.mu) in a distinct way.
+package inversion
+
+import "sync"
+
+type Heap struct {
+	meshBarrier sync.Mutex
+	largeMu     sync.Mutex
+	schedMu     sync.Mutex
+	classes     [4]shard
+}
+
+type shard struct{ mu sync.Mutex }
+
+func (s *shard) lock()   { s.mu.Lock() }
+func (s *shard) unlock() { s.mu.Unlock() }
+
+type Arena struct{ mu sync.Mutex }
+
+type OS struct{ mu sync.Mutex }
+
+// schedBeforeShard reproduces the inversion the hierarchy forbids most
+// directly: schedMu (rank 4) is held when a shard lock (rank 2) is
+// acquired.
+func (h *Heap) schedBeforeShard(c int) {
+	h.schedMu.Lock()
+	defer h.schedMu.Unlock()
+	h.classes[c].mu.Lock() // want `acquires shard\.mu \(rank 2\) while holding Heap\.schedMu \(rank 4\)`
+	h.classes[c].mu.Unlock()
+}
+
+// wrapperInversion goes through the acquirer wrapper methods instead of
+// touching the mutex fields directly.
+func (h *Heap) wrapperInversion(a *Arena, c int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	h.classes[c].lock() // want `acquires shard\.mu \(rank 2\) while holding Arena\.mu \(rank 5\)`
+	h.classes[c].unlock()
+}
+
+// largeThenBarrier surfaces a callee's transitive acquisition at the
+// call site.
+func (h *Heap) largeThenBarrier() {
+	h.largeMu.Lock()
+	h.mesh() // want `call to \(\*inversion\.Heap\)\.mesh may acquire Heap\.meshBarrier \(rank 1\) while Heap\.largeMu \(rank 3\) is held`
+	h.largeMu.Unlock()
+}
+
+func (h *Heap) mesh() {
+	h.meshBarrier.Lock()
+	h.meshBarrier.Unlock()
+}
+
+// leaves must never nest: Arena.mu and OS.mu share the innermost rank.
+func leaves(a *Arena, o *OS) {
+	a.mu.Lock()
+	o.mu.Lock() // want `acquires OS\.mu \(rank 5\) while holding Arena\.mu \(rank 5\)`
+	o.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Drain is the fixture's declared drain point (spec NoLockHeld).
+func (h *Heap) Drain() {}
+
+func (h *Heap) drainUnderLock(c int) {
+	h.classes[c].lock()
+	defer h.classes[c].unlock()
+	h.Drain() // want `calls \(\*inversion\.Heap\)\.Drain while holding shard\.mu`
+}
+
+// ascendingLoop holds the shard locked by iteration n when iteration n+1
+// locks the next one — caught by the second loop-body walk.
+func (h *Heap) ascendingLoop() {
+	for c := range h.classes {
+		h.classes[c].mu.Lock() // want `acquires shard\.mu \(rank 2\) while holding shard\.mu \(rank 2\)`
+	}
+}

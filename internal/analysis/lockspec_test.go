@@ -1,0 +1,109 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestLockSpecMatchesComment fails when the "Lock hierarchy" comment on
+// core.GlobalHeap and the machine-readable spec in lockspec.go drift
+// apart: it parses the comment's entry list and compares both the level
+// sequence and the implied outer→inner edge set against the spec.
+func TestLockSpecMatchesComment(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "core", "global.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromComment, err := analysis.ParseHierarchyComment(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := analysis.Default()
+	fromSpec := spec.LevelNames()
+	if !slices.Equal(fromComment, fromSpec) {
+		t.Fatalf("lock hierarchy drift:\n  global.go comment: %q\n  lockspec.Default(): %q\nupdate internal/core/global.go and internal/analysis/lockspec.go together",
+			fromComment, fromSpec)
+	}
+
+	edgeSet := func(names []string) map[[2]string]bool {
+		m := map[[2]string]bool{}
+		for i := 0; i+1 < len(names); i++ {
+			m[[2]string{names[i], names[i+1]}] = true
+		}
+		return m
+	}
+	commentEdges := edgeSet(fromComment)
+	specEdges := spec.Edges()
+	if len(specEdges) != len(commentEdges) {
+		t.Fatalf("edge count drift: comment has %d edges, spec has %d", len(commentEdges), len(specEdges))
+	}
+	for _, e := range specEdges {
+		if !commentEdges[e] {
+			t.Errorf("spec edge %s → %s not implied by the global.go comment order", e[0], e[1])
+		}
+	}
+}
+
+// TestDefaultSpecConsistent checks the spec's internal integrity: every
+// lock sits on a declared level, ranks ascend with the level order, and
+// every acquirer references a real lock.
+func TestDefaultSpecConsistent(t *testing.T) {
+	spec := analysis.Default()
+	ranks := map[analysis.LockRank]bool{}
+	for i, l := range spec.Levels {
+		if i > 0 && spec.Levels[i-1].Rank >= l.Rank {
+			t.Errorf("level %q rank %d does not ascend past %q", l.Name, l.Rank, spec.Levels[i-1].Name)
+		}
+		ranks[l.Rank] = true
+	}
+	for _, l := range spec.Locks {
+		if !ranks[l.Rank] {
+			t.Errorf("lock %s has rank %d with no matching level", l.Name, l.Rank)
+		}
+	}
+	for _, a := range spec.Acquirers {
+		if _, ok := spec.LockByName(a.Lock); !ok {
+			t.Errorf("acquirer %s references unknown lock %q", a.Func, a.Lock)
+		}
+	}
+	if len(spec.NoLockHeld) == 0 {
+		t.Error("spec lists no drain/mesh entry points; the drain-under-lock check would be vacuous")
+	}
+}
+
+// TestParseHierarchyComment exercises the parser on a synthetic comment
+// with continuations and trailing prose.
+func TestParseHierarchyComment(t *testing.T) {
+	src := `
+// Something above.
+//
+// # Lock hierarchy
+//
+// Prose introducing the list:
+//
+//	alpha        — the outermost lock,
+//	               with a continuation line.
+//	beta.mu      — the middle one.
+//	gamma/delta  — shared leaves.
+//
+// Trailing prose — with an em-dash that must not parse as an entry.
+type X struct{}
+
+//	stray — a tab-entry outside the block that must not be picked up.
+`
+	got, err := analysis.ParseHierarchyComment(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "beta.mu", "gamma/delta"}
+	if !slices.Equal(got, want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+	if _, err := analysis.ParseHierarchyComment("// no heading here"); err == nil {
+		t.Fatal("expected error for source without a hierarchy heading")
+	}
+}

@@ -1,0 +1,39 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicfield"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/nolockfast"
+)
+
+// TestMeshvetCleanTree is the CI gate in unit-test form: the full suite
+// over the full module must report nothing. Any new lock-order
+// inversion, mixed atomic access, or fast-path regression fails this
+// test (and the meshvet CI job) until it is fixed or carries an explicit
+// suppression marker.
+func TestMeshvetCleanTree(t *testing.T) {
+	mod, pkgs, err := load.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("suspiciously few packages loaded (%d); loader regression?", len(pkgs))
+	}
+	analyzers := []*analysis.Analyzer{
+		lockorder.New(analysis.Default()),
+		atomicfield.Analyzer,
+		nolockfast.New(),
+	}
+	diags, err := analysis.Run(analyzers, pkgs, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		posn := mod.Fset.Position(d.Pos)
+		t.Errorf("%s:%d: [%s] %s", posn.Filename, posn.Line, d.Analyzer, d.Message)
+	}
+}

@@ -1,0 +1,16 @@
+package nolockfast_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nolockfast"
+)
+
+func TestNoLockFastPositive(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nolockfast.New(), "fastviolations")
+}
+
+func TestNoLockFastNegative(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nolockfast.New(), "fastclean")
+}

@@ -1,0 +1,90 @@
+// Package fastviolations is the nolockfast positive fixture: every
+// annotated function below breaks the lock-free contract in one way.
+package fastviolations
+
+import (
+	"fmt"
+	"sync"
+)
+
+type table struct {
+	mu sync.Mutex
+	m  map[uint64]int
+	ch chan int
+}
+
+// lookup locks and touches a map on a declared fast path.
+//
+//mesh:lockfree
+func (t *table) lookup(k uint64) int {
+	t.mu.Lock()   // want `lookup is //mesh:lockfree but uses sync primitive \(\*sync\.Mutex\)\.Lock`
+	v := t.m[k]   // want `lookup is //mesh:lockfree but accesses a map`
+	t.mu.Unlock() // want `lookup is //mesh:lockfree but uses sync primitive \(\*sync\.Mutex\)\.Unlock`
+	return v
+}
+
+// alloc allocates twice.
+//
+//mesh:lockfree
+func alloc(n int) []int {
+	out := make([]int, 0, n) // want `alloc is //mesh:lockfree but allocates \(make\)`
+	return append(out, n)    // want `alloc is //mesh:lockfree but allocates \(append\)`
+}
+
+// escape heap-allocates a composite literal.
+//
+//mesh:lockfree
+func escape() *table {
+	return &table{} // want `escape is //mesh:lockfree but heap-allocates a composite literal`
+}
+
+// blockingRecv can park the goroutine.
+//
+//mesh:lockfree
+func (t *table) blockingRecv() int {
+	return <-t.ch // want `blockingRecv is //mesh:lockfree but receives from a channel`
+}
+
+// callsSlow leaves the annotated world without a slowpath marker.
+//
+//mesh:lockfree
+func (t *table) callsSlow(k uint64) int {
+	return t.slow(k) // want `callsSlow is //mesh:lockfree but calls \(\*fastviolations\.table\)\.slow, which is not marked //mesh:lockfree`
+}
+
+func (t *table) slow(k uint64) int { return int(k) }
+
+// format calls an allocating stdlib function.
+//
+//mesh:lockfree
+func format(k uint64) string {
+	return fmt.Sprintf("%d", k) // want `format is //mesh:lockfree but calls fmt\.Sprintf, which is not marked //mesh:lockfree`
+}
+
+// dynamic calls through a function value the checker cannot follow.
+//
+//mesh:lockfree
+func dynamic(h func(uint64)) {
+	h(42) // want `dynamic is //mesh:lockfree but makes a dynamic call`
+}
+
+// spawn starts a goroutine (which also allocates).
+//
+//mesh:lockfree
+func (t *table) spawn() {
+	go fast() // want `spawn is //mesh:lockfree but spawns a goroutine`
+}
+
+//mesh:lockfree
+func fast() {}
+
+// witherror shows the sanctioned escape hatch: the error-construction
+// line is marked as a deliberate slow path and reports nothing.
+//
+//mesh:lockfree
+func witherror(k uint64) (uint64, error) {
+	if k == 0 {
+		return 0, fmt.Errorf("zero key") //mesh:slowpath — error construction is off the fast path
+	}
+	return k, nil
+}

@@ -195,6 +195,8 @@ func (a *Arena) Unregister(vbase uint64, pages int) {
 // Callers that need the authoritative owner (the free path's bitmap
 // update) re-run Lookup under the owning size class's shard lock, which
 // serializes with the meshing fix-up that performs reassignments.
+//
+//mesh:lockfree
 func (a *Arena) Lookup(addr uint64) *miniheap.MiniHeap {
 	vpn := addr >> vm.PageShift
 	a.lookups[vpn%lookupStripes].n.Add(1)

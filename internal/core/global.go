@@ -253,8 +253,20 @@ func (cs *classState) binRemove(b int, mh *miniheap.MiniHeap) {
 //	                         CheckIntegrity holds several, in ascending
 //	                         class order.
 //	largeMu                — guards the large-object registry.
+//	schedMu                — reserved rank: the mesh scheduler's
+//	                         rate-limiter lock from the sharding work. Its
+//	                         state (mesh period, last-mesh stamp, pause
+//	                         budget) now lives in atomics, so no field
+//	                         currently carries this name, but the slot
+//	                         stays in the order so meshvet and any future
+//	                         scheduler lock keep the documented rank.
 //	arena/vm internals     — the arena's dirty-bin mutex and the simulated
 //	                         OS's mapping mutex; leaves of the order.
+//
+// The list above is machine-read: internal/analysis/lockspec.go mirrors
+// it as the meshvet lock-order spec, a unit test fails if the two drift
+// apart, and the lockorder pass flags any acquisition that does not
+// strictly descend it (see internal/analysis).
 //
 // Below all of them sits the VM's translation seqlock (vm.OS's generation
 // counter): not a lock but a retry protocol. Remap/Unmap/Protect bump it
@@ -472,6 +484,8 @@ func (g *GlobalHeap) RemoteDrained() uint64 { return g.remoteDrained.Load() }
 // failure: a queued entry is drainable the instant it is published, so
 // counting afterwards would let a concurrent stats reader observe
 // drained > queued — the monitoring signal for a lost free — spuriously.
+//
+//mesh:lockfree
 func (g *GlobalHeap) noteRemoteQueued(bytes int64, n uint64) {
 	g.liveBytes.Add(-bytes)
 	g.frees.Add(n)
@@ -481,6 +495,8 @@ func (g *GlobalHeap) noteRemoteQueued(bytes int64, n uint64) {
 // noteRemoteUnqueued reverses noteRemoteQueued for pushes that failed
 // after being pre-accounted; the caller then routes the frees to the
 // locked path, which accounts normally.
+//
+//mesh:lockfree
 func (g *GlobalHeap) noteRemoteUnqueued(bytes int64, n uint64) {
 	g.liveBytes.Add(bytes)
 	g.frees.Add(^(n - 1)) // atomic subtract n

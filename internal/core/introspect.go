@@ -171,7 +171,7 @@ func (g *GlobalHeap) CheckIntegrity() error {
 	g.meshBarrier.Lock()
 	defer g.meshBarrier.Unlock()
 	for c := range g.classes {
-		g.classes[c].lock()
+		g.classes[c].lock() //mesh:lockorder-ok — deliberate ascending sweep over all shards; no other path locks two shards at once
 	}
 	defer func() {
 		for c := len(g.classes) - 1; c >= 0; c-- {

@@ -154,6 +154,8 @@ func (t *ThreadHeap) Free(addr uint64) error {
 // under us (only this thread refills or detaches it, and attached spans
 // are never meshed); any other result routes to the global path, which
 // re-resolves under the owning shard lock.
+//
+//mesh:lockfree
 func (t *ThreadHeap) freeLocal(addr uint64) (objSize int, ok bool, owner *miniheap.MiniHeap, err error) {
 	mh := t.global.arena.Lookup(addr)
 	if mh == nil || mh.IsLarge() {

@@ -110,6 +110,8 @@ const _ = uint8(remoteMaxOff - 1)
 // segment. Reservations that land on a segment the drain has retired (or
 // that overflow a full one) inflate its reserved counter harmlessly and
 // divert here to the fresh-segment path.
+//
+//mesh:lockfree
 func (q *remoteQueue) PushRemote(mh *miniheap.MiniHeap, off int) bool {
 	if off < 0 || off >= remoteMaxOff {
 		return false
@@ -134,7 +136,7 @@ func (q *remoteQueue) PushRemote(mh *miniheap.MiniHeap, off int) bool {
 			// Full or retired: divert to a fresh segment.
 		}
 		if s == nil {
-			s = &remoteSeg{mh: mh}
+			s = &remoteSeg{mh: mh} //mesh:slowpath — one segment allocation per remoteSegCap frees, off the per-free path
 			s.offs[0] = uint8(off)
 			s.reserved.Store(1)
 			s.committed.Store(1)
@@ -150,6 +152,8 @@ func (q *remoteQueue) PushRemote(mh *miniheap.MiniHeap, off int) bool {
 // allocated slots of one MiniHeap, returning how many were accepted.
 // Entries coalesce into the head segment exactly like scalar pushes, so
 // a batch fills segments to capacity as it goes.
+//
+//mesh:lockfree
 func (q *remoteQueue) PushRemoteBatch(mh *miniheap.MiniHeap, offs []int) int {
 	for i, off := range offs {
 		if !q.PushRemote(mh, off) {
@@ -279,6 +283,8 @@ func (t *ThreadHeap) drainRemote(segs *remoteSeg) int {
 // shard-locked fallback. Zero locks on success: the lookup already
 // happened, so this adds one owner load, one offset validation, and one
 // CAS.
+//
+//mesh:lockfree
 func (t *ThreadHeap) tryQueueRemote(addr uint64, mh *miniheap.MiniHeap) bool {
 	if mh == nil || mh.IsLarge() || !t.global.remoteEnabled.Load() {
 		return false

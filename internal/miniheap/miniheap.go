@@ -30,10 +30,14 @@ import (
 type RemoteSink interface {
 	// PushRemote posts one allocated slot of mh for the owning heap to
 	// recycle on its own schedule.
+	//
+	//mesh:lockfree
 	PushRemote(mh *MiniHeap, off int) bool
 	// PushRemoteBatch posts a batch of allocated slots of mh, returning how
 	// many were accepted; slots past the returned count were rejected
 	// because the sink closed mid-batch.
+	//
+	//mesh:lockfree
 	PushRemoteBatch(mh *MiniHeap, offs []int) int
 }
 
@@ -141,18 +145,28 @@ func NewLarge(pages int, vbase uint64, phys vm.PhysID) *MiniHeap {
 func (m *MiniHeap) ID() uint64 { return m.id }
 
 // SizeClass returns the size-class index, or -1 for large objects.
+//
+//mesh:lockfree
 func (m *MiniHeap) SizeClass() int { return m.sizeClass }
 
 // IsLarge reports whether this is a large-object singleton MiniHeap.
+//
+//mesh:lockfree
 func (m *MiniHeap) IsLarge() bool { return m.sizeClass < 0 }
 
 // ObjectSize returns the size in bytes of each object slot.
+//
+//mesh:lockfree
 func (m *MiniHeap) ObjectSize() int { return m.objSize }
 
 // SpanPages returns the span length in pages.
+//
+//mesh:lockfree
 func (m *MiniHeap) SpanPages() int { return m.spanPages }
 
 // SpanBytes returns the span length in bytes.
+//
+//mesh:lockfree
 func (m *MiniHeap) SpanBytes() int { return m.spanPages * vm.PageSize }
 
 // ObjectCount returns the number of object slots in the span.
@@ -206,6 +220,8 @@ func (m *MiniHeap) SetOwner(s RemoteSink) {
 
 // Owner returns the currently published remote-free sink, or nil when the
 // MiniHeap is detached (or its owner does not accept message-passed frees).
+//
+//mesh:lockfree
 func (m *MiniHeap) Owner() RemoteSink {
 	p := m.owner.Load()
 	if p == nil {
@@ -255,6 +271,8 @@ func (m *MiniHeap) IsPinned() bool { return m.pinned.Load() }
 
 // Contains reports whether addr falls inside any of the MiniHeap's virtual
 // spans.
+//
+//mesh:lockfree
 func (m *MiniHeap) Contains(addr uint64) bool {
 	for _, base := range *m.spans.Load() {
 		if addr >= base && addr < base+uint64(m.SpanBytes()) {
@@ -273,6 +291,8 @@ func (m *MiniHeap) Contains(addr uint64) bool {
 // remainder by the object size use a precomputed reciprocal multiply-shift
 // instead of hardware division (tcmalloc-style; see reciprocal for the
 // exactness argument).
+//
+//mesh:lockfree
 func (m *MiniHeap) OffsetOf(addr uint64) (int, error) {
 	for _, base := range *m.spans.Load() {
 		if addr >= base && addr < base+uint64(m.SpanBytes()) {
@@ -284,15 +304,15 @@ func (m *MiniHeap) OffsetOf(addr uint64) (int, error) {
 				off = rel / uint64(m.objSize)
 			}
 			if off*uint64(m.objSize) != rel {
-				return 0, fmt.Errorf("miniheap: interior pointer %#x", addr)
+				return 0, fmt.Errorf("miniheap: interior pointer %#x", addr) //mesh:slowpath — invalid-free error exits the fast path
 			}
 			if off >= uint64(m.objCount) {
-				return 0, fmt.Errorf("miniheap: pointer %#x past last object", addr)
+				return 0, fmt.Errorf("miniheap: pointer %#x past last object", addr) //mesh:slowpath — invalid-free error exits the fast path
 			}
 			return int(off), nil
 		}
 	}
-	return 0, fmt.Errorf("miniheap: address %#x not in any span", addr)
+	return 0, fmt.Errorf("miniheap: address %#x not in any span", addr) //mesh:slowpath — invalid-free error exits the fast path
 }
 
 // AddrOf returns the virtual address of slot off through the primary span.

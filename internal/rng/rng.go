@@ -46,6 +46,8 @@ func (r *RNG) Seed(seed uint64) {
 }
 
 // Uint64 returns the next 64 bits from the generator.
+//
+//mesh:lockfree
 func (r *RNG) Uint64() uint64 {
 	s := &r.s
 	result := bits.RotateLeft64(s[1]*5, 7) * 9
@@ -62,6 +64,8 @@ func (r *RNG) Uint64() uint64 {
 }
 
 // Uint32 returns the next 32 bits from the generator.
+//
+//mesh:lockfree
 func (r *RNG) Uint32() uint32 {
 	return uint32(r.Uint64() >> 32)
 }
@@ -69,6 +73,8 @@ func (r *RNG) Uint32() uint32 {
 // UintN returns a uniformly distributed integer in [0, n). It panics if
 // n == 0. Uses Lemire's multiply-shift rejection method to avoid modulo
 // bias without a divide in the common case.
+//
+//mesh:lockfree
 func (r *RNG) UintN(n uint64) uint64 {
 	if n == 0 {
 		panic("rng: UintN called with n == 0")
@@ -87,6 +93,8 @@ func (r *RNG) UintN(n uint64) uint64 {
 // InRange returns a uniformly distributed integer in [lo, hi] (inclusive on
 // both ends, matching the paper's pseudocode `_rng.inRange(_off,
 // maxCount()-1)`). It panics if lo > hi.
+//
+//mesh:lockfree
 func (r *RNG) InRange(lo, hi int) int {
 	if lo > hi {
 		panic("rng: InRange called with lo > hi")

@@ -45,9 +45,13 @@ func New(r *rng.RNG, randomize bool) *Vector {
 }
 
 // IsExhausted reports whether no offsets remain to allocate.
+//
+//mesh:lockfree
 func (v *Vector) IsExhausted() bool { return v.off >= v.max }
 
 // Remaining returns the number of offsets still available.
+//
+//mesh:lockfree
 func (v *Vector) Remaining() int { return v.max - v.off }
 
 // Attach fills the vector from a MiniHeap's allocation bitmap: every bit it
@@ -118,6 +122,8 @@ func (v *Vector) Detach() []uint8 {
 
 // Malloc pops the next offset. ok is false when the vector is exhausted.
 // This is the entire small-allocation fast path: one load, one increment.
+//
+//mesh:lockfree
 func (v *Vector) Malloc() (offset int, ok bool) {
 	if v.off >= v.max {
 		return 0, false
@@ -131,6 +137,8 @@ func (v *Vector) Malloc() (offset int, ok bool) {
 // Fisher–Yates step (§4.2, Figure 3c–d). The offset must belong to the
 // attached span and must currently be allocated; Vector cannot check this —
 // the owning thread-local heap does.
+//
+//mesh:lockfree
 func (v *Vector) Free(offset int) {
 	if v.off == 0 {
 		panic("shufflevec: Free on full vector")

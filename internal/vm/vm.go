@@ -270,6 +270,8 @@ func (o *OS) slot(vpn uint64) *atomic.Pointer[pte] {
 // peek loads the page-table entry for one virtual page with two atomic
 // loads, or nil when the page is unmapped (or outside the table's range —
 // address 0 and other wild pointers resolve to nil, not a panic).
+//
+//mesh:lockfree
 func (o *OS) peek(vpn uint64) *pte {
 	if vpn < baseVPN || vpn-baseVPN >= maxPages {
 		return nil
@@ -293,6 +295,8 @@ func (o *OS) endUpdate() { o.gen.Add(1) }
 
 // noteRetry counts one discarded lock-free access (stats.vm.retries) and
 // yields so the mutator holding the update window can finish.
+//
+//mesh:lockfree
 func (o *OS) noteRetry() {
 	o.statRetries.Add(1)
 	runtime.Gosched()
@@ -302,6 +306,8 @@ func (o *OS) noteRetry() {
 // (stats.vm.translations). Only validated accesses count — a retried or
 // faulted attempt re-resolves but is not an extra served run, so the
 // retries/translations health ratio keeps a clean denominator.
+//
+//mesh:lockfree
 func (o *OS) noteTranslation(vpn uint64) {
 	o.statTranslations[vpn%translationStripes].n.Add(1)
 }
@@ -315,6 +321,8 @@ func (o *OS) noteTranslation(vpn uint64) {
 //
 // The caller is responsible for seqlock validation; resolveRun itself only
 // performs atomic loads.
+//
+//mesh:lockfree
 func (o *OS) resolveRun(addr uint64, max int) (e *pte, start, n int) {
 	vpn := addr >> PageShift
 	e = o.peek(vpn)
@@ -599,6 +607,8 @@ func (o *OS) Protect(vaddr uint64, pages int, p Prot) error {
 
 // ProtAt returns the current protection of the page containing addr —
 // observability for tests of the write-barrier protocol (§4.5.2).
+//
+//mesh:lockfree
 func (o *OS) ProtAt(addr uint64) (Prot, error) {
 	for {
 		g := o.gen.Load()
@@ -612,7 +622,7 @@ func (o *OS) ProtAt(addr uint64) (Prot, error) {
 				o.noteRetry()
 				continue
 			}
-			return ReadWrite, fmt.Errorf("%w: %#x", ErrUnmapped, addr)
+			return ReadWrite, fmt.Errorf("%w: %#x", ErrUnmapped, addr) //mesh:slowpath — unmapped/unhandled-fault error exits the fast path
 		}
 		p := e.prot
 		if o.gen.Load() != g {
@@ -630,6 +640,8 @@ func (o *OS) ProtAt(addr uint64) (Prot, error) {
 // lock-free and validates the seqlock generation after the copy, so a read
 // that raced a remap is discarded and retried against the new page table —
 // it can never return a torn mix of two physical spans.
+//
+//mesh:lockfree
 func (o *OS) Read(addr uint64, buf []byte) error {
 	done := 0
 	for done < len(buf) {
@@ -643,6 +655,8 @@ func (o *OS) Read(addr uint64, buf []byte) error {
 }
 
 // readRun performs one lock-free read of up to one page run.
+//
+//mesh:lockfree
 func (o *OS) readRun(addr uint64, buf []byte) (int, error) {
 	for {
 		g := o.gen.Load()
@@ -656,7 +670,7 @@ func (o *OS) readRun(addr uint64, buf []byte) (int, error) {
 				o.noteRetry()
 				continue
 			}
-			return 0, fmt.Errorf("%w: %#x", ErrUnmapped, addr)
+			return 0, fmt.Errorf("%w: %#x", ErrUnmapped, addr) //mesh:slowpath — unmapped/unhandled-fault error exits the fast path
 		}
 		copy(buf[:n], e.data[start:start+n])
 		if o.gen.Load() != g {
@@ -677,6 +691,8 @@ func (o *OS) readRun(addr uint64, buf []byte) (int, error) {
 // copy phase (see the package comment), so a write can never sneak into a
 // physical span between the engine write-protecting it and copying its
 // objects out.
+//
+//mesh:lockfree
 func (o *OS) Write(addr uint64, data []byte) error {
 	done := 0
 	for done < len(data) {
@@ -692,10 +708,13 @@ func (o *OS) Write(addr uint64, data []byte) error {
 // writeRun performs one lock-free write of up to one page run. A nil fill
 // writes data; a non-nil fill ignores data and memsets the run instead
 // (shared by Write and Memset so the protocol lives in one place).
+//
+//mesh:lockfree
 func (o *OS) writeRun(addr uint64, data []byte) (int, error) {
 	return o.writeOrFillRun(addr, data, len(data), 0, false)
 }
 
+//mesh:lockfree
 func (o *OS) writeOrFillRun(addr uint64, data []byte, max int, v byte, fill bool) (int, error) {
 	for {
 		g := o.gen.Load()
@@ -709,7 +728,7 @@ func (o *OS) writeOrFillRun(addr uint64, data []byte, max int, v byte, fill bool
 				o.noteRetry()
 				continue
 			}
-			return 0, fmt.Errorf("%w: %#x", ErrUnmapped, addr)
+			return 0, fmt.Errorf("%w: %#x", ErrUnmapped, addr) //mesh:slowpath — unmapped/unhandled-fault error exits the fast path
 		}
 		if e.prot == ReadOnly {
 			if o.gen.Load() != g {
@@ -721,9 +740,9 @@ func (o *OS) writeOrFillRun(addr uint64, data []byte, max int, v byte, fill bool
 			o.statFaults.Add(1)
 			h, ok := o.faultHook.Load().(func(uint64))
 			if !ok || h == nil {
-				return 0, fmt.Errorf("vm: write to read-only page %#x with no fault handler", addr)
+				return 0, fmt.Errorf("vm: write to read-only page %#x with no fault handler", addr) //mesh:slowpath — unmapped/unhandled-fault error exits the fast path
 			}
-			h(addr)
+			h(addr)  //mesh:slowpath — the write barrier: the fault hook blocks until meshing completes
 			continue // retry translation; meshing has remapped the page
 		}
 		// Advertise the in-flight write, then re-validate: if the
@@ -765,6 +784,8 @@ func (o *OS) writeOrFillRun(addr uint64, data []byte, max int, v byte, fill bool
 // rewrite is idempotent, exactly as for Write). The regions must not
 // overlap; the allocator's realloc path — fresh destination object — is
 // the intended caller.
+//
+//mesh:lockfree
 func (o *OS) Copy(dst, src uint64, n int) error {
 	for n > 0 {
 		c, err := o.copyRun(dst, src, n)
@@ -780,6 +801,8 @@ func (o *OS) Copy(dst, src uint64, n int) error {
 
 // copyRun performs one lock-free copy of up to one page run on both sides
 // (the chunk is the shorter of the two runs).
+//
+//mesh:lockfree
 func (o *OS) copyRun(dst, src uint64, max int) (int, error) {
 	for {
 		g := o.gen.Load()
@@ -793,7 +816,7 @@ func (o *OS) copyRun(dst, src uint64, max int) (int, error) {
 				o.noteRetry()
 				continue
 			}
-			return 0, fmt.Errorf("%w: %#x", ErrUnmapped, src)
+			return 0, fmt.Errorf("%w: %#x", ErrUnmapped, src) //mesh:slowpath — unmapped/unhandled-fault error exits the fast path
 		}
 		de, ds, dn := o.resolveRun(dst, sn)
 		if de == nil {
@@ -801,7 +824,7 @@ func (o *OS) copyRun(dst, src uint64, max int) (int, error) {
 				o.noteRetry()
 				continue
 			}
-			return 0, fmt.Errorf("%w: %#x", ErrUnmapped, dst)
+			return 0, fmt.Errorf("%w: %#x", ErrUnmapped, dst) //mesh:slowpath — unmapped/unhandled-fault error exits the fast path
 		}
 		n := dn
 		if de.prot == ReadOnly {
@@ -814,9 +837,9 @@ func (o *OS) copyRun(dst, src uint64, max int) (int, error) {
 			o.statFaults.Add(1)
 			h, ok := o.faultHook.Load().(func(uint64))
 			if !ok || h == nil {
-				return 0, fmt.Errorf("vm: write to read-only page %#x with no fault handler", dst)
+				return 0, fmt.Errorf("vm: write to read-only page %#x with no fault handler", dst) //mesh:slowpath — unmapped/unhandled-fault error exits the fast path
 			}
-			h(dst)
+			h(dst)   //mesh:slowpath — the write barrier: the fault hook blocks until meshing completes
 			continue // retry translation; meshing has remapped the page
 		}
 		de.wr.Add(1)
@@ -838,6 +861,8 @@ func (o *OS) copyRun(dst, src uint64, max int) (int, error) {
 }
 
 // fillBytes memsets b to v without an intermediate buffer.
+//
+//mesh:lockfree
 func fillBytes(b []byte, v byte) {
 	if len(b) == 0 {
 		return
@@ -856,6 +881,8 @@ func fillBytes(b []byte, v byte) {
 }
 
 // ByteAt reads a single byte at addr.
+//
+//mesh:lockfree
 func (o *OS) ByteAt(addr uint64) (byte, error) {
 	var b [1]byte
 	err := o.Read(addr, b[:])
@@ -863,6 +890,8 @@ func (o *OS) ByteAt(addr uint64) (byte, error) {
 }
 
 // SetByte writes a single byte at addr.
+//
+//mesh:lockfree
 func (o *OS) SetByte(addr uint64, v byte) error {
 	b := [1]byte{v}
 	return o.Write(addr, b[:])
@@ -870,6 +899,8 @@ func (o *OS) SetByte(addr uint64, v byte) error {
 
 // Memset fills n bytes starting at addr with v, filling each page run in
 // place — no intermediate buffer, no lock, one translation per run.
+//
+//mesh:lockfree
 func (o *OS) Memset(addr uint64, v byte, n int) error {
 	for n > 0 {
 		c, err := o.writeOrFillRun(addr, nil, n, v, true)

@@ -60,6 +60,8 @@ func newHeapPool(g *core.GlobalHeap, nextID *atomic.Uint64) *heapPool {
 // heap's remote-free queue: message-passed frees that accumulated while
 // it sat idle go back onto its shuffle vectors before the borrower's
 // first allocation (the unpark drain point of the remote-free protocol).
+//
+//mesh:lockfree
 func (p *heapPool) acquire() *core.ThreadHeap {
 	for i := range p.slots {
 		if p.slots[i].Load() == nil {
@@ -67,7 +69,7 @@ func (p *heapPool) acquire() *core.ThreadHeap {
 		}
 		if th := p.slots[i].Swap(nil); th != nil {
 			p.idle.Add(-1)
-			th.DrainRemoteFrees()
+			th.DrainRemoteFrees() //mesh:slowpath — the unpark drain point; settles queued frees before handing the heap out
 			return th
 		}
 	}
@@ -75,11 +77,11 @@ func (p *heapPool) acquire() *core.ThreadHeap {
 		n := p.head.Load()
 		if n == nil {
 			p.created.Add(1)
-			return core.NewThreadHeap(p.g, p.nextID.Add(1))
+			return core.NewThreadHeap(p.g, p.nextID.Add(1)) //mesh:slowpath — empty pool: creating a heap allocates by design
 		}
 		if p.head.CompareAndSwap(n, n.next) {
 			p.idle.Add(-1)
-			n.th.DrainRemoteFrees()
+			n.th.DrainRemoteFrees() //mesh:slowpath — the unpark drain point; settles queued frees before handing the heap out
 			return n.th
 		}
 	}
@@ -92,8 +94,10 @@ func (p *heapPool) acquire() *core.ThreadHeap {
 // Pushes that land between the drain and the park simply wait for the
 // next acquire's drain — the queue stays open while parked, because the
 // heap's attached spans remain attached (and thus never meshed).
+//
+//mesh:lockfree
 func (p *heapPool) release(th *core.ThreadHeap) {
-	th.DrainRemoteFrees()
+	th.DrainRemoteFrees() //mesh:slowpath — the park drain point; settles queued frees while we still own the heap
 	for i := range p.slots {
 		if p.slots[i].Load() != nil {
 			continue
@@ -103,7 +107,7 @@ func (p *heapPool) release(th *core.ThreadHeap) {
 			return
 		}
 	}
-	n := &heapNode{th: th}
+	n := &heapNode{th: th} //mesh:slowpath — overflow beyond the slot array allocates one fresh node per push (ABA safety)
 	for {
 		n.next = p.head.Load()
 		if p.head.CompareAndSwap(n.next, n) {
