@@ -1,0 +1,77 @@
+package main
+
+// meshbench compare — the cross-PR perf gate. Each FILE argument is a
+// fresh `meshbench -json` artifact; it is diffed against the committed
+// baseline of the same basename under -baseline (bench/baseline by
+// default). Throughput may drop up to -threshold percent before the gate
+// fails; shard-acquire counts may grow up to -counter-threshold percent.
+// Exit status 1 means at least one row regressed (or vanished).
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func compareCmd(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	baseDir := fs.String("baseline", filepath.Join("bench", "baseline"),
+		"directory holding committed baseline JSON files")
+	threshold := fs.Float64("threshold", 20,
+		"allowed ops_per_sec drop in percent before a row fails")
+	counterThreshold := fs.Float64("counter-threshold", 50,
+		"allowed shard_acquires growth in percent before a row fails")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr,
+			"usage: meshbench compare [-baseline DIR] [-threshold PCT] [-counter-threshold PCT] FILE...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	opt := experiments.CompareOptions{
+		Threshold:        *threshold,
+		CounterThreshold: *counterThreshold,
+	}
+	failed := 0
+	for _, fresh := range fs.Args() {
+		baseline := filepath.Join(*baseDir, filepath.Base(fresh))
+		rep, err := experiments.CompareBenchFiles(baseline, fresh, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n== %s vs %s ==\n", fresh, baseline)
+		fmt.Printf("%-28s %-16s %14s %14s %9s %6s\n",
+			"row", "metric", "baseline", "fresh", "delta", "")
+		for _, d := range rep.Deltas {
+			verdict := "ok"
+			if d.Regress {
+				verdict = "FAIL"
+			}
+			fmt.Printf("%-28s %-16s %14.0f %14.0f %+8.1f%% %6s\n",
+				d.Row, d.Metric, d.Old, d.New, d.Delta, verdict)
+		}
+		for _, m := range rep.Missing {
+			fmt.Printf("%-28s %-16s %14s %14s %9s %6s\n", m, "(missing row)", "-", "-", "-", "FAIL")
+		}
+		if n := rep.Regressions(); n > 0 {
+			fmt.Printf("%d regression(s) past threshold (ops_per_sec -%g%%, shard_acquires +%g%%)\n",
+				n, *threshold, *counterThreshold)
+			failed += n
+		} else {
+			fmt.Printf("within thresholds (ops_per_sec -%g%%, shard_acquires +%g%%)\n",
+				*threshold, *counterThreshold)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark regression(s)", failed)
+	}
+	return nil
+}

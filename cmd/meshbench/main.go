@@ -49,8 +49,19 @@ var (
 )
 
 func main() {
+	// "compare" is a subcommand with its own flags, not an experiment:
+	// it diffs fresh -json artifacts against committed baselines and
+	// exits nonzero on regressions (the CI perf gate).
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		if err := compareCmd(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "meshbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: meshbench [-scale N] [-csv] [-json FILE] <fig6|fig7|fig8|spec|prob|lemma53|triangle|ablation|robson|conc|pause|scale|datapath|remote|all>\n")
+		fmt.Fprintf(os.Stderr, "       meshbench compare [-baseline DIR] [-threshold PCT] [-counter-threshold PCT] FILE...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()

@@ -7,10 +7,15 @@
 //	meshtrace gen  [-ops N] [-alloc-prob P] [-min S] [-max S] [-seed K] > trace.txt
 //	meshtrace info < trace.txt
 //	meshtrace replay -allocator <kind> [-scale N] < trace.txt
+//	meshtrace record [-allocator <mesh kind>] [-sample N] [-events FILE] < trace.txt
+//	meshtrace top  [-allocator <mesh kind>] [-sample N] [-buckets N] < trace.txt
 //
 // Replay prints a summary line plus the RSS series as CSV, so the same
 // trace can be compared across mesh / mesh-nomesh / mesh-norand /
-// jemalloc / glibc.
+// jemalloc / glibc. Record and top replay the trace with the flight
+// recorder enabled: record prints event-count tables (optionally dumping
+// raw events), top renders per-heap event rates and a time-bucketed
+// mesh-phase timeline.
 package main
 
 import (
@@ -38,6 +43,10 @@ func main() {
 		err = info()
 	case "replay":
 		err = replay(args)
+	case "record":
+		err = record(args)
+	case "top":
+		err = top(args)
 	default:
 		usage()
 	}
@@ -51,7 +60,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   meshtrace gen  [-ops N] [-alloc-prob P] [-min S] [-max S] [-seed K] > trace.txt
   meshtrace info < trace.txt
-  meshtrace replay -allocator <kind> [-scale N] < trace.txt`)
+  meshtrace replay -allocator <kind> [-scale N] < trace.txt
+  meshtrace record [-allocator <mesh kind>] [-sample N] [-events FILE] < trace.txt
+  meshtrace top  [-allocator <mesh kind>] [-sample N] [-buckets N] < trace.txt`)
 	os.Exit(2)
 }
 

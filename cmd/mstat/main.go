@@ -5,18 +5,26 @@
 //
 // Usage:
 //
-//	mstat [-scale N] -workload <redis|ruby|browser> -allocator <kind>
+//	mstat [-scale N] -workload <redis|ruby|browser> -allocator <kind> [-trace] [-stats]
 //
 // Allocator kinds: mesh, mesh-nomesh, mesh-norand, jemalloc, glibc.
 // For the Redis workload, -defrag enables activedefrag (jemalloc only in
 // the paper, but any allocator accepts it here).
+//
+// -stats dumps the full control surface (every readable stats.*/trace.*
+// key) as Prometheus-style text on stderr after the run, keeping the CSV
+// stream on stdout clean. -trace enables the flight recorder for the run
+// so trace.offered/trace.dropped in the dump are live; both flags need a
+// mesh-kind allocator.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"repro/internal/alloc"
 	"repro/internal/browsersim"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -30,15 +38,17 @@ var (
 	workload  = flag.String("workload", "", "redis | ruby | browser")
 	allocator = flag.String("allocator", "mesh", "mesh | mesh-nomesh | mesh-norand | jemalloc | glibc")
 	defrag    = flag.Bool("defrag", false, "enable activedefrag (redis workload)")
+	traceOn   = flag.Bool("trace", false, "enable the flight recorder (mesh kinds only)")
+	statsOut  = flag.Bool("stats", false, "dump all readable control keys as metrics on stderr (mesh kinds only)")
 )
 
 func main() {
 	flag.Parse()
 	if *workload == "" {
-		fmt.Fprintln(os.Stderr, "usage: mstat [-scale N] -workload <redis|ruby|browser> -allocator <kind> [-defrag]")
+		fmt.Fprintln(os.Stderr, "usage: mstat [-scale N] -workload <redis|ruby|browser> -allocator <kind> [-defrag] [-trace] [-stats]")
 		os.Exit(2)
 	}
-	series, err := run()
+	series, a, err := run()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mstat: %v\n", err)
 		os.Exit(1)
@@ -48,13 +58,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mstat: %v\n", err)
 		os.Exit(1)
 	}
+	if *statsOut {
+		if err := dumpStats(a); err != nil {
+			fmt.Fprintf(os.Stderr, "mstat: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func run() (*stats.Series, error) {
+// controllable is the slice of the mesh API mstat needs; the baseline
+// allocators do not implement it, which is exactly the error we want.
+type controllable interface {
+	Control(key string, value any) error
+	WriteMetrics(w io.Writer) error
+}
+
+func dumpStats(a alloc.Allocator) error {
+	c, ok := a.(controllable)
+	if !ok {
+		return fmt.Errorf("-stats requires a mesh-kind allocator, not %q", *allocator)
+	}
+	return c.WriteMetrics(os.Stderr)
+}
+
+func run() (*stats.Series, alloc.Allocator, error) {
 	clock := core.NewLogicalClock()
 	a, err := experiments.Build(*allocator, *scale, clock)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if *traceOn {
+		c, ok := a.(controllable)
+		if !ok {
+			return nil, nil, fmt.Errorf("-trace requires a mesh-kind allocator, not %q", *allocator)
+		}
+		if err := c.Control("trace.enabled", true); err != nil {
+			return nil, nil, err
+		}
 	}
 	switch *workload {
 	case "redis":
@@ -62,22 +102,22 @@ func run() (*stats.Series, error) {
 		cfg.ActiveDefrag = *defrag
 		r, err := redissim.Run(cfg, a, clock)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return &r.Series, nil
+		return &r.Series, a, nil
 	case "ruby":
 		r, err := rubysim.Run(rubysim.Default(*scale), a, clock)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return &r.Series, nil
+		return &r.Series, a, nil
 	case "browser":
 		r, err := browsersim.Run(browsersim.Default(*scale), a, clock)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return &r.Series, nil
+		return &r.Series, a, nil
 	default:
-		return nil, fmt.Errorf("unknown workload %q", *workload)
+		return nil, nil, fmt.Errorf("unknown workload %q", *workload)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/miniheap"
 	"repro/internal/rng"
 	"repro/internal/sizeclass"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -77,6 +78,17 @@ type Config struct {
 	// shard-locked remote-free path (and with it double-free detection on
 	// cross-thread frees). Runtime-togglable via the remote.queue control.
 	RemoteQueues bool
+	// TraceEnabled starts the heap with the flight recorder on (default
+	// off; the disabled emission cost is one atomic load per site).
+	// Runtime-togglable via the trace.enabled control.
+	TraceEnabled bool
+	// TraceSampleRate is the 1-in-n sampling of alloc/free trace events;
+	// 0 keeps the recorder default. Runtime-tunable via trace.sample_rate.
+	TraceSampleRate int
+	// TraceBufferEvents is the per-source trace ring capacity in events;
+	// 0 keeps the recorder default. Runtime-tunable via
+	// trace.buffer_events (applies to rings created afterwards).
+	TraceBufferEvents int
 }
 
 // DefaultMaxPause is the per-slice pause bound used when Config.MaxPause
@@ -314,6 +326,15 @@ type GlobalHeap struct {
 	arena *arena.Arena
 	clock Clock
 
+	// tracer is the heap's flight recorder (internal/trace): every
+	// emission site in the allocator records through a Source of this
+	// recorder, and the mallctl trace.* keys control it. trEngine and
+	// trBarrier are the singleton sources for meshing-phase events and
+	// write-barrier waits; thread heaps carry their own sources.
+	tracer    *trace.Recorder
+	trEngine  *trace.Source
+	trBarrier *trace.Source
+
 	// meshBarrier is the write barrier's wait point for meshing
 	// (§4.5.2–§4.5.3): the engine holds it from write-protecting source
 	// spans until the page-table remap restores them read-write, so a
@@ -413,6 +434,20 @@ func NewGlobalHeap(cfg Config) *GlobalHeap {
 		cs.full = newBinSet()
 		cs.reg = newBinSet()
 	}
+	// The flight recorder shares the heap's clock, so trace timestamps
+	// line up with pause measurements and logical-clock runs stay
+	// deterministic. The VM layer records through its own source.
+	g.tracer = trace.NewRecorder(clock)
+	if cfg.TraceSampleRate > 0 {
+		g.tracer.SetSampleRate(int64(cfg.TraceSampleRate))
+	}
+	if cfg.TraceBufferEvents > 0 {
+		g.tracer.SetBufferEvents(int64(cfg.TraceBufferEvents))
+	}
+	g.tracer.SetEnabled(cfg.TraceEnabled)
+	g.trEngine = g.tracer.NewSource(trace.SrcEngine)
+	g.trBarrier = g.tracer.NewSource(trace.SrcBarrier)
+	osv.SetTracer(g.tracer.NewSource(trace.SrcVM))
 	// Mesh's write barrier: a write faulting on a protected page waits out
 	// whichever meshing mode is in flight, then retries; by then the page
 	// has been remapped read-write (§4.5.2). Every protect→remap window —
@@ -424,12 +459,18 @@ func NewGlobalHeap(cfg Config) *GlobalHeap {
 	// shard lock here would deadlock against an engine slice that protects
 	// spans and then copies while the fix-up still needs the same shard.
 	osv.SetFaultHook(func(addr uint64) {
+		start := g.clock.Now()
 		g.meshBarrier.Lock()
 		//lint:ignore SA2001 empty critical section is the wait itself
 		g.meshBarrier.Unlock()
+		g.trBarrier.Event(trace.EvBarrierWait, addr, uint64(g.clock.Now()-start))
 	})
 	return g
 }
+
+// Tracer returns the heap's flight recorder, for the mallctl trace.*
+// surface and snapshot API.
+func (g *GlobalHeap) Tracer() *trace.Recorder { return g.tracer }
 
 // SetMeshNotifier installs the function the free path calls (instead of
 // meshing inline) when background meshing is active — the daemon's

@@ -8,6 +8,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/shufflevec"
 	"repro/internal/sizeclass"
+	"repro/internal/trace"
 )
 
 // ThreadHeap is a thread-local heap (§4.3): one shuffle vector per size
@@ -44,6 +45,10 @@ type ThreadHeap struct {
 	// park/unpark. Its address is published on each attached MiniHeap.
 	remote remoteQueue
 
+	// tr is this heap's flight-recorder source (sampled alloc/free and
+	// remote-queue events), keyed by the heap id.
+	tr *trace.Source
+
 	localAllocs atomic.Uint64
 	localFrees  atomic.Uint64
 	refills     atomic.Uint64
@@ -55,6 +60,7 @@ func NewThreadHeap(g *GlobalHeap, id uint64) *ThreadHeap {
 	t := &ThreadHeap{
 		global: g,
 		rnd:    rng.New(g.cfg.Seed*0x9e3779b9 + id),
+		tr:     g.tracer.NewSource(uint32(id)),
 	}
 	for c := range t.svs {
 		t.svs[c] = shufflevec.New(t.rnd, g.cfg.Randomize)
@@ -129,6 +135,7 @@ func (t *ThreadHeap) Free(addr uint64) error {
 	if ok {
 		t.localFrees.Add(1)
 		t.global.noteLocalFree(size)
+		t.tr.Sampled(trace.EvFree, addr, uint64(size))
 		return nil
 	}
 	if t.tryQueueRemote(addr, owner) {

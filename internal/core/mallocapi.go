@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"repro/internal/sizeclass"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -116,7 +117,9 @@ func (t *ThreadHeap) mallocFromClass(class int) (uint64, error) {
 	off, _ := sv.Malloc()
 	t.localAllocs.Add(1)
 	t.global.noteAlloc(sizeclass.Size(class))
-	return t.attached[class].AddrOf(off), nil
+	addr := t.attached[class].AddrOf(off)
+	t.tr.Sampled(trace.EvAlloc, addr, uint64(sizeclass.Size(class)))
+	return addr, nil
 }
 
 // UsableSize reports the usable bytes of the object at addr

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/meshing"
 	"repro/internal/miniheap"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -112,6 +113,10 @@ func (g *GlobalHeap) meshAllBarrier() int {
 		cs.lock()
 		holdStart := g.clock.Now()
 		pairs := g.planClassLocked(cs, class)
+		if len(pairs) > 0 {
+			g.trEngine.Event(trace.EvMeshProtect, uint64(class), uint64(len(pairs)))
+		}
+		classReleased := 0
 		for _, p := range pairs {
 			// Copy the emptier span's objects into the fuller span.
 			if err := g.copyPair(p); err != nil {
@@ -124,7 +129,14 @@ func (g *GlobalHeap) meshAllBarrier() int {
 			}
 			freedBytes += p.src.SpanBytes()
 			released++
+			classReleased++
 			g.chargeStepCost()
+		}
+		if len(pairs) > 0 {
+			// Foreground passes copy and remap pair-by-pair under one
+			// hold; the phase pair closes the class's timeline window.
+			g.trEngine.Event(trace.EvMeshCopy, uint64(class), uint64(classReleased))
+			g.trEngine.Event(trace.EvMeshRemap, uint64(class), uint64(classReleased))
 		}
 		if len(pairs) > 0 {
 			// Only class visits that claimed candidates count as pauses:
@@ -214,6 +226,7 @@ func (g *GlobalHeap) meshClassBackground(class int, maxPause time.Duration) (rel
 	if len(pairs) == 0 {
 		return 0, 0
 	}
+	g.trEngine.Event(trace.EvMeshProtect, uint64(class), uint64(len(pairs)))
 
 	// Copy phase, off the lock: the source spans are write-protected, so
 	// reads proceed and writers block in the fault handler until the remap
@@ -221,9 +234,14 @@ func (g *GlobalHeap) meshClassBackground(class int, maxPause time.Duration) (rel
 	// the shard lock — bits only clear, so pair disjointness is preserved
 	// and the fix-up merge below sees the freshest bitmap.
 	copied := make([]bool, len(pairs))
+	nCopied := uint64(0)
 	for i, p := range pairs {
 		copied[i] = g.copyPair(p) == nil
+		if copied[i] {
+			nCopied++
+		}
 	}
+	g.trEngine.Event(trace.EvMeshCopy, uint64(class), nCopied)
 
 	// Fix-up phase: page-table remap and bin fix-up under the shard lock,
 	// released and re-acquired whenever the pause budget is spent so
@@ -253,6 +271,7 @@ func (g *GlobalHeap) meshClassBackground(class int, maxPause time.Duration) (rel
 	}
 	g.recordPause(g.clock.Now() - pauseStart)
 	cs.unlock()
+	g.trEngine.Event(trace.EvMeshRemap, uint64(class), uint64(released))
 
 	g.meshTime.Add(int64(g.clock.Now() - sliceStart))
 	return released, freedBytes
@@ -405,6 +424,13 @@ func (g *GlobalHeap) abortPairLocked(cs *classState, p meshPair) {
 func (g *GlobalHeap) recordPause(d time.Duration) {
 	if d < 0 {
 		d = 0
+	}
+	if budget := time.Duration(g.maxPause.Load()); d > budget {
+		// Holds past the mesh.max_pause budget are the engine's failure
+		// mode for §4.5's bounded-pause goal; flag each one. (Foreground
+		// passes are unbounded by design and simply report against the
+		// same budget.)
+		g.trEngine.Event(trace.EvPauseOverrun, uint64(d), uint64(budget))
 	}
 	g.pauseCount.Add(1)
 	g.pauseTotal.Add(int64(d))

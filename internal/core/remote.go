@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/miniheap"
 	"repro/internal/sizeclass"
+	"repro/internal/trace"
 )
 
 // This file implements message-passing remote frees: instead of climbing
@@ -267,6 +268,7 @@ func (t *ThreadHeap) drainRemote(segs *remoteSeg) int {
 	}
 	if n > 0 {
 		t.global.remoteDrained.Add(uint64(n))
+		t.tr.Event(trace.EvRemoteDrain, uint64(n), 0)
 	}
 	if reached {
 		// Stale entries that re-binned detached spans count as frees
@@ -308,8 +310,10 @@ func (t *ThreadHeap) tryQueueRemote(addr uint64, mh *miniheap.MiniHeap) bool {
 	t.global.noteRemoteQueued(int64(mh.ObjectSize()), 1)
 	if !sink.PushRemote(mh, off) {
 		t.global.noteRemoteUnqueued(int64(mh.ObjectSize()), 1)
+		t.tr.Event(trace.EvRemoteFallback, addr, 0)
 		return false
 	}
+	t.tr.Event(trace.EvRemotePush, addr, uint64(mh.ObjectSize()))
 	return true
 }
 

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // Config parameterizes a Daemon. The zero value is usable: every field
@@ -62,6 +63,7 @@ type Daemon struct {
 	cfg Config
 
 	nudge chan struct{}
+	tr    *trace.Source // flight-recorder source for pass-trigger events
 
 	mu      sync.Mutex // guards start/stop transitions
 	running atomic.Bool
@@ -80,7 +82,12 @@ func New(g *core.GlobalHeap, cfg Config) *Daemon {
 	if cfg.PressurePct <= 0 {
 		cfg.PressurePct = 90
 	}
-	return &Daemon{g: g, cfg: cfg, nudge: make(chan struct{}, 1)}
+	return &Daemon{
+		g:     g,
+		cfg:   cfg,
+		nudge: make(chan struct{}, 1),
+		tr:    g.Tracer().NewSource(trace.SrcDaemon),
+	}
 }
 
 // Start launches the daemon goroutine, routes the heap's free-path trigger
@@ -161,23 +168,32 @@ func (d *Daemon) loop(stop, done chan struct{}) {
 			d.wakeups.Add(1)
 			if d.underPressure() {
 				d.pressurePasses.Add(1)
-				d.RunPass()
+				d.runTraced(trace.WakePressure)
 			} else if d.g.MeshDue() {
 				d.nudgePasses.Add(1)
-				d.RunPass()
+				d.runTraced(trace.WakeNudge)
 			}
 		case <-timer.C:
 			d.wakeups.Add(1)
 			if d.underPressure() {
 				d.pressurePasses.Add(1)
-				d.RunPass()
+				d.runTraced(trace.WakePressure)
 			} else if d.g.MeshDue() {
 				d.timerPasses.Add(1)
-				d.RunPass()
+				d.runTraced(trace.WakeTimer)
 			}
 			timer.Reset(d.pollEvery())
 		}
 	}
+}
+
+// runTraced runs one pass and records what triggered it (idle wakeups are
+// deliberately not recorded — the timer polls as often as every
+// millisecond, and a no-pass wake carries no information the pass-trigger
+// stream doesn't).
+func (d *Daemon) runTraced(reason uint64) {
+	released := d.RunPass()
+	d.tr.Event(trace.EvDaemonWake, reason, uint64(released))
 }
 
 // pollEvery derives the wall-clock wake-up interval, re-read every cycle

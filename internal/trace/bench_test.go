@@ -1,0 +1,45 @@
+package trace
+
+import "testing"
+
+// The two numbers the always-on claim rests on: the disabled fast path
+// (one nil check + one atomic load) and the full enabled record path
+// (ring CAS claim + five atomic stores).
+
+func BenchmarkEventDisabled(b *testing.B) {
+	r := NewRecorder(nil)
+	s := r.NewSource(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Event(EvAlloc, 0x1000, 64)
+	}
+}
+
+func BenchmarkEventEnabled(b *testing.B) {
+	r := NewRecorder(nil)
+	r.SetEnabled(true)
+	s := r.NewSource(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Event(EvAlloc, 0x1000, 64)
+	}
+}
+
+func BenchmarkSampledDisabled(b *testing.B) {
+	r := NewRecorder(nil)
+	s := r.NewSource(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Sampled(EvAlloc, 0x1000, 64)
+	}
+}
+
+func BenchmarkSampledEnabledRate64(b *testing.B) {
+	r := NewRecorder(nil)
+	r.SetEnabled(true)
+	s := r.NewSource(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Sampled(EvAlloc, 0x1000, 64)
+	}
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// ring is a bounded multi-producer event buffer that overwrites its
+// oldest events and never blocks. One ring per Source; capacity is a
+// power of two fixed at creation.
+//
+// # Publication protocol
+//
+// Every event gets a per-ring absolute index i from one atomic
+// fetch-and-add on pos; the event lives in slot i&mask. Publication is a
+// per-slot seqlock keyed to the absolute index:
+//
+//	claim:   seq CAS  old (even) → 2i+1     slot is busy, owned by writer i
+//	publish: payload stores; then seq ← 2i+2  event i is whole
+//
+// A reader accepts slot contents as event i only if it reads seq == 2i+2
+// both before and after the payload — any concurrent claim flips seq odd
+// first, so a torn payload can never validate. All slot fields are
+// atomics: distinct events' writes to one slot are synchronization-free
+// overwrites by design, and the protocol — not the memory model — is
+// what rejects mixed payloads.
+//
+// The claim CAS makes each slot single-writer even across wraparound
+// laps: a writer that stalls long enough for the ring to lap it finds its
+// slot claimed by (or already holding) a later event and abandons its own
+// — the event is simply dropped, which the accounting below charges
+// correctly. No CAS loop, no retry, no spin: every writer finishes in a
+// bounded handful of atomic operations.
+//
+// # Accounting
+//
+// pos counts events offered. A scan collects each index in the live
+// window [pos-cap, pos) whose slot validates; everything else — lapped
+// indices below the window, claim-CAS losers, events mid-publication
+// during the scan — is dropped = offered − collected. The invariant
+// offered == dropped + collected therefore holds by construction at all
+// times, and at quiescence dropped counts exactly the events wraparound
+// destroyed (the litmus stress pins this).
+type ring struct {
+	src   uint32
+	mask  uint64
+	pos   atomic.Uint64 // next absolute index == events offered
+	slots []slot
+}
+
+type slot struct {
+	seq  atomic.Uint64
+	when atomic.Int64
+	kind atomic.Uint32
+	a    atomic.Uint64
+	b    atomic.Uint64
+}
+
+// ringCapacity rounds capacity up to a power of two, floored at
+// MinBufferEvents... except that tests may construct smaller rings
+// directly, so the floor here is just 1.
+func ringCapacity(capacity int) int {
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return c
+}
+
+func newRing(src uint32, capacity int) *ring {
+	c := ringCapacity(capacity)
+	return &ring{src: src, mask: uint64(c - 1), slots: make([]slot, c)}
+}
+
+// record publishes one event, dropping it if the slot was lapped by a
+// later event while this writer was stalled (see the protocol comment).
+func (r *ring) record(now time.Duration, kind Kind, a, b uint64) {
+	i := r.pos.Add(1) - 1
+	s := &r.slots[i&r.mask]
+	old := s.seq.Load()
+	// old is 0 (virgin slot) or 2j+1 / 2j+2 for an earlier occupant j of
+	// this slot. Odd: j's writer still owns the slot. 2j+2 with j > i: a
+	// later lap already published here. Either way our event lost the
+	// slot; drop it rather than regress the slot's contents.
+	if old&1 != 0 || old > 2*i+2 || !s.seq.CompareAndSwap(old, 2*i+1) {
+		return
+	}
+	s.when.Store(int64(now))
+	s.kind.Store(uint32(kind))
+	s.a.Store(a)
+	s.b.Store(b)
+	s.seq.Store(2*i + 2)
+}
+
+// snapshotInto appends every currently valid event to evs and returns the
+// extended slice plus (offered, collected) for this ring.
+func (r *ring) snapshotInto(evs []Event) ([]Event, uint64, uint64) {
+	total := r.pos.Load()
+	lo := uint64(0)
+	if c := r.mask + 1; total > c {
+		lo = total - c
+	}
+	collected := uint64(0)
+	for i := lo; i < total; i++ {
+		s := &r.slots[i&r.mask]
+		want := 2*i + 2
+		if s.seq.Load() != want {
+			continue
+		}
+		e := Event{
+			Seq:  i,
+			Src:  r.src,
+			Time: time.Duration(s.when.Load()),
+			Kind: Kind(s.kind.Load()),
+			A:    s.a.Load(),
+			B:    s.b.Load(),
+		}
+		if s.seq.Load() != want {
+			continue
+		}
+		evs = append(evs, e)
+		collected++
+	}
+	return evs, total, collected
+}
+
+// countValid is snapshotInto without materializing events — the
+// trace.dropped control's scan.
+func (r *ring) countValid() (offered, collected uint64) {
+	total := r.pos.Load()
+	lo := uint64(0)
+	if c := r.mask + 1; total > c {
+		lo = total - c
+	}
+	for i := lo; i < total; i++ {
+		if r.slots[i&r.mask].seq.Load() == 2*i+2 {
+			collected++
+		}
+	}
+	return total, collected
+}

@@ -62,6 +62,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
 // PageSize is the simulated hardware page size (x86-64 default, §4.4.3).
@@ -213,6 +215,12 @@ type OS struct {
 	// again (Mesh's segfault handler waits on the mesh lock). After it
 	// returns, the write is retried.
 	faultHook atomic.Value // func(addr uint64)
+
+	// tr is the flight-recorder source for seqlock retries and
+	// protection changes; nil (a standalone OS) records nothing. An
+	// atomic pointer so SetTracer needs no ordering contract with the
+	// lock-free data path.
+	tr atomic.Pointer[trace.Source]
 }
 
 // ArenaBase is where reserved virtual address space begins. A high, clearly
@@ -230,6 +238,12 @@ func NewOS() *OS {
 // SetFaultHook installs the write-protection fault handler.
 func (o *OS) SetFaultHook(h func(addr uint64)) {
 	o.faultHook.Store(h)
+}
+
+// SetTracer installs the flight-recorder source for VM events (seqlock
+// retries, protection changes). Safe to call at any time; nil disables.
+func (o *OS) SetTracer(s *trace.Source) {
+	o.tr.Store(s)
 }
 
 // Reserve allocates a fresh range of virtual address space, pages pages
@@ -299,6 +313,7 @@ func (o *OS) endUpdate() { o.gen.Add(1) }
 //mesh:lockfree
 func (o *OS) noteRetry() {
 	o.statRetries.Add(1)
+	o.tr.Load().Event(trace.EvVMRetry, 0, 0)
 	runtime.Gosched()
 }
 
@@ -602,6 +617,11 @@ func (o *OS) Protect(vaddr uint64, pages int, p Prot) error {
 		// whole spans, so this affects only partial-protect callers.
 		drainWriters(counters)
 	}
+	ro := uint64(0)
+	if p == ReadOnly {
+		ro = 1
+	}
+	o.tr.Load().Event(trace.EvVMProtect, vaddr, uint64(pages)<<1|ro)
 	return nil
 }
 

@@ -41,6 +41,13 @@ import (
 //	stats.vm.retries  uint64          r         seqlock retries on the data path (health metric: ≈0 is healthy)
 //	stats.remote.queued uint64        r         frees message-passed to owner queues (no shard lock taken)
 //	stats.remote.drained uint64       r         queued frees settled by owners; equals queued at quiescence
+//	stats.pool.borrows uint64         r         thread-heap hand-offs out of the pool (one per Allocator-level call)
+//	stats.pool.returns uint64         r         thread-heap hand-offs back into the pool
+//	trace.enabled     bool            rw        flight recorder on/off (off = one atomic load per emission site)
+//	trace.sample_rate int             rw        record 1 in n alloc/free events (min 1; other kinds are unsampled)
+//	trace.buffer_events int           rw        per-source ring capacity in events, rounded up to a power of two; applies to rings created after the write
+//	trace.offered     uint64          r         trace events accepted for recording (post-sampling)
+//	trace.dropped     uint64          r         offered events lost to ring wraparound; offered - dropped events are snapshottable
 //
 // Integer-typed keys accept int, int32, int64 or uint64 on write;
 // mesh.period additionally accepts a time.ParseDuration string.
@@ -213,6 +220,57 @@ var controls = map[string]control{
 	},
 	"stats.global.shard_acquires": {
 		get: func(a *Allocator) (any, error) { return a.g.ShardAcquires(), nil },
+	},
+	"stats.pool.borrows": {
+		get: func(a *Allocator) (any, error) { return a.pool.borrows.Load(), nil },
+	},
+	"stats.pool.returns": {
+		get: func(a *Allocator) (any, error) { return a.pool.returns.Load(), nil },
+	},
+	"trace.enabled": {
+		set: func(a *Allocator, v any) error {
+			b, ok := v.(bool)
+			if !ok {
+				return fmt.Errorf("%w: need bool, got %T", ErrControlType, v)
+			}
+			a.g.Tracer().SetEnabled(b)
+			return nil
+		},
+		get: func(a *Allocator) (any, error) { return a.g.Tracer().Enabled(), nil },
+	},
+	"trace.sample_rate": {
+		set: func(a *Allocator, v any) error {
+			n, err := asInt64(v)
+			if err != nil {
+				return err
+			}
+			if n < 1 {
+				return fmt.Errorf("%w: trace.sample_rate must be >= 1, got %d", ErrControlType, n)
+			}
+			a.g.Tracer().SetSampleRate(n)
+			return nil
+		},
+		get: func(a *Allocator) (any, error) { return int(a.g.Tracer().SampleRate()), nil },
+	},
+	"trace.buffer_events": {
+		set: func(a *Allocator, v any) error {
+			n, err := asInt64(v)
+			if err != nil {
+				return err
+			}
+			if n < 1 {
+				return fmt.Errorf("%w: trace.buffer_events must be >= 1, got %d", ErrControlType, n)
+			}
+			a.g.Tracer().SetBufferEvents(n)
+			return nil
+		},
+		get: func(a *Allocator) (any, error) { return int(a.g.Tracer().BufferEvents()), nil },
+	},
+	"trace.offered": {
+		get: func(a *Allocator) (any, error) { return a.g.Tracer().Offered(), nil },
+	},
+	"trace.dropped": {
+		get: func(a *Allocator) (any, error) { return a.g.Tracer().Dropped(), nil },
 	},
 }
 

@@ -46,6 +46,15 @@ func TestControlKeyTable(t *testing.T) {
 		{key: "stats.vm.retries", want: uint64(0), readback: true},
 		{key: "stats.remote.queued", want: uint64(0), readback: true},
 		{key: "stats.remote.drained", want: uint64(0), readback: true},
+		{key: "stats.pool.borrows", want: uint64(0), readback: true},
+		{key: "stats.pool.returns", want: uint64(0), readback: true},
+		{key: "trace.enabled", set: true, want: true, readback: true},
+		{key: "trace.sample_rate", set: 8, want: 8, readback: true},
+		// Sub-minimum buffer sizes clamp up, larger values round to the
+		// next power of two.
+		{key: "trace.buffer_events", set: 3000, want: 4096, readback: true},
+		{key: "trace.offered", want: uint64(0), readback: true},
+		{key: "trace.dropped", want: uint64(0), readback: true},
 	}
 
 	covered := make(map[string]bool)
@@ -106,6 +115,11 @@ func TestControlBadTypes(t *testing.T) {
 		{"mesh.split_t", 0}, // must be positive
 		{"os.memory_limit", 1.0},
 		{"os.memory_limit", int64(-1)},
+		{"trace.enabled", 1},
+		{"trace.sample_rate", 0},
+		{"trace.sample_rate", "fast"},
+		{"trace.buffer_events", 0},
+		{"trace.buffer_events", false},
 	}
 	for _, tc := range bad {
 		if err := a.Control(tc.key, tc.val); !errors.Is(err, ErrControlType) {

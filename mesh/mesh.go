@@ -92,6 +92,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/core"
 	"repro/internal/meshd"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -138,6 +139,18 @@ const NumPauseBuckets = core.NumPauseBuckets
 // PauseBucketBound returns the inclusive upper bound of pause-histogram
 // bucket i; the last bucket is unbounded and returns a negative duration.
 func PauseBucketBound(i int) time.Duration { return core.PauseBucketBound(i) }
+
+// TraceSnapshot is a consistent view of the flight recorder: surviving
+// events in merged time order plus exact offered/dropped accounting. Get
+// one from Allocator.TraceSnapshot.
+type TraceSnapshot = trace.Snapshot
+
+// TraceEvent is one flight-recorder event.
+type TraceEvent = trace.Event
+
+// TraceEventKind identifies a flight-recorder event type; see the
+// internal/trace Ev* constants for the catalogue.
+type TraceEventKind = trace.Kind
 
 // Clock abstracts time for mesh rate limiting; see WithClock.
 type Clock = core.Clock
@@ -233,6 +246,28 @@ func WithRemoteQueues(enabled bool) Option {
 	return func(c *core.Config) { c.RemoteQueues = enabled }
 }
 
+// WithTracing starts the allocator with the flight recorder on. The
+// recorder is always compiled in and runtime-togglable via
+// Control("trace.enabled", bool); this option only flips the initial
+// state, so runs capture events from the very first allocation.
+func WithTracing(enabled bool) Option {
+	return func(c *core.Config) { c.TraceEnabled = enabled }
+}
+
+// WithTraceSampleRate sets the 1-in-n sampling of alloc/free trace
+// events (default 64; other event kinds are never sampled).
+// Runtime-tunable via Control("trace.sample_rate", n).
+func WithTraceSampleRate(n int) Option {
+	return func(c *core.Config) { c.TraceSampleRate = n }
+}
+
+// WithTraceBufferEvents sets the per-source trace ring capacity in
+// events (default 4096, rounded up to a power of two). Runtime-tunable
+// via Control("trace.buffer_events", n) for rings created afterwards.
+func WithTraceBufferEvents(n int) Option {
+	return func(c *core.Config) { c.TraceBufferEvents = n }
+}
+
 // Allocator is a Mesh heap, safe for concurrent use by any number of
 // goroutines. Each call transparently borrows a pooled thread heap; see
 // the package comment for the concurrency model and NewThread for the
@@ -315,6 +350,15 @@ func (a *Allocator) Mesh() int {
 
 // Stats returns a snapshot of allocator state.
 func (a *Allocator) Stats() Stats { return a.g.Stats() }
+
+// TraceSnapshot returns a consistent snapshot of the flight recorder:
+// every surviving event across all sources in merged time order, with
+// exact accounting of events dropped to ring wraparound (Offered ==
+// Dropped + len(Events), always). It never blocks recording and is safe
+// to call at any time, including with tracing disabled (events recorded
+// before disabling are retained). Enable recording with
+// Control("trace.enabled", true) or the WithTracing option.
+func (a *Allocator) TraceSnapshot() TraceSnapshot { return a.g.Tracer().Snapshot() }
 
 // RSS returns resident physical memory in bytes.
 func (a *Allocator) RSS() int64 { return a.g.OS().RSS() }

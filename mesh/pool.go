@@ -44,6 +44,13 @@ type heapPool struct {
 
 	idle    atomic.Int64  // heaps currently parked in the pool (slots + stack)
 	created atomic.Uint64 // heaps ever created by this pool
+
+	// borrows/returns count hand-offs through the pool (stats.pool.*):
+	// every Allocator-level call pays one acquire/release round trip, so
+	// these are the contention-exposure metric for the pool's slot array
+	// and Treiber stack — the baseline any per-CPU-cache work must beat.
+	borrows atomic.Uint64
+	returns atomic.Uint64
 }
 
 type heapNode struct {
@@ -63,6 +70,7 @@ func newHeapPool(g *core.GlobalHeap, nextID *atomic.Uint64) *heapPool {
 //
 //mesh:lockfree
 func (p *heapPool) acquire() *core.ThreadHeap {
+	p.borrows.Add(1)
 	for i := range p.slots {
 		if p.slots[i].Load() == nil {
 			continue
@@ -97,6 +105,7 @@ func (p *heapPool) acquire() *core.ThreadHeap {
 //
 //mesh:lockfree
 func (p *heapPool) release(th *core.ThreadHeap) {
+	p.returns.Add(1)
 	th.DrainRemoteFrees() //mesh:slowpath — the park drain point; settles queued frees while we still own the heap
 	for i := range p.slots {
 		if p.slots[i].Load() != nil {
