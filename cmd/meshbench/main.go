@@ -21,6 +21,7 @@
 //	scale     free/refill throughput vs goroutine count (sharded global heap)
 //	datapath  object read/write/memset throughput vs goroutine count (lock-free VM translation)
 //	remote    producer–consumer remote frees: message-passing queues vs shard locks
+//	chaos     fault-injection stress: every site armed across 4 seeds, exact accounting demanded
 //	all       everything above
 //
 // -scale divides workload sizes (1 = the paper's full parameters; larger
@@ -60,7 +61,7 @@ func main() {
 		return
 	}
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: meshbench [-scale N] [-csv] [-json FILE] <fig6|fig7|fig8|spec|prob|lemma53|triangle|ablation|robson|conc|pause|scale|datapath|remote|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: meshbench [-scale N] [-csv] [-json FILE] <fig6|fig7|fig8|spec|prob|lemma53|triangle|ablation|robson|conc|pause|scale|datapath|remote|chaos|all>\n")
 		fmt.Fprintf(os.Stderr, "       meshbench compare [-baseline DIR] [-threshold PCT] [-counter-threshold PCT] FILE...\n")
 		flag.PrintDefaults()
 	}
@@ -108,9 +109,11 @@ func run(what string) error {
 		return datapath()
 	case "remote":
 		return remote()
+	case "chaos":
+		return chaos()
 	case "all":
 		runningAll = true
-		for _, f := range []func() error{fig6, fig7, fig8, spec, ablation, robson, conc, pause, scaleExp, datapath, remote} {
+		for _, f := range []func() error{fig6, fig7, fig8, spec, ablation, robson, conc, pause, scaleExp, datapath, remote, chaos} {
 			if err := f(); err != nil {
 				return err
 			}
@@ -400,6 +403,33 @@ func remote() error {
 			r.ShardAcquires, r.RemoteQueued, r.RemoteDrained)
 	}
 	if p := jsonPath("remote"); p != "" {
+		return writeJSON(p, res)
+	}
+	return nil
+}
+
+func chaos() error {
+	header("Chaos: every fault site armed, 4 seeds, exact accounting demanded")
+	res, err := experiments.Chaos(*scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan: %s\n", res.Plan)
+	fmt.Printf("%6s %10s %9s %12s %14s %8s %9s %10s %11s\n",
+		"seed", "ops", "skipped", "wall", "ops/sec", "faults", "passes", "restarts", "invariants")
+	for _, r := range res.Seeds {
+		inv := "ok"
+		if !r.InvariantsOK {
+			inv = "VIOLATED"
+		}
+		fmt.Printf("%6d %10d %9d %12v %14.0f %8d %9d %10d %11s\n",
+			r.Seed, r.Ops, r.SkippedOps, r.Wall.Round(1e6), r.OpsPerSec,
+			r.FaultsInjected, r.MeshPasses, r.MeshdRestarts, inv)
+		if !r.InvariantsOK {
+			return fmt.Errorf("chaos seed %d: invariant check failed", r.Seed)
+		}
+	}
+	if p := jsonPath("chaos"); p != "" {
 		return writeJSON(p, res)
 	}
 	return nil

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/miniheap"
 	"repro/internal/vm"
 )
@@ -124,14 +125,29 @@ func (a *Arena) AllocSpan(pages int) (vbase uint64, phys vm.PhysID, reused bool,
 		a.dirtyPages -= pages
 		a.mu.Unlock()
 		vbase = a.os.Reserve(pages)
-		if err := a.os.MapExisting(vbase, phys); err != nil {
+		err := faultinject.RetryTransient(faultinject.DefaultRetryAttempts,
+			faultinject.DefaultRetryBackoff, func() error {
+				return a.os.MapExisting(vbase, phys)
+			})
+		if err != nil {
+			// Re-park the span: the map failed, but the physical pages are
+			// still good — dropping them here would leak RSS on every
+			// injected map fault.
+			a.mu.Lock()
+			a.dirty[pages] = append(a.dirty[pages], phys)
+			a.dirtyPages += pages
+			a.mu.Unlock()
 			return 0, 0, false, err
 		}
 		return vbase, phys, true, nil
 	}
 	a.mu.Unlock()
 	vbase = a.os.Reserve(pages)
-	phys, err = a.os.Commit(vbase, pages)
+	err = faultinject.RetryTransient(faultinject.DefaultRetryAttempts,
+		faultinject.DefaultRetryBackoff, func() error {
+			phys, err = a.os.Commit(vbase, pages)
+			return err
+		})
 	if err != nil {
 		return 0, 0, false, err
 	}

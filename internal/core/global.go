@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/arena"
+	"repro/internal/faultinject"
 	"repro/internal/miniheap"
 	"repro/internal/rng"
 	"repro/internal/sizeclass"
@@ -23,6 +24,11 @@ import (
 var (
 	ErrInvalidFree = errors.New("core: free of pointer not owned by the heap")
 	ErrDoubleFree  = errors.New("core: double free")
+	// ErrOutOfMemory is returned when an allocation exceeds the memory
+	// limit and the backpressure ladder (flush dirty reuse bins →
+	// emergency mesh pass → retry once) could not recover it. It wraps
+	// vm.ErrOutOfMemory, so errors.Is matches either.
+	ErrOutOfMemory = errors.New("core: out of memory")
 )
 
 // Config controls a heap instance. The zero value is not valid; use
@@ -89,6 +95,22 @@ type Config struct {
 	// 0 keeps the recorder default. Runtime-tunable via
 	// trace.buffer_events (applies to rings created afterwards).
 	TraceBufferEvents int
+	// FaultPlan arms the fault-injection plane with a plan spec (see
+	// internal/faultinject for the grammar) and enables it. Empty (the
+	// default) leaves the plane disabled; an invalid spec panics in
+	// NewGlobalHeap — a typo'd chaos schedule must not silently run the
+	// happy path. Runtime-tunable via the fault.* controls.
+	FaultPlan string
+	// FaultSeed seeds the plane's deterministic decisions; 0 uses Seed,
+	// so a chaos run replays from the workload seed alone.
+	FaultSeed uint64
+	// OOMBackpressure enables the graceful-degradation ladder on memory-
+	// limit hits (default true in DefaultConfig): flush the arena's
+	// dirty reuse bins, run an emergency synchronous mesh pass, retry
+	// the allocation once, and only then fail with ErrOutOfMemory.
+	// Disabling it fails limit hits immediately (still typed).
+	// Runtime-togglable via the oom.backpressure control.
+	OOMBackpressure bool
 }
 
 // DefaultMaxPause is the per-slice pause bound used when Config.MaxPause
@@ -98,14 +120,15 @@ const DefaultMaxPause = time.Millisecond
 // DefaultConfig returns the paper's default configuration.
 func DefaultConfig() Config {
 	return Config{
-		Seed:           1,
-		Meshing:        true,
-		Randomize:      true,
-		MeshPeriod:     100 * time.Millisecond,
-		MinMeshSavings: 1 << 20,
-		SplitMesherT:   64,
-		MaxPause:       DefaultMaxPause,
-		RemoteQueues:   true,
+		Seed:            1,
+		Meshing:         true,
+		Randomize:       true,
+		MeshPeriod:      100 * time.Millisecond,
+		MinMeshSavings:  1 << 20,
+		SplitMesherT:    64,
+		MaxPause:        DefaultMaxPause,
+		RemoteQueues:    true,
+		OOMBackpressure: true,
 	}
 }
 
@@ -335,6 +358,12 @@ type GlobalHeap struct {
 	trEngine  *trace.Source
 	trBarrier *trace.Source
 
+	// faults is the heap's fault-injection plane (internal/faultinject),
+	// shared with the VM layer and consulted by the mesh engine, the
+	// remote-free push path, and the meshd daemon. Always non-nil;
+	// disabled unless a fault plan arms it.
+	faults *faultinject.Plane
+
 	// meshBarrier is the write barrier's wait point for meshing
 	// (§4.5.2–§4.5.3): the engine holds it from write-protecting source
 	// spans until the page-table remap restores them read-write, so a
@@ -377,6 +406,11 @@ type GlobalHeap struct {
 	allocs      atomic.Uint64
 	frees       atomic.Uint64
 	invalidFree atomic.Uint64
+
+	// OOM backpressure state: the runtime enable knob and the count of
+	// limit hits the ladder recovered (stats.oom.recoveries).
+	oomBackpressure atomic.Bool
+	oomRecoveries   atomic.Uint64
 
 	// Message-passing remote-free state (remote.go): the runtime enable
 	// knob plus the queued/drained counters behind stats.remote.*.
@@ -448,6 +482,22 @@ func NewGlobalHeap(cfg Config) *GlobalHeap {
 	g.trEngine = g.tracer.NewSource(trace.SrcEngine)
 	g.trBarrier = g.tracer.NewSource(trace.SrcBarrier)
 	osv.SetTracer(g.tracer.NewSource(trace.SrcVM))
+	// The fault-injection plane: one per heap, shared with the VM layer
+	// so a single plan drives every injection site deterministically.
+	faultSeed := cfg.FaultSeed
+	if faultSeed == 0 {
+		faultSeed = cfg.Seed
+	}
+	g.faults = faultinject.NewPlane(faultSeed)
+	g.faults.SetTracer(g.tracer.NewSource(trace.SrcFault))
+	if cfg.FaultPlan != "" {
+		if err := g.faults.SetPlan(cfg.FaultPlan); err != nil {
+			panic(fmt.Sprintf("core: invalid fault plan %q: %v", cfg.FaultPlan, err))
+		}
+		g.faults.SetEnabled(true)
+	}
+	osv.SetFaultPlane(g.faults)
+	g.oomBackpressure.Store(cfg.OOMBackpressure)
 	// Mesh's write barrier: a write faulting on a protected page waits out
 	// whichever meshing mode is in flight, then retries; by then the page
 	// has been remapped read-write (§4.5.2). Every protect→remap window —
@@ -578,7 +628,7 @@ func (g *GlobalHeap) AllocMiniheap(class int) (*miniheap.MiniHeap, error) {
 
 	// No partially full span: demand a new one from the arena.
 	pages := sizeclass.SpanPages(class)
-	vbase, phys, _, err := g.arena.AllocSpan(pages)
+	vbase, phys, _, err := g.allocSpanPressured(pages)
 	if err != nil {
 		return nil, err
 	}
@@ -593,6 +643,55 @@ func (g *GlobalHeap) AllocMiniheap(class int) (*miniheap.MiniHeap, error) {
 	cs.unlock()
 	return mh, nil
 }
+
+// allocSpanPressured obtains a span from the arena, applying the OOM
+// backpressure ladder when the memory limit refuses it. The remote-free
+// drain rung already ran for small allocations — refill settles the
+// calling heap's queue before ever reaching the global heap — so the
+// ladder here is the memory-producing half: flush the arena's dirty
+// reuse bins (pages the allocator is merely hoarding), run an emergency
+// synchronous mesh pass (compaction is exactly the remedy the paper
+// proposes for this moment), and retry once. Failures that survive the
+// ladder come back typed as ErrOutOfMemory.
+//
+// Callers hold no locks — required: the emergency pass takes the mesh
+// barrier and every shard lock in turn.
+func (g *GlobalHeap) allocSpanPressured(pages int) (uint64, vm.PhysID, bool, error) {
+	vbase, phys, reused, err := g.arena.AllocSpan(pages)
+	if err == nil || !errors.Is(err, vm.ErrOutOfMemory) {
+		return vbase, phys, reused, err
+	}
+	if !g.oomBackpressure.Load() {
+		return 0, 0, false, fmt.Errorf("%w: %w", ErrOutOfMemory, err)
+	}
+	g.arena.FlushDirty()
+	released := g.Mesh()
+	vbase, phys, reused, err = g.arena.AllocSpan(pages)
+	if err == nil {
+		g.oomRecoveries.Add(1)
+		g.trEngine.Event(trace.EvOOMRecover, uint64(pages), uint64(released))
+		return vbase, phys, reused, nil
+	}
+	if errors.Is(err, vm.ErrOutOfMemory) {
+		err = fmt.Errorf("%w: %w", ErrOutOfMemory, err)
+	}
+	return 0, 0, false, err
+}
+
+// Faults returns the heap's fault-injection plane, for the fault.*
+// control surface and the meshd daemon's injection sites.
+func (g *GlobalHeap) Faults() *faultinject.Plane { return g.faults }
+
+// SetOOMBackpressure toggles the memory-limit degradation ladder at
+// runtime (the oom.backpressure control).
+func (g *GlobalHeap) SetOOMBackpressure(on bool) { g.oomBackpressure.Store(on) }
+
+// OOMBackpressure reports whether the ladder is enabled.
+func (g *GlobalHeap) OOMBackpressure() bool { return g.oomBackpressure.Load() }
+
+// OOMRecoveries returns the number of memory-limit hits the
+// backpressure ladder recovered (stats.oom.recoveries).
+func (g *GlobalHeap) OOMRecoveries() uint64 { return g.oomRecoveries.Load() }
 
 // ReleaseMiniheap returns a detached MiniHeap to the global heap: empty
 // spans are destroyed and their memory released; partially full spans are
@@ -665,7 +764,7 @@ func (g *GlobalHeap) AllocLarge(size int) (uint64, error) {
 		return 0, fmt.Errorf("core: invalid allocation size %d", size)
 	}
 	pages := (size + vm.PageSize - 1) / vm.PageSize
-	vbase, phys, _, err := g.arena.AllocSpan(pages)
+	vbase, phys, _, err := g.allocSpanPressured(pages)
 	if err != nil {
 		return 0, err
 	}

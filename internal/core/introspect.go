@@ -163,6 +163,13 @@ func (g *GlobalHeap) SplitMesherT() int { return int(g.splitMesherT.Load()) }
 //     equals the bitmap census. (Attached spans carry shuffle-vector
 //     reservations — bits set for slots no one has allocated yet, §4.1 —
 //     so the census is only exact at quiescence.)
+//
+// CheckInvariants is CheckIntegrity under the name the robustness
+// surface uses: the debug.check_invariants control and the chaos suite
+// call it after every injected fault to prove the abort and recovery
+// protocols left the heap structurally sound.
+func (g *GlobalHeap) CheckInvariants() error { return g.CheckIntegrity() }
+
 func (g *GlobalHeap) CheckIntegrity() error {
 	// Serialize with any in-flight background slice (which parks pinned,
 	// momentarily bin-less spans between its critical sections): the mesh

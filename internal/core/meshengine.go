@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/meshing"
 	"repro/internal/miniheap"
 	"repro/internal/trace"
@@ -117,9 +118,24 @@ func (g *GlobalHeap) meshAllBarrier() int {
 			g.trEngine.Event(trace.EvMeshProtect, uint64(class), uint64(len(pairs)))
 		}
 		classReleased := 0
+		// Injected aborts, at the same three points the background mode
+		// exposes: after the protect phase (before any copy), mid-copy
+		// (earlier pairs settled, this and later ones discarded), and
+		// per pair between its copy and its remap. Every route is
+		// abortPairLocked, the one abort protocol.
+		abortAll := len(pairs) > 0 && g.faults.Should(faultinject.SiteMeshProtect)
 		for _, p := range pairs {
+			if abortAll || g.faults.Should(faultinject.SiteMeshCopy) {
+				abortAll = true
+				g.abortPairLocked(cs, p)
+				continue
+			}
 			// Copy the emptier span's objects into the fuller span.
 			if err := g.copyPair(p); err != nil {
+				g.abortPairLocked(cs, p)
+				continue
+			}
+			if g.faults.Should(faultinject.SiteMeshRemap) {
 				g.abortPairLocked(cs, p)
 				continue
 			}
@@ -228,6 +244,10 @@ func (g *GlobalHeap) meshClassBackground(class int, maxPause time.Duration) (rel
 	}
 	g.trEngine.Event(trace.EvMeshProtect, uint64(class), uint64(len(pairs)))
 
+	// Injected abort between protect and copy: nothing was copied, so the
+	// fix-up loop below routes every pair through abortPairLocked.
+	abortAll := g.faults.Should(faultinject.SiteMeshProtect)
+
 	// Copy phase, off the lock: the source spans are write-protected, so
 	// reads proceed and writers block in the fault handler until the remap
 	// below releases the barrier. Frees may still clear source bits under
@@ -236,10 +256,23 @@ func (g *GlobalHeap) meshClassBackground(class int, maxPause time.Duration) (rel
 	copied := make([]bool, len(pairs))
 	nCopied := uint64(0)
 	for i, p := range pairs {
+		if abortAll || g.faults.Should(faultinject.SiteMeshCopy) {
+			// Injected abort mid-copy: discard this and every later
+			// pair's copy (their copied[i] stays false); pairs already
+			// copied still finish — both halves must stay consistent.
+			abortAll = true
+			break
+		}
 		copied[i] = g.copyPair(p) == nil
 		if copied[i] {
 			nCopied++
 		}
+	}
+	// Injected abort between copy and remap: the copies landed in dst
+	// slots that dst's bitmap still reports free, so dropping them is a
+	// pure metadata no-op.
+	if !abortAll && g.faults.Should(faultinject.SiteMeshRemap) {
+		abortAll = true
 	}
 	g.trEngine.Event(trace.EvMeshCopy, uint64(class), nCopied)
 
@@ -257,7 +290,7 @@ func (g *GlobalHeap) meshClassBackground(class int, maxPause time.Duration) (rel
 			cs.lock()
 			pauseStart = g.clock.Now()
 		}
-		if !copied[i] {
+		if abortAll || !copied[i] {
 			g.abortPairLocked(cs, p)
 			continue
 		}
@@ -329,10 +362,18 @@ func (g *GlobalHeap) planClassLocked(cs *classState, class int) []meshPair {
 }
 
 // protectSpans sets the protection of every virtual span of mh.
+// Protect-to-read-only absorbs transient injected VM faults with a
+// bounded retry; a permanent failure surfaces to planClassLocked's
+// rollback (unprotect what was protected, skip the pair). The
+// read-write direction never fails (see vm.Protect).
 func (g *GlobalHeap) protectSpans(mh *miniheap.MiniHeap, p vm.Prot) error {
 	pages := mh.SpanPages()
 	for _, vbase := range mh.Spans() {
-		if err := g.os.Protect(vbase, pages, p); err != nil {
+		err := faultinject.RetryTransient(faultinject.DefaultRetryAttempts,
+			faultinject.DefaultRetryBackoff, func() error {
+				return g.os.Protect(vbase, pages, p)
+			})
+		if err != nil {
 			return err
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/miniheap"
 	"repro/internal/sizeclass"
 	"repro/internal/trace"
@@ -302,6 +303,12 @@ func (t *ThreadHeap) tryQueueRemote(addr uint64, mh *miniheap.MiniHeap) bool {
 	// the entry for the drain-by-address fallback.
 	off, err := mh.OffsetOf(addr)
 	if err != nil {
+		return false
+	}
+	// Injected segment-allocation failure: divert to the shard-locked
+	// fallback, exactly the route a real failed segment publish takes.
+	if t.global.faults.Should(faultinject.SiteRemoteSegment) {
+		t.tr.Event(trace.EvRemoteFallback, addr, 0)
 		return false
 	}
 	// Account before publishing (see noteRemoteQueued): once the push

@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+func TestChaosRuns(t *testing.T) {
+	res, err := Chaos(40) // 1000 ops/worker: the smallest configured run
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 4 {
+		t.Fatalf("got %d seed rows, want 4", len(res.Seeds))
+	}
+	for _, row := range res.Seeds {
+		if !row.InvariantsOK {
+			t.Errorf("seed %d: invariant check failed", row.Seed)
+		}
+		if row.FaultsInjected == 0 {
+			t.Errorf("seed %d: plan never fired", row.Seed)
+		}
+		if row.Ops == 0 {
+			t.Errorf("seed %d: no operations completed", row.Seed)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSiteNamesRoundTrip(t *testing.T) {
+	for _, s := range Sites() {
+		got, err := ParseSite(s.String())
+		if err != nil {
+			t.Fatalf("ParseSite(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("ParseSite(%q) = %v, want %v", s.String(), got, s)
+		}
+	}
+	if _, err := ParseSite("vm.bogus"); err == nil {
+		t.Fatal("ParseSite accepted an unknown site")
+	}
+}
+
+func TestPlanParsing(t *testing.T) {
+	valid := []string{
+		"",
+		"vm.commit",
+		"vm.commit:rate=8",
+		"vm.commit:rate=8:mode=transient,mesh.copy:count=1",
+		"meshd.panic:count=1:after=2",
+		" vm.map:mode=permanent , remote.segment:rate=2 ",
+	}
+	for _, spec := range valid {
+		if err := ValidatePlan(spec); err != nil {
+			t.Errorf("ValidatePlan(%q): %v", spec, err)
+		}
+	}
+	invalid := []string{
+		"bogus.site",
+		"vm.commit:rate=0",
+		"vm.commit:rate=x",
+		"vm.commit:mode=sometimes",
+		"vm.commit:frequency=2",
+		"vm.commit:rate",
+		",",
+		"vm.commit,,mesh.copy",
+	}
+	for _, spec := range invalid {
+		if err := ValidatePlan(spec); err == nil {
+			t.Errorf("ValidatePlan(%q) accepted an invalid spec", spec)
+		}
+	}
+}
+
+func TestDisabledPlaneNeverFires(t *testing.T) {
+	p := NewPlane(1)
+	if err := p.SetPlan("vm.commit"); err != nil {
+		t.Fatal(err)
+	}
+	// Master switch off: armed sites stay silent.
+	for i := 0; i < 100; i++ {
+		if p.Should(SiteVMCommit) || p.Fail(SiteVMCommit) != nil {
+			t.Fatal("disabled plane injected a fault")
+		}
+	}
+	if p.Injected() != 0 {
+		t.Fatalf("injected = %d on a disabled plane", p.Injected())
+	}
+	// A nil plane is a valid no-op receiver for the hot-path helpers.
+	var nilPlane *Plane
+	if nilPlane.Should(SiteVMCommit) || nilPlane.Fail(SiteVMCommit) != nil {
+		t.Fatal("nil plane injected a fault")
+	}
+}
+
+func TestEveryEvaluationFailsAtRateOne(t *testing.T) {
+	p := NewPlane(1)
+	p.SetEnabled(true)
+	if err := p.SetPlan("mesh.copy"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !p.Should(SiteMeshCopy) {
+			t.Fatalf("eval %d did not fire at rate=1", i)
+		}
+	}
+	if got := p.SiteHits(SiteMeshCopy); got != 10 {
+		t.Fatalf("hits = %d, want 10", got)
+	}
+	// Unnamed sites stay disarmed.
+	if p.Should(SiteVMCommit) {
+		t.Fatal("disarmed site fired")
+	}
+}
+
+func TestCountBudgetAndAfter(t *testing.T) {
+	p := NewPlane(1)
+	p.SetEnabled(true)
+	if err := p.SetPlan("vm.protect:count=3:after=2"); err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	for i := 0; i < 50; i++ {
+		if p.Should(SiteVMProtect) {
+			if i < 2 {
+				t.Fatalf("fired during the after-window at eval %d", i)
+			}
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want exactly the count=3 budget", fired)
+	}
+}
+
+func TestRateIsDeterministicInSeed(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		p := NewPlane(seed)
+		p.SetEnabled(true)
+		if err := p.SetPlan("vm.commit:rate=4"); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 256)
+		for i := range out {
+			out[i] = p.Should(SiteVMCommit)
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at eval %d", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("rate=4 produced a degenerate pattern: %d/%d hits", hits, len(a))
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical patterns")
+	}
+}
+
+func TestErrorSentinelsAndTransience(t *testing.T) {
+	p := NewPlane(1)
+	p.SetEnabled(true)
+	if err := p.SetPlan("vm.commit:mode=transient,vm.map"); err != nil {
+		t.Fatal(err)
+	}
+	terr := p.Fail(SiteVMCommit)
+	if !errors.Is(terr, ErrInjected) || !errors.Is(terr, ErrTransient) {
+		t.Fatalf("transient fault %v should match both sentinels", terr)
+	}
+	perr := p.Fail(SiteVMMap)
+	if !errors.Is(perr, ErrInjected) || errors.Is(perr, ErrTransient) {
+		t.Fatalf("permanent fault %v should match only ErrInjected", perr)
+	}
+	var ie *InjectedError
+	if !errors.As(perr, &ie) || ie.Site != SiteVMMap {
+		t.Fatalf("fault %v did not carry its site", perr)
+	}
+	// Wrapped faults keep matching, as the VM layer relies on.
+	wrapped := fmt.Errorf("out of memory: %w", terr)
+	if !errors.Is(wrapped, ErrTransient) {
+		t.Fatal("wrapping lost the transient sentinel")
+	}
+}
+
+func TestRetryTransient(t *testing.T) {
+	p := NewPlane(1)
+	p.SetEnabled(true)
+	if err := p.SetPlan("vm.commit:count=2:mode=transient"); err != nil {
+		t.Fatal(err)
+	}
+	// Two transient failures, then the budget runs dry: the third
+	// attempt succeeds.
+	calls := 0
+	err := RetryTransient(DefaultRetryAttempts, 1, func() error {
+		calls++
+		return p.Fail(SiteVMCommit)
+	})
+	if err != nil {
+		t.Fatalf("retry did not absorb transient faults: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("f called %d times, want 3", calls)
+	}
+
+	// Permanent errors pass straight through.
+	sentinel := errors.New("permanent")
+	calls = 0
+	err = RetryTransient(DefaultRetryAttempts, 1, func() error {
+		calls++
+		return sentinel
+	})
+	if err != sentinel || calls != 1 {
+		t.Fatalf("permanent error: err=%v calls=%d", err, calls)
+	}
+
+	// Attempts exhausted: the transient error surfaces.
+	err = RetryTransient(2, 1, func() error {
+		return &InjectedError{Site: SiteVMCommit, Transient: true}
+	})
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("exhausted retry returned %v, want a transient fault", err)
+	}
+}
+
+func TestSetPlanReplacesAndDisarms(t *testing.T) {
+	p := NewPlane(1)
+	p.SetEnabled(true)
+	if err := p.SetPlan("vm.commit"); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Should(SiteVMCommit) {
+		t.Fatal("armed site did not fire")
+	}
+	if err := p.SetPlan("vm.map"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Should(SiteVMCommit) {
+		t.Fatal("replaced plan left the old site armed")
+	}
+	if !p.Should(SiteVMMap) {
+		t.Fatal("new plan's site did not fire")
+	}
+	if err := p.SetPlan(""); err != nil {
+		t.Fatal(err)
+	}
+	if p.Should(SiteVMMap) {
+		t.Fatal("empty plan left a site armed")
+	}
+	if p.Plan() != "" {
+		t.Fatalf("Plan() = %q after clearing", p.Plan())
+	}
+	// Invalid specs leave the current plan untouched.
+	if err := p.SetPlan("vm.map,bogus"); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+	if p.Should(SiteVMMap) {
+		t.Fatal("failed SetPlan applied a partial plan")
+	}
+}
+
+func TestBudgetExactUnderConcurrency(t *testing.T) {
+	p := NewPlane(7)
+	p.SetEnabled(true)
+	const budget = 100
+	if err := p.SetPlan(fmt.Sprintf("remote.segment:count=%d", budget)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var fired [8]uint64
+	for g := 0; g < len(fired); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if p.Should(SiteRemoteSegment) {
+					fired[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total uint64
+	for _, n := range fired {
+		total += n
+	}
+	if total != budget {
+		t.Fatalf("budget overspent or underspent: %d fired, want %d", total, budget)
+	}
+	if p.Injected() != budget || p.SiteHits(SiteRemoteSegment) != budget {
+		t.Fatalf("counters disagree: injected=%d hits=%d", p.Injected(), p.SiteHits(SiteRemoteSegment))
+	}
+}
+
+func TestInjectionEmitsTraceEvent(t *testing.T) {
+	rec := trace.NewRecorder(nil)
+	rec.SetEnabled(true)
+	rec.SetSampleRate(1)
+	p := NewPlane(1)
+	p.SetTracer(rec.NewSource(trace.SrcFault))
+	p.SetEnabled(true)
+	if err := p.SetPlan("mesh.remap:count=1"); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Should(SiteMeshRemap) {
+		t.Fatal("site did not fire")
+	}
+	snap := rec.Snapshot()
+	found := false
+	for _, ev := range snap.Events {
+		if ev.Kind == trace.EvFaultInjected && Site(ev.A) == SiteMeshRemap {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no EvFaultInjected event in snapshot (%d events)", len(snap.Events))
+	}
+}

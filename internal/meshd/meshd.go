@@ -27,7 +27,20 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/trace"
+)
+
+// Restart policy for a panicked work loop: capped exponential backoff,
+// reset once an incarnation completes a pass (it did useful work, so
+// the crash is not a tight loop).
+const (
+	restartBackoffMin = 5 * time.Millisecond
+	restartBackoffMax = time.Second
+	// stallSleep is the injected-stall duration (SiteMeshdStall): long
+	// enough to widen race windows in chaos runs, short enough that a
+	// stalled pass still completes promptly.
+	stallSleep = 2 * time.Millisecond
 )
 
 // Config parameterizes a Daemon. The zero value is usable: every field
@@ -54,6 +67,7 @@ type Stats struct {
 	NudgePasses    uint64 // passes started by free-pressure nudges
 	PressurePasses uint64 // passes forced by memory pressure
 	SpansReleased  uint64 // spans released across all passes
+	Restarts       uint64 // work-loop restarts after a recovered panic
 }
 
 // Daemon runs incremental meshing passes on a dedicated goroutine. Create
@@ -75,6 +89,13 @@ type Daemon struct {
 	nudgePasses    atomic.Uint64
 	pressurePasses atomic.Uint64
 	spansReleased  atomic.Uint64
+
+	// Panic-isolation state: the supervisor counts restarts
+	// (stats.meshd.restarts) and uses passesSinceRestart to decide
+	// whether the crashed incarnation did useful work (which resets the
+	// restart backoff).
+	restarts           atomic.Uint64
+	passesSinceRestart atomic.Uint64
 }
 
 // New returns a stopped daemon bound to g.
@@ -103,7 +124,7 @@ func (d *Daemon) Start() {
 	d.g.SetMeshNotifier(d.Nudge)
 	d.g.SetBackgroundMeshing(true)
 	d.running.Store(true)
-	go d.loop(d.stop, d.done)
+	go d.supervise(d.stop, d.done)
 }
 
 // Stop halts the daemon and restores inline (foreground) meshing. It
@@ -153,11 +174,63 @@ func (d *Daemon) Stats() Stats {
 		NudgePasses:    d.nudgePasses.Load(),
 		PressurePasses: d.pressurePasses.Load(),
 		SpansReleased:  d.spansReleased.Load(),
+		Restarts:       d.restarts.Load(),
 	}
 }
 
-func (d *Daemon) loop(stop, done chan struct{}) {
+// Restarts returns the number of times the supervisor recovered a
+// panicked work loop and restarted it (stats.meshd.restarts).
+func (d *Daemon) Restarts() uint64 { return d.restarts.Load() }
+
+// supervise is the daemon goroutine's outermost frame: it runs the work
+// loop, and if the loop panics — a bug, or an injected meshd.panic
+// fault — recovers, counts the restart, waits out a capped exponential
+// backoff (interruptible by Stop), and runs the loop again. A panicked
+// pass holds no heap locks at the panic sites (the engine releases its
+// locks before returning), so the heap stays usable and foreground
+// meshing keeps working while the daemon is down. Background meshing is
+// a performance feature; losing the goroutine forever to one panic
+// would silently turn the allocator into its no-daemon configuration.
+func (d *Daemon) supervise(stop, done chan struct{}) {
 	defer close(done)
+	backoff := restartBackoffMin
+	for {
+		d.passesSinceRestart.Store(0)
+		if !d.runLoop(stop) {
+			return // clean shutdown via Stop
+		}
+		if d.passesSinceRestart.Load() > 0 {
+			// The crashed incarnation completed passes: not a tight
+			// crash loop, start the backoff ladder over.
+			backoff = restartBackoffMin
+		}
+		n := d.restarts.Add(1)
+		d.tr.Event(trace.EvMeshdRestart, n, uint64(backoff))
+		select {
+		case <-stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > restartBackoffMax {
+			backoff = restartBackoffMax
+		}
+	}
+}
+
+// runLoop runs the work loop, converting a panic into a crashed=true
+// return instead of killing the process. Only panics cross this
+// boundary; a stop-channel exit returns false.
+func (d *Daemon) runLoop(stop chan struct{}) (crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			crashed = true
+		}
+	}()
+	d.loop(stop)
+	return false
+}
+
+func (d *Daemon) loop(stop chan struct{}) {
 	timer := time.NewTimer(d.pollEvery())
 	defer timer.Stop()
 	for {
@@ -190,9 +263,19 @@ func (d *Daemon) loop(stop, done chan struct{}) {
 // runTraced runs one pass and records what triggered it (idle wakeups are
 // deliberately not recorded — the timer polls as often as every
 // millisecond, and a no-pass wake carries no information the pass-trigger
-// stream doesn't).
+// stream doesn't). The daemon's injection sites live here, before the
+// pass starts and with no heap locks held: a stall models a descheduled
+// background thread, a panic exercises the supervisor.
 func (d *Daemon) runTraced(reason uint64) {
+	faults := d.g.Faults()
+	if faults.Should(faultinject.SiteMeshdStall) {
+		time.Sleep(stallSleep)
+	}
+	if faults.Should(faultinject.SiteMeshdPanic) {
+		panic("meshd: injected panic (faultinject meshd.panic)")
+	}
 	released := d.RunPass()
+	d.passesSinceRestart.Add(1)
 	d.tr.Event(trace.EvDaemonWake, reason, uint64(released))
 }
 

@@ -79,6 +79,19 @@ const (
 	// EvVMProtect: the VM changed page protections. A=virtual address,
 	// B=pages<<1 | 1 if read-only.
 	EvVMProtect
+	// EvFaultInjected: the fault-injection plane fired at a site.
+	// A=site ID (faultinject.Site), B=the site's evaluation counter at
+	// the moment of injection.
+	EvFaultInjected
+	// EvMeshdRestart: the daemon supervisor recovered a panicked pass
+	// and restarted the loop. A=total restarts so far, B=backoff in ns
+	// before the restart.
+	EvMeshdRestart
+	// EvOOMRecover: an allocation hit the memory limit and the
+	// backpressure ladder (drain → flush → emergency mesh → retry)
+	// recovered it. A=pages requested, B=spans released by the
+	// emergency pass.
+	EvOOMRecover
 
 	numKinds
 )
@@ -98,6 +111,9 @@ var kindNames = [numKinds]string{
 	EvPauseOverrun:   "pause_overrun",
 	EvVMRetry:        "vm_retry",
 	EvVMProtect:      "vm_protect",
+	EvFaultInjected:  "fault_injected",
+	EvMeshdRestart:   "meshd_restart",
+	EvOOMRecover:     "oom_recover",
 }
 
 // String returns the event kind's snake_case name.
@@ -130,6 +146,8 @@ const (
 	SrcVM uint32 = 1<<32 - 3
 	// SrcBarrier is the write-barrier fault hook.
 	SrcBarrier uint32 = 1<<32 - 4
+	// SrcFault is the fault-injection plane.
+	SrcFault uint32 = 1<<32 - 5
 )
 
 // SourceName renders a source ID: reserved singletons by name, heap
@@ -144,6 +162,8 @@ func SourceName(src uint32) string {
 		return "vm"
 	case SrcBarrier:
 		return "barrier"
+	case SrcFault:
+		return "fault"
 	default:
 		return fmt.Sprintf("heap-%d", src)
 	}

@@ -63,6 +63,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/trace"
 )
 
@@ -221,6 +222,11 @@ type OS struct {
 	// atomic pointer so SetTracer needs no ordering contract with the
 	// lock-free data path.
 	tr atomic.Pointer[trace.Source]
+
+	// faults is the fault-injection plane consulted at the entry of
+	// every fallible syscall model; nil (a standalone OS) injects
+	// nothing. An atomic pointer for the same reason as tr.
+	faults atomic.Pointer[faultinject.Plane]
 }
 
 // ArenaBase is where reserved virtual address space begins. A high, clearly
@@ -244,6 +250,29 @@ func (o *OS) SetFaultHook(h func(addr uint64)) {
 // retries, protection changes). Safe to call at any time; nil disables.
 func (o *OS) SetTracer(s *trace.Source) {
 	o.tr.Store(s)
+}
+
+// SetFaultPlane installs the fault-injection plane for VM syscall
+// models (Commit, MapExisting, Protect). Safe to call at any time; nil
+// disables injection.
+func (o *OS) SetFaultPlane(p *faultinject.Plane) {
+	o.faults.Store(p)
+}
+
+// injectAt asks the fault plane whether the syscall model at site
+// should fail. When oom is set, permanent injected faults are dressed
+// as ErrOutOfMemory — the shape a real ENOMEM would take — so they
+// flow into the allocator's backpressure ladder; transient faults keep
+// their faultinject.ErrTransient identity for the retry wrappers.
+func (o *OS) injectAt(site faultinject.Site, oom bool) error {
+	err := o.faults.Load().Fail(site)
+	if err == nil {
+		return nil
+	}
+	if oom && !errors.Is(err, faultinject.ErrTransient) {
+		return fmt.Errorf("%w: %w", ErrOutOfMemory, err)
+	}
+	return err
 }
 
 // Reserve allocates a fresh range of virtual address space, pages pages
@@ -369,6 +398,9 @@ func (o *OS) Commit(vaddr uint64, pages int) (PhysID, error) {
 	if vaddr%PageSize != 0 {
 		return 0, ErrMisaligned
 	}
+	if err := o.injectAt(faultinject.SiteVMCommit, true); err != nil {
+		return 0, err
+	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	vpn := vaddr >> PageShift
@@ -439,6 +471,9 @@ func appendCounter(counters []*atomic.Int64, wr *atomic.Int64) []*atomic.Int64 {
 func (o *OS) MapExisting(vaddr uint64, id PhysID) error {
 	if vaddr%PageSize != 0 {
 		return ErrMisaligned
+	}
+	if err := o.injectAt(faultinject.SiteVMMap, true); err != nil {
+		return err
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -588,6 +623,14 @@ func (o *OS) Punch(id PhysID) error {
 func (o *OS) Protect(vaddr uint64, pages int, p Prot) error {
 	if vaddr%PageSize != 0 {
 		return ErrMisaligned
+	}
+	// Only protect-to-read-only is fallible: restoring read-write is the
+	// mesh abort path's recovery step, and recovery must not itself fail
+	// (a span left read-only in a free bin would wedge its next writer).
+	if p == ReadOnly {
+		if err := o.injectAt(faultinject.SiteVMProtect, false); err != nil {
+			return err
+		}
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()

@@ -71,7 +71,9 @@ type LargeStats = core.LargeStats
 func (a *Allocator) LargeObjectStats() LargeStats { return a.g.LargeStatsSnapshot() }
 
 // CheckIntegrity validates heap invariants; see core.GlobalHeap.
-// CheckIntegrity. Intended for tests and debugging.
+// CheckIntegrity. Intended for tests and debugging. Also reachable as
+// the debug.check_invariants control, which returns the violation text
+// (or "") instead of an error.
 func (a *Allocator) CheckIntegrity() error { return a.g.CheckIntegrity() }
 
 // SetMeshPeriod adjusts the meshing rate limit at runtime.

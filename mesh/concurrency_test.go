@@ -105,9 +105,7 @@ func TestConcurrentSharedAllocator(t *testing.T) {
 	if err := a.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.CheckIntegrity(); err != nil {
-		t.Fatal(err)
-	}
+	requireCleanInvariants(t, a)
 	st := a.Stats()
 	if st.Allocs != st.Frees {
 		t.Fatalf("allocs %d != frees %d after all workers freed everything", st.Allocs, st.Frees)
@@ -175,9 +173,7 @@ func TestConcurrentMixedThreadsAndPool(t *testing.T) {
 	if err := a.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.CheckIntegrity(); err != nil {
-		t.Fatal(err)
-	}
+	requireCleanInvariants(t, a)
 	if st := a.Stats(); st.Live != 0 || st.Allocs != st.Frees {
 		t.Fatalf("stats not balanced: %+v", st)
 	}
@@ -247,9 +243,7 @@ func TestFlushMakesPooledSpansMeshable(t *testing.T) {
 	if after := a.RSS(); after >= before {
 		t.Fatalf("RSS %d did not drop from %d after meshing", after, before)
 	}
-	if err := a.CheckIntegrity(); err != nil {
-		t.Fatal(err)
-	}
+	requireCleanInvariants(t, a)
 }
 
 // TestConcurrentErrorsAreSafe drives invalid frees from many goroutines;
@@ -273,9 +267,7 @@ func TestConcurrentErrorsAreSafe(t *testing.T) {
 	if st := a.Stats(); st.InvalidFree != 8*50 {
 		t.Fatalf("InvalidFree = %d, want %d", st.InvalidFree, 8*50)
 	}
-	if err := a.CheckIntegrity(); err != nil {
-		t.Fatal(err)
-	}
+	requireCleanInvariants(t, a)
 	// Error classification survives the concurrent paths. Flush between
 	// the two frees so the second one takes the global path, where double
 	// frees are detected (§4.4.4); keep a second object live so the span
@@ -396,9 +388,7 @@ func TestScaleStressCrossClass(t *testing.T) {
 		t.Fatal(err)
 	}
 	a.Mesh()
-	if err := a.CheckIntegrity(); err != nil {
-		t.Fatal(err)
-	}
+	requireCleanInvariants(t, a)
 	if live := a.Stats().Live; live != 0 {
 		t.Fatalf("live = %d after full drain", live)
 	}

@@ -48,9 +48,19 @@ import (
 //	trace.buffer_events int           rw        per-source ring capacity in events, rounded up to a power of two; applies to rings created after the write
 //	trace.offered     uint64          r         trace events accepted for recording (post-sampling)
 //	trace.dropped     uint64          r         offered events lost to ring wraparound; offered - dropped events are snapshottable
+//	fault.enabled     bool            rw        fault-injection master switch (a disabled plane never injects, whatever the plan says)
+//	fault.plan        string          rw        fault plan spec (internal/faultinject grammar); writing a non-empty plan arms and enables the plane, "" disarms and disables it; invalid specs are rejected with ErrControlType
+//	fault.seed        int             rw        decision seed of the fault plane (deterministic schedules replay from it)
+//	oom.backpressure  bool            rw        memory-limit degradation ladder on/off (flush dirty bins → emergency mesh → retry once → ErrOutOfMemory)
+//	debug.check_invariants string     r         runs the full heap invariant check (stop-the-world); returns "" when clean, the violation text otherwise
+//	stats.fault.injected uint64       r         faults injected across all sites since construction
+//	stats.oom.recoveries uint64       r         memory-limit hits the backpressure ladder recovered
+//	stats.meshd.restarts uint64       r         daemon work-loop restarts after recovered panics
 //
 // Integer-typed keys accept int, int32, int64 or uint64 on write;
 // mesh.period additionally accepts a time.ParseDuration string.
+// String-typed keys (fault.plan, debug.check_invariants) are excluded
+// from the Prometheus exposition — WriteMetrics renders numbers.
 
 // Control-surface errors. Errors returned by Control and ReadControl wrap
 // one of these, so callers can errors.Is them.
@@ -62,10 +72,13 @@ var (
 )
 
 // control is one entry in the key table; a nil set makes the key
-// read-only, a nil get makes it write-only.
+// read-only, a nil get makes it write-only. noExport keeps a readable
+// key out of the Prometheus exposition (string-valued keys, and reads
+// with side effects like the invariant check).
 type control struct {
-	set func(*Allocator, any) error
-	get func(*Allocator) (any, error)
+	set      func(*Allocator, any) error
+	get      func(*Allocator) (any, error)
+	noExport bool
 }
 
 var controls = map[string]control{
@@ -271,6 +284,79 @@ var controls = map[string]control{
 	},
 	"trace.dropped": {
 		get: func(a *Allocator) (any, error) { return a.g.Tracer().Dropped(), nil },
+	},
+	"fault.enabled": {
+		set: func(a *Allocator, v any) error {
+			b, ok := v.(bool)
+			if !ok {
+				return fmt.Errorf("%w: need bool, got %T", ErrControlType, v)
+			}
+			a.g.Faults().SetEnabled(b)
+			return nil
+		},
+		get: func(a *Allocator) (any, error) { return a.g.Faults().Enabled(), nil },
+	},
+	"fault.plan": {
+		set: func(a *Allocator, v any) error {
+			spec, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("%w: need plan spec string, got %T", ErrControlType, v)
+			}
+			if err := a.g.Faults().SetPlan(spec); err != nil {
+				return fmt.Errorf("%w: %v", ErrControlType, err)
+			}
+			// A plan write is the whole gesture: arming an empty plane or
+			// leaving a fresh plan disabled are both foot-guns, so the
+			// master switch follows the spec. fault.enabled remains for
+			// pausing an armed plan without losing it.
+			a.g.Faults().SetEnabled(spec != "")
+			return nil
+		},
+		get:      func(a *Allocator) (any, error) { return a.g.Faults().Plan(), nil },
+		noExport: true,
+	},
+	"fault.seed": {
+		set: func(a *Allocator, v any) error {
+			n, err := asInt64(v)
+			if err != nil {
+				return err
+			}
+			if n < 0 {
+				return fmt.Errorf("%w: fault.seed must be >= 0, got %d", ErrControlType, n)
+			}
+			a.g.Faults().SetSeed(uint64(n))
+			return nil
+		},
+		get: func(a *Allocator) (any, error) { return a.g.Faults().Seed(), nil },
+	},
+	"oom.backpressure": {
+		set: func(a *Allocator, v any) error {
+			b, ok := v.(bool)
+			if !ok {
+				return fmt.Errorf("%w: need bool, got %T", ErrControlType, v)
+			}
+			a.g.SetOOMBackpressure(b)
+			return nil
+		},
+		get: func(a *Allocator) (any, error) { return a.g.OOMBackpressure(), nil },
+	},
+	"debug.check_invariants": {
+		get: func(a *Allocator) (any, error) {
+			if err := a.g.CheckInvariants(); err != nil {
+				return err.Error(), nil
+			}
+			return "", nil
+		},
+		noExport: true,
+	},
+	"stats.fault.injected": {
+		get: func(a *Allocator) (any, error) { return a.g.Faults().Injected(), nil },
+	},
+	"stats.oom.recoveries": {
+		get: func(a *Allocator) (any, error) { return a.g.OOMRecoveries(), nil },
+	},
+	"stats.meshd.restarts": {
+		get: func(a *Allocator) (any, error) { return a.daemon.Restarts(), nil },
 	},
 }
 

@@ -55,6 +55,17 @@ func TestControlKeyTable(t *testing.T) {
 		{key: "trace.buffer_events", set: 3000, want: 4096, readback: true},
 		{key: "trace.offered", want: uint64(0), readback: true},
 		{key: "trace.dropped", want: uint64(0), readback: true},
+		// A zero-budget clause arms the site but can never fire, so the
+		// plan write (which also enables the plane) is inert here. The
+		// fault.enabled case after it doubles as the pause switch check.
+		{key: "fault.plan", set: "meshd.stall:count=0", want: "meshd.stall:count=0", readback: true},
+		{key: "fault.enabled", set: false, want: false, readback: true},
+		{key: "fault.seed", set: 42, want: uint64(42), readback: true},
+		{key: "oom.backpressure", set: true, want: true, readback: true},
+		{key: "debug.check_invariants", want: "", readback: true},
+		{key: "stats.fault.injected", want: uint64(0), readback: true},
+		{key: "stats.oom.recoveries", want: uint64(0), readback: true},
+		{key: "stats.meshd.restarts", want: uint64(0), readback: true},
 	}
 
 	covered := make(map[string]bool)
@@ -120,11 +131,35 @@ func TestControlBadTypes(t *testing.T) {
 		{"trace.sample_rate", "fast"},
 		{"trace.buffer_events", 0},
 		{"trace.buffer_events", false},
+		{"fault.enabled", 1},
+		{"fault.plan", 3},                     // not a string
+		{"fault.plan", "bogus.site:rate=2"},   // unknown site
+		{"fault.plan", "vm.commit:rate=0"},    // rate must be >= 1
+		{"fault.plan", "vm.commit:bogus=1"},   // unknown clause key
+		{"fault.plan", "vm.commit:mode=soft"}, // unknown mode
+		{"fault.seed", int64(-1)},
+		{"fault.seed", "entropy"},
+		{"oom.backpressure", "yes"},
 	}
 	for _, tc := range bad {
 		if err := a.Control(tc.key, tc.val); !errors.Is(err, ErrControlType) {
 			t.Errorf("Control(%q, %v (%T)) = %v, want ErrControlType", tc.key, tc.val, tc.val, err)
 		}
+	}
+
+	// A rejected plan write must leave the previously armed plan — and the
+	// enable switch — untouched.
+	if err := a.Control("fault.plan", "meshd.stall:count=0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Control("fault.plan", "bogus.site"); !errors.Is(err, ErrControlType) {
+		t.Fatalf("invalid plan write = %v, want ErrControlType", err)
+	}
+	if got, _ := a.ReadControl("fault.plan"); got != "meshd.stall:count=0" {
+		t.Fatalf("rejected plan write clobbered the plan: %q", got)
+	}
+	if got, _ := a.ReadControl("fault.enabled"); got != true {
+		t.Fatalf("rejected plan write flipped fault.enabled to %v", got)
 	}
 }
 

@@ -83,6 +83,28 @@
 // inline meshing). Pause behaviour is observable through
 // Stats().Mesh.Pauses or ReadControl("stats.mesh.pauses"), a fixed-bucket
 // histogram of every global-lock hold by the engine.
+//
+// # Robustness and fault injection
+//
+// Failure is a first-class input. The typed sentinels ErrOutOfMemory,
+// ErrInvalidFree and ErrDoubleFree are matchable with errors.Is on any
+// error the allocator returns. When a resident-memory limit is set
+// (os.memory_limit), an allocation that would exceed it walks a
+// degradation ladder before failing — drain the calling heap's
+// remote-free queue, flush the arena's dirty reuse bins, run an
+// emergency synchronous mesh pass, retry once — and only then returns
+// ErrOutOfMemory; compaction-as-OOM-escape-hatch is the paper's central
+// claim, exercised at the moment it matters. A panic on the background
+// meshing daemon's goroutine is recovered and the daemon restarted with
+// capped exponential backoff (observable as stats.meshd.restarts).
+//
+// Every failure path is testable deterministically through the built-in
+// fault-injection plane (internal/faultinject): seed-driven fault
+// schedules are installed with WithFaultPlan or the fault.* controls,
+// and cover simulated VM failures, mesh aborts in each engine phase,
+// remote-free segment failures, and daemon stalls and panics. The
+// debug.check_invariants control runs the full heap invariant check on
+// demand. See README's Robustness section for the fault taxonomy.
 package mesh
 
 import (
@@ -104,10 +126,15 @@ type Ptr = uint64
 // that reach the global heap are detected, counted (Stats.InvalidFree) and
 // reported without corrupting the heap (§4.4.4); frees local to a live
 // thread heap's attached span trust the caller, as the paper's fast path
-// does.
+// does. ErrOutOfMemory is returned by allocation paths when a configured
+// os.memory_limit is exceeded and the backpressure ladder (drain →
+// flush → emergency mesh → retry once) could not recover the request;
+// it wraps the VM layer's limit error, so errors.Is matches at either
+// level.
 var (
 	ErrInvalidFree = core.ErrInvalidFree
 	ErrDoubleFree  = core.ErrDoubleFree
+	ErrOutOfMemory = core.ErrOutOfMemory
 )
 
 // PageSize is the span granularity of the simulated hardware.
@@ -266,6 +293,37 @@ func WithTraceSampleRate(n int) Option {
 // via Control("trace.buffer_events", n) for rings created afterwards.
 func WithTraceBufferEvents(n int) Option {
 	return func(c *core.Config) { c.TraceBufferEvents = n }
+}
+
+// WithFaultPlan arms the deterministic fault-injection plane with a plan
+// spec and enables it — chaos testing's front door. The grammar is a
+// comma-separated list of site clauses, e.g.
+//
+//	"vm.commit:rate=8:mode=transient,mesh.copy:count=1"
+//
+// (see internal/faultinject for sites and options). An invalid spec
+// panics in New: a typo'd chaos schedule must not silently run the
+// happy path. Runtime-adjustable via the fault.plan / fault.enabled
+// controls; the disabled plane costs one atomic load per site.
+func WithFaultPlan(spec string) Option {
+	return func(c *core.Config) { c.FaultPlan = spec }
+}
+
+// WithFaultSeed fixes the fault plane's decision seed independently of
+// the allocator seed (which it defaults to), so a fault schedule can be
+// varied against a fixed workload or vice versa. Runtime-adjustable via
+// Control("fault.seed", n).
+func WithFaultSeed(seed uint64) Option {
+	return func(c *core.Config) { c.FaultSeed = seed }
+}
+
+// WithOOMBackpressure enables or disables the memory-limit degradation
+// ladder (default enabled): on a limit hit, flush dirty reuse bins, run
+// an emergency synchronous mesh pass, and retry once before returning
+// ErrOutOfMemory. Disabling fails limit hits immediately (still typed).
+// Runtime-togglable via Control("oom.backpressure", bool).
+func WithOOMBackpressure(enabled bool) Option {
+	return func(c *core.Config) { c.OOMBackpressure = enabled }
 }
 
 // Allocator is a Mesh heap, safe for concurrent use by any number of

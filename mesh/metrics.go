@@ -27,6 +27,11 @@ import (
 // emitted in sorted order, so output is diffable across runs.
 func (a *Allocator) WriteMetrics(w io.Writer) error {
 	for _, key := range ControlKeys() {
+		// noExport keys (string-valued, or reads with side effects like
+		// debug.check_invariants) have no numeric rendering.
+		if controls[key].noExport {
+			continue
+		}
 		v, err := a.ReadControl(key)
 		if err != nil {
 			// Write-only keys (actions like mesh.compact) have no value
@@ -138,7 +143,7 @@ func formatSeconds(s float64) string {
 func MetricNames() []string {
 	names := make([]string, 0, len(controls))
 	for key, c := range controls {
-		if c.get == nil {
+		if c.get == nil || c.noExport {
 			continue
 		}
 		names = append(names, metricName(key))

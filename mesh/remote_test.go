@@ -122,7 +122,5 @@ func TestRemoteFreeStressPoolAndMeshing(t *testing.T) {
 	if st.Remote.Queued != st.Remote.Drained {
 		t.Fatalf("queued %d != drained %d after flush", st.Remote.Queued, st.Remote.Drained)
 	}
-	if err := a.CheckIntegrity(); err != nil {
-		t.Fatal(err)
-	}
+	requireCleanInvariants(t, a)
 }
