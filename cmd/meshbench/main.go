@@ -22,6 +22,7 @@
 //	datapath  object read/write/memset throughput vs goroutine count (lock-free VM translation)
 //	remote    producer–consumer remote frees: message-passing queues vs shard locks
 //	chaos     fault-injection stress: every site armed across 4 seeds, exact accounting demanded
+//	chaos-hardened  corruption-injection stress: canary/poison sites armed, violations == injections demanded
 //	all       everything above
 //
 // -scale divides workload sizes (1 = the paper's full parameters; larger
@@ -61,7 +62,7 @@ func main() {
 		return
 	}
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: meshbench [-scale N] [-csv] [-json FILE] <fig6|fig7|fig8|spec|prob|lemma53|triangle|ablation|robson|conc|pause|scale|datapath|remote|chaos|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: meshbench [-scale N] [-csv] [-json FILE] <fig6|fig7|fig8|spec|prob|lemma53|triangle|ablation|robson|conc|pause|scale|datapath|remote|chaos|chaos-hardened|all>\n")
 		fmt.Fprintf(os.Stderr, "       meshbench compare [-baseline DIR] [-threshold PCT] [-counter-threshold PCT] FILE...\n")
 		flag.PrintDefaults()
 	}
@@ -111,9 +112,11 @@ func run(what string) error {
 		return remote()
 	case "chaos":
 		return chaos()
+	case "chaos-hardened":
+		return chaosHardened()
 	case "all":
 		runningAll = true
-		for _, f := range []func() error{fig6, fig7, fig8, spec, ablation, robson, conc, pause, scaleExp, datapath, remote, chaos} {
+		for _, f := range []func() error{fig6, fig7, fig8, spec, ablation, robson, conc, pause, scaleExp, datapath, remote, chaos, chaosHardened} {
 			if err := f(); err != nil {
 				return err
 			}
@@ -430,6 +433,33 @@ func chaos() error {
 		}
 	}
 	if p := jsonPath("chaos"); p != "" {
+		return writeJSON(p, res)
+	}
+	return nil
+}
+
+func chaosHardened() error {
+	header("Chaos (hardened): canary/poison corruption injected, containment demanded")
+	res, err := experiments.ChaosHardened(*scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan: %s\n", res.Plan)
+	fmt.Printf("%6s %10s %12s %9s %11s %8s %8s %8s %12s %7s %11s\n",
+		"seed", "ops", "checks", "injected", "violations", "retired", "lost", "audited", "quarantined", "served", "invariants")
+	for _, r := range res.Seeds {
+		inv := "ok"
+		if !r.InvariantsOK {
+			inv = "VIOLATED"
+		}
+		fmt.Printf("%6d %10d %12d %9d %11d %8d %8d %8d %12d %7v %11s\n",
+			r.Seed, r.Ops, r.Checks, r.FaultsInjected, r.Violations,
+			r.RetiredSpans, r.LostObjects, r.Audited, r.Quarantined, r.ServedAfter, inv)
+		if !r.InvariantsOK {
+			return fmt.Errorf("hardened chaos seed %d: invariant check failed", r.Seed)
+		}
+	}
+	if p := jsonPath("chaos_hardened"); p != "" {
 		return writeJSON(p, res)
 	}
 	return nil

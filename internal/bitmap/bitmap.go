@@ -37,9 +37,10 @@ func New(n int) *Bitmap {
 // Len returns the bitmap's capacity in bits.
 func (b *Bitmap) Len() int { return b.n }
 
+//mesh:lockfree
 func (b *Bitmap) check(i int) {
 	if i < 0 || i >= b.n {
-		panic(fmt.Sprintf("bitmap: index %d out of range [0,%d)", i, b.n))
+		panic(fmt.Sprintf("bitmap: index %d out of range [0,%d)", i, b.n)) //mesh:slowpath — caller-bug exit
 	}
 }
 
@@ -78,6 +79,8 @@ func (b *Bitmap) Unset(i int) bool {
 }
 
 // IsSet reports whether bit i is currently 1.
+//
+//mesh:lockfree
 func (b *Bitmap) IsSet(i int) bool {
 	b.check(i)
 	return b.bits[i/wordBits].Load()&(uint64(1)<<(i%wordBits)) != 0

@@ -32,7 +32,7 @@ func (t *ThreadHeap) MallocBatch(sizes []int, out []uint64) ([]uint64, error) {
 		t.global.noteAllocN(bytes, n)
 	}
 	for _, size := range sizes {
-		class, ok := sizeclass.ClassForSize(size)
+		class, ok := t.allocClassFor(size)
 		if !ok {
 			if size <= 0 {
 				flush()
@@ -58,7 +58,15 @@ func (t *ThreadHeap) MallocBatch(sizes []int, out []uint64) ([]uint64, error) {
 			}
 		}
 		off, _ := sv.Malloc()
-		out = append(out, t.attached[class].AddrOf(off))
+		mh := t.attached[class]
+		if mh.Hardened() {
+			if err := t.hardenAlloc(class, mh, off); err != nil {
+				flush()
+				_ = t.FreeBatch(out[start:])
+				return out[:start], err
+			}
+		}
+		out = append(out, mh.AddrOf(off))
 		bytes += int64(sizeclass.Size(class))
 		n++
 	}
@@ -81,7 +89,16 @@ func (t *ThreadHeap) FreeBatch(addrs []uint64) error {
 	var n uint64
 	nonLocal := t.scratch[:0]
 	owners := t.ownerScratch[:0]
+	quarOn := t.global.harden.QuarantineEnabled()
 	for _, addr := range addrs {
+		if quarOn {
+			if handled, qerr := t.quarantineLocal(addr); handled {
+				if qerr != nil {
+					errs = append(errs, qerr)
+				}
+				continue
+			}
+		}
 		size, ok, owner, err := t.freeLocal(addr)
 		switch {
 		case err != nil:

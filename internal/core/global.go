@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/arena"
 	"repro/internal/faultinject"
+	"repro/internal/harden"
 	"repro/internal/miniheap"
 	"repro/internal/rng"
 	"repro/internal/sizeclass"
@@ -29,6 +30,12 @@ var (
 	// emergency mesh pass → retry once) could not recover it. It wraps
 	// vm.ErrOutOfMemory, so errors.Is matches either.
 	ErrOutOfMemory = errors.New("core: out of memory")
+	// ErrHeapCorruption is returned when a hardening check (canary, poison
+	// fill, page-map agreement) finds corruption: the operation that found
+	// it fails typed, the corrupt span is retired — contained, not fatal —
+	// and the allocator keeps serving from every other span (see
+	// internal/harden and harden.go).
+	ErrHeapCorruption = errors.New("core: heap corruption detected")
 )
 
 // Config controls a heap instance. The zero value is not valid; use
@@ -111,6 +118,17 @@ type Config struct {
 	// Disabling it fails limit hits immediately (still typed).
 	// Runtime-togglable via the oom.backpressure control.
 	OOMBackpressure bool
+	// Hardening mints new spans hardened: per-object trailing canaries
+	// checked at free, mesh-copy, and audit time; poison-on-free verified
+	// before reuse; corrupt spans retired rather than crashed on (see
+	// internal/harden). Default off; the disabled cost is one atomic load
+	// per malloc/free. Runtime-togglable via the harden.enabled control.
+	Hardening bool
+	// Quarantine additionally parks hardened frees in a per-heap
+	// delayed-reuse ring before they re-enter a shuffle vector, widening
+	// the double-free and use-after-free detection window. Implies
+	// Hardening. Runtime-togglable via the harden.quarantine control.
+	Quarantine bool
 }
 
 // DefaultMaxPause is the per-slice pause bound used when Config.MaxPause
@@ -209,7 +227,8 @@ type HeapStats struct {
 	Mesh        MeshStats
 	VM          vm.Stats
 	Remote      RemoteStats
-	InvalidFree uint64 // discarded bad frees (§4.4.4)
+	InvalidFree uint64       // discarded bad frees (§4.4.4)
+	Harden      harden.Stats // hardening checks, violations, quarantine, retirement
 }
 
 // classState is one size class's shard of the global heap: the detached
@@ -364,6 +383,16 @@ type GlobalHeap struct {
 	// disabled unless a fault plan arms it.
 	faults *faultinject.Plane
 
+	// harden is the heap-hardening control plane (internal/harden): the
+	// enable flags, canary secret, and detection counters behind
+	// stats.harden.*. Always non-nil; disabled unless configured or the
+	// harden.enabled control turns it on. trHarden is the trace source for
+	// violation and retirement events; auditCursor is the background
+	// auditor's resumable (class, registry index) position (harden.go).
+	harden      *harden.Plane
+	trHarden    *trace.Source
+	auditCursor atomic.Uint64
+
 	// meshBarrier is the write barrier's wait point for meshing
 	// (§4.5.2–§4.5.3): the engine holds it from write-protecting source
 	// spans until the page-table remap restores them read-write, so a
@@ -497,6 +526,17 @@ func NewGlobalHeap(cfg Config) *GlobalHeap {
 		g.faults.SetEnabled(true)
 	}
 	osv.SetFaultPlane(g.faults)
+	// The hardening plane: keyed by the workload seed so canary values —
+	// and therefore any corruption a chaos schedule manufactures — replay
+	// deterministically. Quarantine implies hardening (parked slots rely
+	// on the poison protocol to detect double frees while parked).
+	g.harden = harden.NewPlane(cfg.Seed)
+	g.trHarden = g.tracer.NewSource(trace.SrcHarden)
+	if cfg.Quarantine {
+		cfg.Hardening = true
+	}
+	g.harden.SetEnabled(cfg.Hardening)
+	g.harden.SetQuarantine(cfg.Quarantine)
 	g.oomBackpressure.Store(cfg.OOMBackpressure)
 	// Mesh's write barrier: a write faulting on a protected page waits out
 	// whichever meshing mode is in flight, then retries; by then the page
@@ -633,6 +673,14 @@ func (g *GlobalHeap) AllocMiniheap(class int) (*miniheap.MiniHeap, error) {
 		return nil, err
 	}
 	mh := miniheap.New(class, vbase, phys)
+	if g.harden.Enabled() {
+		// Mint hardened before publication: the plain hardened flag is
+		// ordered by the page-map store, and the whole span is poisoned —
+		// spans may be reused dirty — so the first allocation of every slot
+		// has a poison fill to verify.
+		mh.SetHardened()
+		_ = g.os.Memset(vbase, harden.PoisonByte, mh.SpanBytes())
+	}
 	// Register before publication: no free can name this span's addresses
 	// until Malloc returns one, so the lock-free page map needs no shard
 	// lock here.
@@ -954,10 +1002,38 @@ func (g *GlobalHeap) freeSmallLocked(cs *classState, addr uint64, preAccounted b
 		g.invalidFree.Add(1)
 		return false, fmt.Errorf("%w: %#x", ErrInvalidFree, addr)
 	}
+	if mh.IsRetired() {
+		return g.freeRetiredLocked(mh, addr, preAccounted)
+	}
 	off, err := mh.OffsetOf(addr)
 	if err != nil {
 		g.invalidFree.Add(1)
 		return false, fmt.Errorf("%w: %v", ErrInvalidFree, err)
+	}
+	var herr error
+	if mh.Hardened() && mh.Bitmap().IsSet(off) {
+		// Hardened free protocol, before the bit clears (once it does the
+		// owner may re-reserve the slot). The set-bit guard keeps wild and
+		// double frees on the exact bitmap detection below — a clear slot
+		// has no armed canary to judge. No poison precheck here either: the
+		// bitmap detects double frees exactly on this path. Poison is
+		// skipped while the span is pinned — a store into a write-protected
+		// copy source would fault into the barrier the engine holds — and
+		// the engine repoisons free slots when the pair settles.
+		if data := g.physWindow(mh); data != nil {
+			if !g.canaryOK(data, mh, off, nil) {
+				if !mh.IsAttached() && !mh.IsPinned() {
+					g.retireLocked(cs, mh)
+					return g.freeRetiredLocked(mh, addr, preAccounted)
+				}
+				// Attached or pinned: detect and report; the owner's next
+				// allocation check or the engine's copy audit retires the
+				// span from a safe position. The free itself proceeds.
+				herr = fmt.Errorf("%w: object %#x on span %#x", ErrHeapCorruption, addr, mh.SpanStart())
+			} else if !mh.IsPinned() {
+				poisonSlot(data, mh.ObjectSize(), off)
+			}
+		}
 	}
 	if !mh.Bitmap().Unset(off) {
 		g.invalidFree.Add(1)
@@ -971,20 +1047,23 @@ func (g *GlobalHeap) freeSmallLocked(cs *classState, addr uint64, preAccounted b
 	if mh.IsAttached() {
 		// Remote free to another thread's span: the bitmap update is all
 		// that happens; the owner's shuffle vector is not touched (§3.2).
-		return false, nil
+		return false, herr
 	}
 	if mh.IsPinned() {
 		// Span is mid-mesh (§4.5.2): the bitmap update above is visible to
 		// the meshing slice's fix-up (bits only clear, so disjointness is
 		// preserved), and the engine re-files the span when it unpins. It
 		// must not be re-binned — or worse, destroyed — here.
-		return true, nil
+		return true, herr
 	}
 
 	// Object belonged to the global heap: update its occupancy bin; the
 	// caller may additionally trigger meshing (§3.2).
 	g.unbinLocked(cs, mh)
-	return true, g.placeDetachedLocked(cs, mh)
+	if perr := g.placeDetachedLocked(cs, mh); perr != nil {
+		return true, perr
+	}
+	return true, herr
 }
 
 // freeLargeLocked destroys a large-object MiniHeap and releases its span.
@@ -1059,5 +1138,6 @@ func (g *GlobalHeap) Stats() HeapStats {
 			Drained: g.remoteDrained.Load(),
 		},
 		InvalidFree: g.invalidFree.Load(),
+		Harden:      g.harden.Snapshot(),
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/harden"
 	"repro/internal/sizeclass"
 )
 
@@ -16,8 +17,9 @@ type ClassStats struct {
 	Spans        int // live MiniHeaps (attached + detached)
 	AttachedSpan int // spans currently owned by thread heaps
 	MeshedSpans  int // extra virtual spans created by meshing
+	RetiredSpans int // corrupt spans retired by hardening containment
 	LiveObjects  int
-	Capacity     int // total object slots across spans
+	Capacity     int // total object slots across spans (retired excluded)
 }
 
 // Occupancy returns the class's live fraction in [0,1].
@@ -44,6 +46,12 @@ func (g *GlobalHeap) ClassStatsSnapshot() []ClassStats {
 		gcs.lock()
 		for _, mh := range gcs.reg.items {
 			cs.Spans++
+			if mh.IsRetired() {
+				// Retired spans stay registered forever (their addresses
+				// must keep resolving to typed errors) but serve nothing.
+				cs.RetiredSpans++
+				continue
+			}
 			if mh.IsAttached() {
 				cs.AttachedSpan++
 			}
@@ -96,8 +104,15 @@ func (g *GlobalHeap) UsableSize(addr uint64) (int, error) {
 	if mh == nil || mh.IsLarge() {
 		return 0, fmt.Errorf("%w: %#x", ErrInvalidFree, addr)
 	}
+	if mh.IsRetired() {
+		return 0, fmt.Errorf("%w: object %#x on retired span %#x", ErrHeapCorruption, addr, mh.SpanStart())
+	}
 	if _, err := mh.OffsetOf(addr); err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrInvalidFree, err)
+	}
+	if mh.Hardened() {
+		// The trailing guard word is allocator metadata, not payload.
+		return mh.ObjectSize() - harden.CanarySize, nil
 	}
 	return mh.ObjectSize(), nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/harden"
 	"repro/internal/miniheap"
 	"repro/internal/rng"
 	"repro/internal/shufflevec"
@@ -45,6 +46,21 @@ type ThreadHeap struct {
 	// park/unpark. Its address is published on each attached MiniHeap.
 	remote remoteQueue
 
+	// phys caches each attached hardened span's physical byte window (nil
+	// for unhardened spans), so the fast-path canary/poison work needs no
+	// VM translation — PhysSlice takes the mapping mutex, which the
+	// lock-free paths must not. Refill populates it; retirement and
+	// release clear it. quar is the delayed-reuse quarantine ring hardened
+	// frees park in when harden.quarantine is on (see harden.go).
+	phys [sizeclass.NumClasses][]byte
+	quar harden.Ring
+
+	// hardenPasses batches this thread's clean canary/poison verifications
+	// (plain field — the heap is single-owner), flushed to the plane at
+	// refill and Done so the hardened fast paths pay no atomic counter
+	// traffic. Violations never batch; they publish immediately.
+	hardenPasses uint64
+
 	// tr is this heap's flight-recorder source (sampled alloc/free and
 	// remote-queue events), keyed by the heap id.
 	tr *trace.Source
@@ -73,7 +89,7 @@ func NewThreadHeap(g *GlobalHeap, id uint64) *ThreadHeap {
 // everything else is served from the class's shuffle vector, refilling
 // from the global heap when exhausted (§3.1).
 func (t *ThreadHeap) Malloc(size int) (uint64, error) {
-	class, ok := sizeclass.ClassForSize(size)
+	class, ok := t.allocClassFor(size)
 	if !ok {
 		if size <= 0 {
 			return 0, fmt.Errorf("core: invalid allocation size %d", size)
@@ -92,6 +108,7 @@ func (t *ThreadHeap) Malloc(size int) (uint64, error) {
 // first, unused reserved slots returned to the bitmap) and a partially
 // full or fresh span attached in its place.
 func (t *ThreadHeap) refill(class int) error {
+	t.flushHardenPasses()
 	sv := t.svs[class]
 	if t.DrainRemoteFrees() > 0 && !sv.IsExhausted() {
 		return nil
@@ -103,6 +120,7 @@ func (t *ThreadHeap) refill(class int) error {
 		old.SetOwner(nil)
 		sv.DrainTo(old.Bitmap())
 		t.attached[class] = nil
+		t.phys[class] = nil
 		if err := t.global.ReleaseMiniheap(old); err != nil {
 			return err
 		}
@@ -112,6 +130,14 @@ func (t *ThreadHeap) refill(class int) error {
 		return err
 	}
 	t.attached[class] = mh
+	// Cache the hardened span's physical window once per attachment: the
+	// fast-path checks must not pay the VM translation (or its mutex) per
+	// operation. Attached spans are never meshed, so the window is stable
+	// until this thread detaches the span.
+	t.phys[class] = nil
+	if mh.Hardened() {
+		t.phys[class] = t.global.physWindow(mh)
+	}
 	sv.Attach(mh.Bitmap())
 	t.remote.reopen()
 	mh.SetOwner(&t.remote)
@@ -128,6 +154,11 @@ func (t *ThreadHeap) refill(class int) error {
 // freeLocal already resolved so a remote free pays one routing lookup,
 // not two.
 func (t *ThreadHeap) Free(addr uint64) error {
+	if t.global.harden.QuarantineEnabled() {
+		if handled, qerr := t.quarantineLocal(addr); handled {
+			return qerr
+		}
+	}
 	size, ok, owner, err := t.freeLocal(addr)
 	if err != nil {
 		return err
@@ -176,6 +207,11 @@ func (t *ThreadHeap) freeLocal(addr uint64) (objSize int, ok bool, owner *minihe
 	if err != nil {
 		return 0, false, mh, err
 	}
+	if mh.Hardened() {
+		if herr := t.hardenFreeLocal(c, mh, off, addr); herr != nil {
+			return 0, false, mh, herr
+		}
+	}
 	t.svs[c].Free(off)
 	return mh.ObjectSize(), true, mh, nil
 }
@@ -188,7 +224,14 @@ func (t *ThreadHeap) freeLocal(addr uint64) (objSize int, ok bool, owner *minihe
 // settled while the spans are still attached. The queue reopens if the
 // heap attaches a span again (refill).
 func (t *ThreadHeap) Done() error {
+	// Flush on the way out: the drains below run the hardened free
+	// protocol themselves and batch more passes.
+	defer t.flushHardenPasses()
 	t.drainRemote(t.remote.close())
+	// Settle the quarantine after the remote queue (its drain may park
+	// more entries) and before the spans release, so parked frees settle
+	// on the cheap attached path.
+	t.drainQuarantine()
 	for c := range t.attached {
 		if t.attached[c] == nil {
 			continue
@@ -198,11 +241,23 @@ func (t *ThreadHeap) Done() error {
 		sv := t.svs[c]
 		sv.DrainTo(mh.Bitmap())
 		t.attached[c] = nil
+		t.phys[c] = nil
 		if err := t.global.ReleaseMiniheap(mh); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// flushHardenPasses publishes the thread's batched clean-verification
+// count to the hardening plane. Called on the refill slow path and at
+// Done, so stats.harden.passes lags by at most one attachment's worth of
+// operations mid-run and is exact at quiescence.
+func (t *ThreadHeap) flushHardenPasses() {
+	if t.hardenPasses != 0 {
+		t.global.harden.NotePassN(t.hardenPasses)
+		t.hardenPasses = 0
+	}
 }
 
 // LocalStats reports the thread's operation counts: local allocations,

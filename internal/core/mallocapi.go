@@ -94,7 +94,10 @@ func (t *ThreadHeap) AlignedAlloc(align, size int) (uint64, error) {
 	if align <= 16 {
 		return t.Malloc(size)
 	}
-	if class, ok := sizeclass.ClassForSize(size); ok {
+	// allocClassFor reserves canary space when hardening has ever been on;
+	// the scan only widens the class, so Size(c) keeps covering the
+	// request plus the guard word.
+	if class, ok := t.allocClassFor(size); ok {
 		for c := class; c < sizeclass.NumClasses; c++ {
 			if sizeclass.Size(c)%align == 0 {
 				return t.mallocFromClass(c)
@@ -115,9 +118,19 @@ func (t *ThreadHeap) mallocFromClass(class int) (uint64, error) {
 		}
 	}
 	off, _ := sv.Malloc()
+	mh := t.attached[class]
+	if mh.Hardened() {
+		// Verify the slot's poison fill survived and arm its canary. On
+		// violation the span is retired (the reserved slot returned first)
+		// and the allocation fails typed; the caller's next attempt refills
+		// onto a fresh span.
+		if err := t.hardenAlloc(class, mh, off); err != nil {
+			return 0, err
+		}
+	}
 	t.localAllocs.Add(1)
 	t.global.noteAlloc(sizeclass.Size(class))
-	addr := t.attached[class].AddrOf(off)
+	addr := mh.AddrOf(off)
 	t.tr.Sampled(trace.EvAlloc, addr, uint64(sizeclass.Size(class)))
 	return addr, nil
 }

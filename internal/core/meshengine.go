@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/faultinject"
@@ -133,6 +135,12 @@ func (g *GlobalHeap) meshAllBarrier() int {
 			// Copy the emptier span's objects into the fuller span.
 			if err := g.copyPair(p); err != nil {
 				g.abortPairLocked(cs, p)
+				if errors.Is(err, ErrHeapCorruption) {
+					// The copy's canary sweep caught a corrupt source: with
+					// the pair aborted (span re-filed, writable, unpinned),
+					// this is a safe position to contain it.
+					g.retireLocked(cs, p.src)
+				}
 				continue
 			}
 			if g.faults.Should(faultinject.SiteMeshRemap) {
@@ -254,6 +262,7 @@ func (g *GlobalHeap) meshClassBackground(class int, maxPause time.Duration) (rel
 	// the shard lock — bits only clear, so pair disjointness is preserved
 	// and the fix-up merge below sees the freshest bitmap.
 	copied := make([]bool, len(pairs))
+	corrupt := make([]bool, len(pairs))
 	nCopied := uint64(0)
 	for i, p := range pairs {
 		if abortAll || g.faults.Should(faultinject.SiteMeshCopy) {
@@ -263,9 +272,14 @@ func (g *GlobalHeap) meshClassBackground(class int, maxPause time.Duration) (rel
 			abortAll = true
 			break
 		}
-		copied[i] = g.copyPair(p) == nil
+		err := g.copyPair(p)
+		copied[i] = err == nil
 		if copied[i] {
 			nCopied++
+		} else if errors.Is(err, ErrHeapCorruption) {
+			// The copy's canary sweep caught a corrupt source; the fix-up
+			// loop retires it once the pair is aborted under the lock.
+			corrupt[i] = true
 		}
 	}
 	// Injected abort between copy and remap: the copies landed in dst
@@ -292,6 +306,9 @@ func (g *GlobalHeap) meshClassBackground(class int, maxPause time.Duration) (rel
 		}
 		if abortAll || !copied[i] {
 			g.abortPairLocked(cs, p)
+			if corrupt[i] {
+				g.retireLocked(cs, p.src)
+			}
 			continue
 		}
 		if err := g.finishPairLocked(cs, p); err != nil {
@@ -390,11 +407,23 @@ func (g *GlobalHeap) protectSpans(mh *miniheap.MiniHeap, p vm.Prot) error {
 func (g *GlobalHeap) copyPair(p meshPair) error {
 	objSize := p.src.ObjectSize()
 	copied := 0
+	// Hardened pairs audit every source canary before its bytes move:
+	// compaction doubles as a corruption sweep, and a violation aborts the
+	// pair (typed, caller retires the source) so corrupt bytes never
+	// propagate into the destination span. Meshable() pairs only
+	// like-hardened spans, so the copied trailers stay position-valid.
+	var srcData []byte
+	if p.src.Hardened() {
+		srcData = g.physWindow(p.src)
+	}
 	// meshScratch is reused across pairs so the copy loop allocates
 	// nothing; copyPair only ever runs under the mesh barrier (both
 	// engines), so the buffer is single-flight.
 	g.meshScratch = p.src.Bitmap().AppendSetBits(g.meshScratch[:0])
 	for _, off := range g.meshScratch {
+		if srcData != nil && !g.canaryOK(srcData, p.src, off, nil) {
+			return fmt.Errorf("%w: mesh copy source span %#x, object %#x", ErrHeapCorruption, p.src.SpanStart(), p.src.AddrOf(off))
+		}
 		if err := g.os.CopyPhys(p.dst.Phys(), off*objSize, p.src.Phys(), off*objSize, objSize); err != nil {
 			return err
 		}
@@ -446,6 +475,11 @@ func (g *GlobalHeap) finishPairLocked(cs *classState, p meshPair) error {
 	cs.reg.remove(src)
 	src.Unpin()
 	dst.Unpin()
+	// Restore poison over the merged span's free slots: frees that landed
+	// while the pair was pinned skipped their poison writes, and the copy
+	// may have parked dead source bytes in slots the merged bitmap leaves
+	// free.
+	g.repoisonFreeSlotsLocked(dst)
 	return g.placeDetachedLocked(cs, dst)
 }
 
@@ -456,6 +490,11 @@ func (g *GlobalHeap) abortPairLocked(cs *classState, p meshPair) {
 	_ = g.protectSpans(p.src, vm.ReadWrite)
 	p.src.Unpin()
 	p.dst.Unpin()
+	// Frees that landed while the pair was pinned skipped their poison
+	// writes, and an aborted copy may have left source bytes in dst slots
+	// whose bits are free.
+	g.repoisonFreeSlotsLocked(p.src)
+	g.repoisonFreeSlotsLocked(p.dst)
 	_ = g.placeDetachedLocked(cs, p.src)
 	_ = g.placeDetachedLocked(cs, p.dst)
 }

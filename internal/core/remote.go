@@ -245,6 +245,15 @@ func (t *ThreadHeap) drainRemote(segs *remoteSeg) int {
 		mh := s.mh
 		c := mh.SizeClass()
 		if t.attached[c] == mh {
+			if mh.Hardened() {
+				// Hardened spans run the full free protocol per entry —
+				// canary, double-free precheck, poison, quarantine — with
+				// dropped duplicates excluded from the drained count
+				// (drainHardened).
+				n += t.drainHardened(c, mh, s, cnt, &reached)
+				t.remote.pending.Add(int64(-cnt))
+				continue
+			}
 			// Attached to us: the slots go straight back onto the shuffle
 			// vector, exactly like local frees (accounting happened at
 			// enqueue). Attached spans are never meshed, so mh's geometry

@@ -72,18 +72,22 @@ func (r *CompareReport) Regressions() int {
 	return n
 }
 
-// benchRows loads a meshbench -json artifact as keyed generic rows.
+// benchRows loads a meshbench -json artifact as keyed generic rows. The
+// chaos experiments report per-seed runs under "seeds" rather than
+// "rows"; the comparator treats the two identically.
 func benchRows(path string) (map[string]map[string]any, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	var doc struct {
-		Rows []map[string]any `json:"rows"`
+		Rows  []map[string]any `json:"rows"`
+		Seeds []map[string]any `json:"seeds"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	doc.Rows = append(doc.Rows, doc.Seeds...)
 	if len(doc.Rows) == 0 {
 		return nil, fmt.Errorf("%s: no rows", path)
 	}
@@ -102,7 +106,7 @@ func benchRows(path string) (map[string]map[string]any, error) {
 // fields the row carries, in fixed order.
 func rowKey(row map[string]any) string {
 	var parts []string
-	for _, f := range []string{"workers", "producers", "mode", "batch"} {
+	for _, f := range []string{"seed", "workers", "producers", "mode", "batch"} {
 		if v, ok := row[f]; ok {
 			parts = append(parts, fmt.Sprintf("%s=%v", f, v))
 		}

@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/mesh"
+)
+
+// HardenChaosPlan arms only the corruption-injection sites: flipped canary
+// bytes at free/audit/mesh-copy checks and flipped poison bytes at
+// allocation checks. The counts are exact budgets, so a run's verdict is
+// arithmetic, not statistical: violations must equal injections.
+const HardenChaosPlan = "harden.canary:count=3,harden.poison:count=2"
+
+// hardenChaosInjections is the total budget HardenChaosPlan arms.
+const hardenChaosInjections = 5
+
+// HardenChaosRow is one seed's hardened chaos run.
+type HardenChaosRow struct {
+	Seed           uint64        `json:"seed"`
+	Ops            int           `json:"ops"`
+	ContainedErrs  int           `json:"contained_errs"` // typed ErrHeapCorruption surfaced to the workload
+	Wall           time.Duration `json:"wall_ns"`
+	OpsPerSec      float64       `json:"ops_per_sec"`
+	FaultsInjected uint64        `json:"faults_injected"`
+	Checks         uint64        `json:"checks"`
+	Violations     uint64        `json:"violations"`
+	Passes         uint64        `json:"passes"`
+	Quarantined    uint64        `json:"quarantined"`
+	Settled        uint64        `json:"settled"`
+	RetiredSpans   uint64        `json:"retired_spans"`
+	LostObjects    uint64        `json:"lost_objects"`
+	Audited        uint64        `json:"audited"`
+	ServedAfter    bool          `json:"served_after"` // clean malloc/free round after all retirements
+	InvariantsOK   bool          `json:"invariants_ok"`
+}
+
+// HardenChaosResult reports the corruption-containment stress runs: the
+// hardening summary artifact of the CI chaos job.
+type HardenChaosResult struct {
+	Plan  string           `json:"plan"`
+	Seeds []HardenChaosRow `json:"seeds"`
+}
+
+// ChaosHardened runs the corruption-injection stress workload across
+// deterministic seeds: concurrent churn on explicit Threads with hardening
+// and quarantine on, background meshing live, and HardenChaosPlan flipping
+// real heap bytes inside the canary and poison checkers. Containment, not
+// survival, is the bar — every injection must be caught (violations ==
+// injections), every caught corruption must retire its span and surface
+// mesh.ErrHeapCorruption (never a crash), and the allocator must keep
+// serving clean allocations afterwards. At quiescence the counter algebra
+// must be exact: checks == violations + passes, quarantined == settled,
+// allocs == frees + lost objects, and the integrity check must pass.
+func ChaosHardened(scale int) (*HardenChaosResult, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	opsPerWorker := 40_000 / scale
+	if opsPerWorker < 1_000 {
+		opsPerWorker = 1_000
+	}
+	res := &HardenChaosResult{Plan: HardenChaosPlan}
+	for _, seed := range []uint64{1, 2, 3, 4} {
+		row, err := hardenChaosRun(seed, opsPerWorker)
+		if err != nil {
+			return nil, fmt.Errorf("hardened chaos seed %d: %w", seed, err)
+		}
+		res.Seeds = append(res.Seeds, *row)
+	}
+	return res, nil
+}
+
+func hardenChaosRun(seed uint64, opsPerWorker int) (*HardenChaosRow, error) {
+	a := mesh.New(mesh.WithSeed(seed), mesh.WithFaultSeed(seed),
+		mesh.WithHardening(true), mesh.WithQuarantine(true),
+		mesh.WithMeshPeriod(time.Millisecond),
+		mesh.WithBackgroundMeshing(true),
+		mesh.WithFaultPlan(HardenChaosPlan))
+	defer a.Close()
+
+	const workers = 4
+	sizes := []int{16, 48, 64, 256, 1024}
+
+	relay := make([]chan mesh.Ptr, workers)
+	for i := range relay {
+		relay[i] = make(chan mesh.Ptr, opsPerWorker)
+	}
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		firstErr  error
+		contained int
+		ops       int
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	// tolerate classifies a workload-surfaced error: a typed containment
+	// error is the designed outcome of an injection and is counted; OOM is
+	// tolerated; anything else (including a crash-turned-error) is fatal.
+	tolerate := func(err error, myContained *int) bool {
+		switch {
+		case errors.Is(err, mesh.ErrHeapCorruption):
+			*myContained++
+			return true
+		case errors.Is(err, mesh.ErrOutOfMemory):
+			return true
+		default:
+			return false
+		}
+	}
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer close(relay[(w+1)%workers])
+			rng := rand.New(rand.NewSource(int64(seed)*1000 + int64(w)))
+			th := a.NewThread()
+			defer th.Close()
+			var local []mesh.Ptr
+			myOps, myContained := 0, 0
+			for i := 0; i < opsPerWorker; i++ {
+				size := sizes[rng.Intn(len(sizes))]
+				p, err := th.Malloc(size)
+				if err != nil {
+					if !tolerate(err, &myContained) {
+						fail(fmt.Errorf("worker %d: untyped malloc failure: %w", w, err))
+						return
+					}
+					continue
+				}
+				myOps++
+				if rng.Intn(4) == 0 {
+					// In-bounds writes exercise the poison/canary protocol
+					// legitimately: they must never trip a check.
+					if err := a.Write(p, []byte{byte(i), byte(i >> 8)}); err != nil {
+						fail(fmt.Errorf("worker %d: write: %w", w, err))
+						return
+					}
+				}
+				switch rng.Intn(3) {
+				case 0:
+					if err := th.Free(p); err != nil && !tolerate(err, &myContained) {
+						fail(fmt.Errorf("worker %d: free: %w", w, err))
+						return
+					}
+				case 1:
+					relay[(w+1)%workers] <- p
+				default:
+					local = append(local, p)
+				}
+				if i%8 == 0 {
+					for drained := false; !drained; {
+						select {
+						case q, ok := <-relay[w]:
+							if !ok {
+								drained = true
+							} else if err := th.Free(q); err != nil && !tolerate(err, &myContained) {
+								fail(fmt.Errorf("worker %d: remote free: %w", w, err))
+								return
+							}
+						default:
+							drained = true
+						}
+					}
+				}
+			}
+			for _, p := range local {
+				if err := th.Free(p); err != nil && !tolerate(err, &myContained) {
+					fail(fmt.Errorf("worker %d: drain free: %w", w, err))
+					return
+				}
+			}
+			mu.Lock()
+			ops += myOps
+			contained += myContained
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	for _, ch := range relay {
+		for p := range ch {
+			if err := a.Free(p); err != nil && !errors.Is(err, mesh.ErrHeapCorruption) {
+				fail(fmt.Errorf("relay drain free: %w", err))
+			}
+		}
+	}
+	wall := time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	readU64 := func(key string) (uint64, error) {
+		v, err := a.ReadControl(key)
+		if err != nil {
+			return 0, err
+		}
+		return v.(uint64), nil
+	}
+
+	// Drive any unexhausted injection budget: every hardened free runs a
+	// canary check and every hardened alloc a poison check, so clean churn
+	// pulls the counters to their armed totals deterministically.
+	for i := 0; i < 50_000; i++ {
+		if i%64 == 0 {
+			if inj, err := readU64("stats.fault.injected"); err != nil {
+				return nil, err
+			} else if inj >= hardenChaosInjections {
+				break
+			}
+		}
+		if p, err := a.Malloc(64); err == nil {
+			_ = a.Free(p)
+		}
+	}
+
+	// Containment, not crash: with every armed injection spent and its span
+	// retired, a clean malloc/write/free round must succeed end to end.
+	served := true
+	for i := 0; i < 200; i++ {
+		p, err := a.Malloc(sizes[i%len(sizes)])
+		if err != nil {
+			served = false
+			break
+		}
+		if err := a.Write(p, []byte{0x5a}); err != nil {
+			served = false
+			break
+		}
+		if err := a.Free(p); err != nil {
+			served = false
+			break
+		}
+	}
+
+	// Quiesce: stop the daemon, disarm the plane, settle the pooled heaps
+	// (draining quarantine), run one clean pass — then demand exactness.
+	if err := a.Close(); err != nil {
+		return nil, err
+	}
+	if err := a.Control("fault.enabled", false); err != nil {
+		return nil, err
+	}
+	if err := a.Flush(); err != nil {
+		return nil, err
+	}
+	a.Mesh()
+
+	row := &HardenChaosRow{Seed: seed, Ops: ops, ContainedErrs: contained,
+		Wall: wall, ServedAfter: served}
+	if wall > 0 {
+		row.OpsPerSec = float64(ops) / wall.Seconds()
+	}
+	var err error
+	if row.FaultsInjected, err = readU64("stats.fault.injected"); err != nil {
+		return nil, err
+	}
+	if row.Checks, err = readU64("stats.harden.checks"); err != nil {
+		return nil, err
+	}
+	if row.Violations, err = readU64("stats.harden.violations"); err != nil {
+		return nil, err
+	}
+	if row.Passes, err = readU64("stats.harden.passes"); err != nil {
+		return nil, err
+	}
+	if row.Quarantined, err = readU64("stats.harden.quarantined"); err != nil {
+		return nil, err
+	}
+	if row.Settled, err = readU64("stats.harden.settled"); err != nil {
+		return nil, err
+	}
+	if row.RetiredSpans, err = readU64("stats.harden.retired"); err != nil {
+		return nil, err
+	}
+	if row.LostObjects, err = readU64("stats.harden.lost_objects"); err != nil {
+		return nil, err
+	}
+	if row.Audited, err = readU64("stats.harden.audited"); err != nil {
+		return nil, err
+	}
+	if row.FaultsInjected != hardenChaosInjections {
+		return nil, fmt.Errorf("injection budget not spent: %d of %d fired",
+			row.FaultsInjected, hardenChaosInjections)
+	}
+	if row.Violations != row.FaultsInjected {
+		return nil, fmt.Errorf("detection not exact: %d injections, %d violations",
+			row.FaultsInjected, row.Violations)
+	}
+	if row.Checks != row.Violations+row.Passes {
+		return nil, fmt.Errorf("check algebra broken: %d checks != %d violations + %d passes",
+			row.Checks, row.Violations, row.Passes)
+	}
+	if row.Quarantined != row.Settled {
+		return nil, fmt.Errorf("quarantine leaked: %d parked, %d settled",
+			row.Quarantined, row.Settled)
+	}
+	if !row.ServedAfter {
+		return nil, errors.New("allocator stopped serving after containment")
+	}
+	allocs, err := readU64("stats.allocs")
+	if err != nil {
+		return nil, err
+	}
+	frees, err := readU64("stats.frees")
+	if err != nil {
+		return nil, err
+	}
+	if allocs != frees+row.LostObjects {
+		return nil, fmt.Errorf("accounting broken: %d allocs, %d frees, %d lost",
+			allocs, frees, row.LostObjects)
+	}
+	row.InvariantsOK = a.CheckIntegrity() == nil
+	return row, nil
+}

@@ -81,6 +81,14 @@ const (
 	// SiteMeshdPanic: panic the daemon goroutine inside a pass,
 	// exercising the supervisor's recover-and-restart path.
 	SiteMeshdPanic
+	// SiteHardenCanary: flip a byte of an object's trailing canary just
+	// before the hardening layer verifies it, modeling a linear heap
+	// overflow. The verification that evaluates the site then runs for
+	// real, so every injection is a detected violation.
+	SiteHardenCanary
+	// SiteHardenPoison: flip a byte of a freed slot's poison fill just
+	// before reuse verification, modeling a use-after-free write.
+	SiteHardenPoison
 
 	numSites
 )
@@ -98,6 +106,8 @@ var siteNames = [numSites]string{
 	SiteRemoteSegment: "remote.segment",
 	SiteMeshdStall:    "meshd.stall",
 	SiteMeshdPanic:    "meshd.panic",
+	SiteHardenCanary:  "harden.canary",
+	SiteHardenPoison:  "harden.poison",
 }
 
 // String returns the site's plan-spec name.

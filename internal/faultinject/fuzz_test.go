@@ -1,0 +1,53 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseFaultPlan hardens the plan-spec parser against hostile input:
+// whatever the bytes, parsing must not panic, and the accept/reject
+// decision must be stable — a spec that validates must install cleanly,
+// and a spec that does not must leave an armed plane untouched
+// (reject-without-mutation, the same contract the fault.plan control
+// exposes to applications).
+func FuzzParseFaultPlan(f *testing.F) {
+	seeds := []string{
+		"",
+		"vm.commit:rate=8:mode=transient,mesh.copy:count=1",
+		"harden.canary:count=2,harden.poison:count=1",
+		"meshd.stall:count=0",
+		"vm.commit:rate=0",
+		"vm.commit:after=3:rate=2:count=10:mode=permanent",
+		"bogus.site",
+		"vm.commit:bogus=1",
+		"vm.commit:mode=soft",
+		":::,,,===",
+		"vm.commit:rate=99999999999999999999",
+		strings.Repeat("vm.commit:rate=2,", 64),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	const goodPlan = "vm.commit:rate=4"
+	f.Fuzz(func(t *testing.T, spec string) {
+		err := ValidatePlan(spec)
+
+		p := NewPlane(1)
+		if serr := p.SetPlan(goodPlan); serr != nil {
+			t.Fatalf("known-good plan rejected: %v", serr)
+		}
+		serr := p.SetPlan(spec)
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("ValidatePlan(%q) = %v but SetPlan = %v", spec, err, serr)
+		}
+		if serr != nil {
+			// Rejected specs must not disturb the installed plan.
+			if got := p.Plan(); got != goodPlan {
+				t.Fatalf("rejected SetPlan(%q) clobbered the plan: %q", spec, got)
+			}
+		} else if got := p.Plan(); got != spec {
+			t.Fatalf("accepted SetPlan(%q) readback = %q", spec, got)
+		}
+	})
+}

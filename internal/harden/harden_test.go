@@ -1,0 +1,159 @@
+package harden
+
+import "testing"
+
+func TestPoisonLen(t *testing.T) {
+	cases := []struct{ objSize, want int }{
+		{16, 8},     // 16-byte class: 8 payload bytes after the canary
+		{32, 24},    // whole payload under the cap
+		{40, 32},    // exactly at the cap
+		{80, 32},    // capped
+		{16384, 32}, // largest class: still O(1)
+	}
+	for _, tc := range cases {
+		if got := PoisonLen(tc.objSize); got != tc.want {
+			t.Errorf("PoisonLen(%d) = %d, want %d", tc.objSize, got, tc.want)
+		}
+	}
+	// The fill/verify loops run in PoisonWord units.
+	for objSize := 16; objSize <= 16384; objSize += 8 {
+		if PoisonLen(objSize)%8 != 0 {
+			t.Fatalf("PoisonLen(%d) = %d is not a multiple of 8", objSize, PoisonLen(objSize))
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if byte(uint64(PoisonWord)>>(8*i)) != PoisonByte {
+			t.Fatalf("PoisonWord byte %d != PoisonByte", i)
+		}
+	}
+}
+
+// TestCanaryPositionKeyed: the guard word differs across offsets and
+// classes, so an overflow that copies one slot's trailer into a neighbour
+// still mismatches — and it differs across planes with different seeds, so
+// values are not guessable from another run.
+func TestCanaryPositionKeyed(t *testing.T) {
+	p := NewPlane(42)
+	seen := map[uint64]bool{}
+	for class := 0; class < 4; class++ {
+		for off := 0; off < 64; off++ {
+			w := p.Canary(class, off)
+			if w&1 == 0 {
+				t.Fatalf("Canary(%d,%d) = %#x has a zero low bit (colliding with poison-fill zeros)", class, off, w)
+			}
+			if seen[w] {
+				t.Fatalf("Canary(%d,%d) = %#x collides", class, off, w)
+			}
+			seen[w] = true
+		}
+	}
+	if NewPlane(43).Canary(0, 0) == p.Canary(0, 0) {
+		t.Fatal("canary does not depend on the plane seed")
+	}
+	if p.Canary(0, 0) != p.Canary(0, 0) {
+		t.Fatal("canary not deterministic")
+	}
+}
+
+// TestFlagStickiness: EverEnabled latches on the first enable and survives
+// disables — the size-routing contract — while Enabled and
+// QuarantineEnabled track the live switches.
+func TestFlagStickiness(t *testing.T) {
+	p := NewPlane(1)
+	if p.Enabled() || p.QuarantineEnabled() || p.EverEnabled() {
+		t.Fatal("fresh plane has flags set")
+	}
+	p.SetEnabled(true)
+	if !p.Enabled() || !p.EverEnabled() {
+		t.Fatal("enable did not set both live and sticky bits")
+	}
+	p.SetEnabled(false)
+	if p.Enabled() {
+		t.Fatal("disable did not clear the live bit")
+	}
+	if !p.EverEnabled() {
+		t.Fatal("disable cleared the sticky bit")
+	}
+	p.SetQuarantine(true)
+	if !p.QuarantineEnabled() || p.Enabled() {
+		t.Fatal("quarantine flag leaked into the enable flag")
+	}
+}
+
+func TestCounterRelations(t *testing.T) {
+	p := NewPlane(1)
+	p.NotePass()
+	p.NotePass()
+	p.NoteViolation()
+	p.NoteQuarantined(3)
+	p.NoteUnquarantined(2)
+	p.NoteRetired(5)
+	p.NoteUnretired()
+	p.NoteAudited(4)
+	st := p.Snapshot()
+	if st.Checks != 3 || st.Passes != 2 || st.Violations != 1 {
+		t.Fatalf("checks/passes/violations = %d/%d/%d", st.Checks, st.Passes, st.Violations)
+	}
+	if st.Checks != st.Violations+st.Passes {
+		t.Fatalf("checks %d != violations %d + passes %d", st.Checks, st.Violations, st.Passes)
+	}
+	if st.Quarantined != 3 || st.Settled != 2 {
+		t.Fatalf("quarantined/settled = %d/%d", st.Quarantined, st.Settled)
+	}
+	if st.Retired != 1 || st.LostObjects != 4 {
+		t.Fatalf("retired/lost = %d/%d (NoteUnretired must give one object back)", st.Retired, st.LostObjects)
+	}
+	if st.Audited != 4 {
+		t.Fatalf("audited = %d", st.Audited)
+	}
+}
+
+func TestPackUnpack(t *testing.T) {
+	for _, addr := range []uint64{0x10, 0x4000, 0xfffffff0} {
+		for _, pre := range []bool{false, true} {
+			a, p := Unpack(Pack(addr, pre))
+			if a != addr || p != pre {
+				t.Fatalf("Pack/Unpack(%#x, %v) = (%#x, %v)", addr, pre, a, p)
+			}
+		}
+	}
+}
+
+func TestRingPushPopOrder(t *testing.T) {
+	var r Ring
+	if _, ok := r.Pop(); ok {
+		t.Fatal("empty ring popped")
+	}
+	for i := uint64(0); i < RingCap; i++ {
+		if !r.Push(i * 16) {
+			t.Fatalf("push %d of %d failed", i, RingCap)
+		}
+	}
+	if r.Push(0xdead0) {
+		t.Fatal("push into a full ring succeeded")
+	}
+	if got := r.Resident(); got != RingCap {
+		t.Fatalf("resident = %d, want %d", got, RingCap)
+	}
+	// FIFO: evict-oldest semantics depend on it.
+	for i := uint64(0); i < RingCap; i++ {
+		e, ok := r.Pop()
+		if !ok || e != i*16 {
+			t.Fatalf("pop %d = (%#x, %v), want %#x", i, e, ok, i*16)
+		}
+	}
+	if got := r.Resident(); got != 0 {
+		t.Fatalf("resident after drain = %d", got)
+	}
+	// Stamps are monotone across wraparound.
+	h, tl := r.Stamps()
+	if h != RingCap || tl != RingCap {
+		t.Fatalf("stamps = (%d, %d), want (%d, %d)", h, tl, RingCap, RingCap)
+	}
+	if !r.Push(0x30) {
+		t.Fatal("push after wraparound failed")
+	}
+	if e, ok := r.Pop(); !ok || e != 0x30 {
+		t.Fatalf("pop after wraparound = (%#x, %v)", e, ok)
+	}
+}

@@ -1,0 +1,105 @@
+package harden
+
+import "sync/atomic"
+
+// RingCap is the capacity of a per-heap quarantine ring. Power of two so
+// slot indexing is a mask. 256 entries of delayed reuse per thread heap is
+// enough to catch the racing double frees and stale writes the chaos suite
+// injects without holding a meaningful amount of memory hostage (worst
+// case 256 × 16 KiB ≈ 4 MiB per heap, typical far less).
+const RingCap = 256
+
+// Ring is a per-heap delayed-reuse quarantine for freed object addresses.
+// Freed slots park here — poisoned, bitmap bit still set, accounting
+// deferred — and settle through the real free path only when evicted
+// (ring full), or when the heap drains at Done.
+//
+// The ring follows the reserve/commit stamp idiom of the remote-free
+// queues in internal/core/remote.go, scoped to the single-producer/
+// single-consumer shape a thread heap needs: only the heap's owner pushes
+// and pops, with ownership handoff ordered by the heap pool's atomics,
+// while the background auditor reads the head/tail stamps concurrently to
+// validate structural invariants (resident count within [0, RingCap],
+// stamps monotonic). The slot write is committed by the tail store; the
+// slot read is retired by the head store.
+//
+// Entries are object addresses with the low bit borrowed as a flag (all
+// object addresses are 16-aligned): a set bit marks a free that was
+// already accounted at remote-free enqueue time and must settle through
+// the pre-accounted path.
+type Ring struct {
+	head  atomic.Uint64 // next slot to pop (consumer stamp)
+	tail  atomic.Uint64 // next slot to push (producer stamp)
+	slots [RingCap]uint64
+}
+
+// preAccountedBit marks a parked free whose accounting already happened at
+// remote-free enqueue time.
+const preAccountedBit = 1
+
+// Pack combines an object address and its pre-accounted flag into one ring
+// entry.
+func Pack(addr uint64, preAccounted bool) uint64 {
+	if preAccounted {
+		return addr | preAccountedBit
+	}
+	return addr
+}
+
+// Unpack splits a ring entry back into address and flag.
+func Unpack(entry uint64) (addr uint64, preAccounted bool) {
+	return entry &^ preAccountedBit, entry&preAccountedBit != 0
+}
+
+// Push parks an entry. It returns false when the ring is full; the caller
+// must Pop (settling the oldest quarantined free) and retry.
+//
+//mesh:lockfree
+func (r *Ring) Push(entry uint64) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == RingCap {
+		return false
+	}
+	r.slots[t%RingCap] = entry
+	r.tail.Store(t + 1) // commit: entry visible to Resident/auditor
+	return true
+}
+
+// Pop removes the oldest entry, returning ok == false when the ring is
+// empty.
+//
+//mesh:lockfree
+func (r *Ring) Pop() (entry uint64, ok bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return 0, false
+	}
+	entry = r.slots[h%RingCap]
+	r.head.Store(h + 1) // retire: slot reusable by the producer
+	return entry, true
+}
+
+// Resident returns how many entries are currently parked. Safe to call
+// from any goroutine; the auditor uses it to check 0 ≤ resident ≤ RingCap
+// and that the stamps never run backwards.
+//
+//mesh:lockfree
+func (r *Ring) Resident() int {
+	t := r.tail.Load()
+	h := r.head.Load()
+	if t < h { // torn cross-thread read: pop retired between the loads
+		return 0
+	}
+	if t-h > RingCap {
+		return RingCap
+	}
+	return int(t - h)
+}
+
+// Stamps returns the raw (head, tail) reserve/commit stamps for invariant
+// checks.
+//
+//mesh:lockfree
+func (r *Ring) Stamps() (head, tail uint64) {
+	return r.head.Load(), r.tail.Load()
+}

@@ -67,6 +67,7 @@ type Stats struct {
 	NudgePasses    uint64 // passes started by free-pressure nudges
 	PressurePasses uint64 // passes forced by memory pressure
 	SpansReleased  uint64 // spans released across all passes
+	AuditSlices    uint64 // corruption-auditor slices that walked spans
 	Restarts       uint64 // work-loop restarts after a recovered panic
 }
 
@@ -89,6 +90,7 @@ type Daemon struct {
 	nudgePasses    atomic.Uint64
 	pressurePasses atomic.Uint64
 	spansReleased  atomic.Uint64
+	auditSlices    atomic.Uint64
 
 	// Panic-isolation state: the supervisor counts restarts
 	// (stats.meshd.restarts) and uses passesSinceRestart to decide
@@ -174,6 +176,7 @@ func (d *Daemon) Stats() Stats {
 		NudgePasses:    d.nudgePasses.Load(),
 		PressurePasses: d.pressurePasses.Load(),
 		SpansReleased:  d.spansReleased.Load(),
+		AuditSlices:    d.auditSlices.Load(),
 		Restarts:       d.restarts.Load(),
 	}
 }
@@ -246,6 +249,7 @@ func (d *Daemon) loop(stop chan struct{}) {
 				d.nudgePasses.Add(1)
 				d.runTraced(trace.WakeNudge)
 			}
+			d.auditSlice()
 		case <-timer.C:
 			d.wakeups.Add(1)
 			if d.underPressure() {
@@ -255,6 +259,7 @@ func (d *Daemon) loop(stop chan struct{}) {
 				d.timerPasses.Add(1)
 				d.runTraced(trace.WakeTimer)
 			}
+			d.auditSlice()
 			timer.Reset(d.pollEvery())
 		}
 	}
@@ -277,6 +282,18 @@ func (d *Daemon) runTraced(reason uint64) {
 	released := d.RunPass()
 	d.passesSinceRestart.Add(1)
 	d.tr.Event(trace.EvDaemonWake, reason, uint64(released))
+}
+
+// auditSlice runs one background corruption-auditor slice: up to the
+// heap's harden.audit_spans budget of detached hardened spans get their
+// canaries, poison fills, and page-map registrations verified (and corrupt
+// ones retired) per daemon wake. AuditSlice itself is a no-op while
+// hardening has never been enabled, so the unhardened daemon pays one
+// atomic load per wake.
+func (d *Daemon) auditSlice() {
+	if audited, _ := d.g.AuditSlice(); audited > 0 {
+		d.auditSlices.Add(1)
+	}
 }
 
 // pollEvery derives the wall-clock wake-up interval, re-read every cycle

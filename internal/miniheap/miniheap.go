@@ -81,6 +81,18 @@ type MiniHeap struct {
 
 	attached atomic.Bool
 	pinned   atomic.Bool
+
+	// retired marks a span the hardening layer found corrupt and
+	// contained: its VM translation is unmapped, it sits in no occupancy
+	// bin, it is never meshed, and frees routed to it surface a typed
+	// heap-corruption error. One-way — a retired span never serves again.
+	retired atomic.Bool
+
+	// hardened records whether the span was minted with the hardening
+	// protocol (trailing canaries, poison-on-free). Written once before
+	// the span is published through the page map, then read-only, so
+	// plain loads on the fast paths are race-free.
+	hardened bool
 }
 
 var nextID atomic.Uint64
@@ -173,6 +185,8 @@ func (m *MiniHeap) SpanBytes() int { return m.spanPages * vm.PageSize }
 func (m *MiniHeap) ObjectCount() int { return m.objCount }
 
 // Bitmap exposes the allocation bitmap.
+//
+//mesh:lockfree
 func (m *MiniHeap) Bitmap() *bitmap.Bitmap { return m.bm }
 
 // Phys returns the backing physical span.
@@ -268,6 +282,27 @@ func (m *MiniHeap) Unpin() {
 
 // IsPinned reports whether an in-flight mesh owns this MiniHeap.
 func (m *MiniHeap) IsPinned() bool { return m.pinned.Load() }
+
+// SetHardened marks the span as minted under the hardening protocol. It
+// must be called before the span is published through the page map —
+// Hardened is read with a plain load on the malloc/free fast paths, and
+// the page map's atomic slot store is what orders the write.
+func (m *MiniHeap) SetHardened() { m.hardened = true }
+
+// Hardened reports whether the span carries canaries and poison.
+//
+//mesh:lockfree
+func (m *MiniHeap) Hardened() bool { return m.hardened }
+
+// Retire marks the span as corrupt-and-contained. Idempotent: it reports
+// whether this call was the one that retired the span, so exactly one
+// caller performs the containment bookkeeping.
+func (m *MiniHeap) Retire() bool { return m.retired.CompareAndSwap(false, true) }
+
+// IsRetired reports whether the hardening layer has retired this span.
+//
+//mesh:lockfree
+func (m *MiniHeap) IsRetired() bool { return m.retired.Load() }
 
 // Contains reports whether addr falls inside any of the MiniHeap's virtual
 // spans.
@@ -375,6 +410,16 @@ func (m *MiniHeap) Meshable(o *MiniHeap) bool {
 		return false
 	}
 	if m.IsPinned() || o.IsPinned() {
+		return false
+	}
+	if m.IsRetired() || o.IsRetired() {
+		return false
+	}
+	if m.hardened != o.hardened {
+		// Meshing an unhardened span's objects into a hardened one would
+		// strand canary-less objects behind a span flag that promises
+		// checks (and vice versa wastes the guard bytes); spans minted
+		// across a harden.enabled toggle simply never pair.
 		return false
 	}
 	return !m.bm.Overlaps(o.bm)

@@ -92,6 +92,14 @@ const (
 	// recovered it. A=pages requested, B=spans released by the
 	// emergency pass.
 	EvOOMRecover
+	// EvHardenViolation: a hardening check (canary or poison
+	// verification) found corruption. A=object address, B=the faultinject
+	// site code matching the check (harden.canary or harden.poison).
+	EvHardenViolation
+	// EvSpanRetired: a corrupt span was retired — unmapped from VM
+	// translation, excluded from meshing — and the allocator kept
+	// serving. A=span base virtual address, B=live objects lost.
+	EvSpanRetired
 
 	numKinds
 )
@@ -114,6 +122,9 @@ var kindNames = [numKinds]string{
 	EvFaultInjected:  "fault_injected",
 	EvMeshdRestart:   "meshd_restart",
 	EvOOMRecover:     "oom_recover",
+
+	EvHardenViolation: "harden_violation",
+	EvSpanRetired:     "span_retired",
 }
 
 // String returns the event kind's snake_case name.
@@ -148,6 +159,9 @@ const (
 	SrcBarrier uint32 = 1<<32 - 4
 	// SrcFault is the fault-injection plane.
 	SrcFault uint32 = 1<<32 - 5
+	// SrcHarden is the heap-hardening layer (violations found outside a
+	// heap context: the background auditor and the meshing sweep).
+	SrcHarden uint32 = 1<<32 - 6
 )
 
 // SourceName renders a source ID: reserved singletons by name, heap
@@ -164,6 +178,8 @@ func SourceName(src uint32) string {
 		return "barrier"
 	case SrcFault:
 		return "fault"
+	case SrcHarden:
+		return "harden"
 	default:
 		return fmt.Sprintf("heap-%d", src)
 	}

@@ -52,10 +52,21 @@ import (
 //	fault.plan        string          rw        fault plan spec (internal/faultinject grammar); writing a non-empty plan arms and enables the plane, "" disarms and disables it; invalid specs are rejected with ErrControlType
 //	fault.seed        int             rw        decision seed of the fault plane (deterministic schedules replay from it)
 //	oom.backpressure  bool            rw        memory-limit degradation ladder on/off (flush dirty bins → emergency mesh → retry once → ErrOutOfMemory)
+//	harden.enabled    bool            rw        heap hardening on/off: canaries + poison-on-free on spans minted while on (see WithHardening)
+//	harden.quarantine bool            rw        delayed-reuse quarantine for hardened frees; enabling also enables harden.enabled
+//	harden.audit_spans int            rw        background auditor's span budget per daemon wake (>= 0; 0 disables the auditor slice)
 //	debug.check_invariants string     r         runs the full heap invariant check (stop-the-world); returns "" when clean, the violation text otherwise
 //	stats.fault.injected uint64       r         faults injected across all sites since construction
 //	stats.oom.recoveries uint64       r         memory-limit hits the backpressure ladder recovered
 //	stats.meshd.restarts uint64       r         daemon work-loop restarts after recovered panics
+//	stats.harden.checks uint64        r         hardening verifications performed (canary + poison)
+//	stats.harden.violations uint64    r         verifications that found corruption; checks == violations + passes at quiescence
+//	stats.harden.passes uint64        r         verifications that found none
+//	stats.harden.quarantined uint64   r         frees parked in quarantine rings; equals settled at quiescence
+//	stats.harden.settled uint64       r         quarantined frees settled back into the heap
+//	stats.harden.retired uint64       r         corrupt spans retired (containment actions taken)
+//	stats.harden.lost_objects uint64  r         live objects lost to retired spans
+//	stats.harden.audited uint64       r         spans walked by the background corruption auditor
 //
 // Integer-typed keys accept int, int32, int64 or uint64 on write;
 // mesh.period additionally accepts a time.ParseDuration string.
@@ -339,6 +350,72 @@ var controls = map[string]control{
 			return nil
 		},
 		get: func(a *Allocator) (any, error) { return a.g.OOMBackpressure(), nil },
+	},
+	"harden.enabled": {
+		set: func(a *Allocator, v any) error {
+			b, ok := v.(bool)
+			if !ok {
+				return fmt.Errorf("%w: need bool, got %T", ErrControlType, v)
+			}
+			a.g.Harden().SetEnabled(b)
+			return nil
+		},
+		get: func(a *Allocator) (any, error) { return a.g.Harden().Enabled(), nil },
+	},
+	"harden.quarantine": {
+		set: func(a *Allocator, v any) error {
+			b, ok := v.(bool)
+			if !ok {
+				return fmt.Errorf("%w: need bool, got %T", ErrControlType, v)
+			}
+			if b {
+				// Quarantine parks hardened frees; without hardening it
+				// would never see one. Enabling implies the base plane,
+				// like the WithQuarantine option.
+				a.g.Harden().SetEnabled(true)
+			}
+			a.g.Harden().SetQuarantine(b)
+			return nil
+		},
+		get: func(a *Allocator) (any, error) { return a.g.Harden().QuarantineEnabled(), nil },
+	},
+	"harden.audit_spans": {
+		set: func(a *Allocator, v any) error {
+			n, err := asInt64(v)
+			if err != nil {
+				return err
+			}
+			if n < 0 {
+				return fmt.Errorf("%w: harden.audit_spans must be >= 0, got %d", ErrControlType, n)
+			}
+			a.g.Harden().SetAuditSpans(n)
+			return nil
+		},
+		get: func(a *Allocator) (any, error) { return int(a.g.Harden().AuditSpans()), nil },
+	},
+	"stats.harden.checks": {
+		get: func(a *Allocator) (any, error) { return a.g.HardenStats().Checks, nil },
+	},
+	"stats.harden.violations": {
+		get: func(a *Allocator) (any, error) { return a.g.HardenStats().Violations, nil },
+	},
+	"stats.harden.passes": {
+		get: func(a *Allocator) (any, error) { return a.g.HardenStats().Passes, nil },
+	},
+	"stats.harden.quarantined": {
+		get: func(a *Allocator) (any, error) { return a.g.HardenStats().Quarantined, nil },
+	},
+	"stats.harden.settled": {
+		get: func(a *Allocator) (any, error) { return a.g.HardenStats().Settled, nil },
+	},
+	"stats.harden.retired": {
+		get: func(a *Allocator) (any, error) { return a.g.HardenStats().Retired, nil },
+	},
+	"stats.harden.lost_objects": {
+		get: func(a *Allocator) (any, error) { return a.g.HardenStats().LostObjects, nil },
+	},
+	"stats.harden.audited": {
+		get: func(a *Allocator) (any, error) { return a.g.HardenStats().Audited, nil },
 	},
 	"debug.check_invariants": {
 		get: func(a *Allocator) (any, error) {

@@ -62,10 +62,21 @@ func TestControlKeyTable(t *testing.T) {
 		{key: "fault.enabled", set: false, want: false, readback: true},
 		{key: "fault.seed", set: 42, want: uint64(42), readback: true},
 		{key: "oom.backpressure", set: true, want: true, readback: true},
+		{key: "harden.enabled", set: true, want: true, readback: true},
+		{key: "harden.quarantine", set: true, want: true, readback: true},
+		{key: "harden.audit_spans", set: 4, want: 4, readback: true},
 		{key: "debug.check_invariants", want: "", readback: true},
 		{key: "stats.fault.injected", want: uint64(0), readback: true},
 		{key: "stats.oom.recoveries", want: uint64(0), readback: true},
 		{key: "stats.meshd.restarts", want: uint64(0), readback: true},
+		{key: "stats.harden.checks", want: uint64(0), readback: true},
+		{key: "stats.harden.violations", want: uint64(0), readback: true},
+		{key: "stats.harden.passes", want: uint64(0), readback: true},
+		{key: "stats.harden.quarantined", want: uint64(0), readback: true},
+		{key: "stats.harden.settled", want: uint64(0), readback: true},
+		{key: "stats.harden.retired", want: uint64(0), readback: true},
+		{key: "stats.harden.lost_objects", want: uint64(0), readback: true},
+		{key: "stats.harden.audited", want: uint64(0), readback: true},
 	}
 
 	covered := make(map[string]bool)
@@ -140,6 +151,12 @@ func TestControlBadTypes(t *testing.T) {
 		{"fault.seed", int64(-1)},
 		{"fault.seed", "entropy"},
 		{"oom.backpressure", "yes"},
+		{"harden.enabled", 1},
+		{"harden.enabled", "on"},
+		{"harden.quarantine", 1},
+		{"harden.audit_spans", int64(-1)},
+		{"harden.audit_spans", "all"},
+		{"harden.audit_spans", 1.5},
 	}
 	for _, tc := range bad {
 		if err := a.Control(tc.key, tc.val); !errors.Is(err, ErrControlType) {
@@ -160,6 +177,22 @@ func TestControlBadTypes(t *testing.T) {
 	}
 	if got, _ := a.ReadControl("fault.enabled"); got != true {
 		t.Fatalf("rejected plan write flipped fault.enabled to %v", got)
+	}
+
+	// Rejected harden.* writes must leave the plane untouched, like the
+	// fault.* surface: the bad bools above never flipped the enable bit,
+	// and a rejected budget write keeps the previous budget.
+	if got, _ := a.ReadControl("harden.enabled"); got != false {
+		t.Fatalf("rejected harden.enabled writes flipped the switch to %v", got)
+	}
+	if err := a.Control("harden.audit_spans", 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Control("harden.audit_spans", int64(-5)); !errors.Is(err, ErrControlType) {
+		t.Fatalf("negative harden.audit_spans = %v, want ErrControlType", err)
+	}
+	if got, _ := a.ReadControl("harden.audit_spans"); got != 16 {
+		t.Fatalf("rejected harden.audit_spans write clobbered the budget: %v", got)
 	}
 }
 

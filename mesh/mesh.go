@@ -102,9 +102,27 @@
 // fault-injection plane (internal/faultinject): seed-driven fault
 // schedules are installed with WithFaultPlan or the fault.* controls,
 // and cover simulated VM failures, mesh aborts in each engine phase,
-// remote-free segment failures, and daemon stalls and panics. The
+// remote-free segment failures, daemon stalls and panics, and — with
+// hardening on — canary and poison corruption. The
 // debug.check_invariants control runs the full heap invariant check on
 // demand. See README's Robustness section for the fault taxonomy.
+//
+// # Heap hardening
+//
+// WithHardening(true) — or Control("harden.enabled", true) — arms the
+// corruption-detection plane: every object of a hardened span carries a
+// position-keyed trailing canary (checked at free, at mesh-copy time, and
+// by a background auditor slice on the meshing daemon), freed payloads
+// are poisoned and the fill verified before reuse (catching
+// use-after-free writes and probabilistically catching cross-thread
+// double frees), and WithQuarantine(true) additionally parks frees in a
+// per-heap delayed-reuse ring. Detection is containment, not crash: a
+// corrupt span is retired — unmapped, excluded from meshing, its live
+// objects counted lost (stats.harden.*) — the detecting call returns
+// ErrHeapCorruption, and the allocator keeps serving from every other
+// span. When hardening has never been enabled its entire cost is one
+// atomic load per operation. See README's Hardening section for the
+// threat model and measured overhead.
 package mesh
 
 import (
@@ -113,6 +131,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/core"
+	"repro/internal/harden"
 	"repro/internal/meshd"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -135,6 +154,12 @@ var (
 	ErrInvalidFree = core.ErrInvalidFree
 	ErrDoubleFree  = core.ErrDoubleFree
 	ErrOutOfMemory = core.ErrOutOfMemory
+
+	// ErrHeapCorruption is returned by any call whose hardening check
+	// (canary, poison, page-map audit) found corruption, after the corrupt
+	// span was retired; it also types frees of objects lost to an earlier
+	// retirement. The allocator remains fully usable.
+	ErrHeapCorruption = core.ErrHeapCorruption
 )
 
 // PageSize is the span granularity of the simulated hardware.
@@ -154,6 +179,11 @@ type MeshStats = core.MeshStats
 // RemoteStats counts message-passing remote frees; read it from
 // Stats().Remote or the stats.remote.* controls.
 type RemoteStats = core.RemoteStats
+
+// HardenStats counts hardening activity: verifications, violations,
+// quarantine traffic, and span retirements. Read it from Stats().Harden
+// or the stats.harden.* controls.
+type HardenStats = harden.Stats
 
 // PauseHistogram is the distribution of meshing pauses — every interval
 // the engine held the allocator's global lock. Read it from
@@ -315,6 +345,27 @@ func WithFaultPlan(spec string) Option {
 // Control("fault.seed", n).
 func WithFaultSeed(seed uint64) Option {
 	return func(c *core.Config) { c.FaultSeed = seed }
+}
+
+// WithHardening starts the allocator with heap hardening on: spans are
+// minted with per-object trailing canaries and whole-span poison, frees
+// verify and re-poison, and the background daemon audits spans for
+// corruption. Detection contains (span retirement + ErrHeapCorruption)
+// rather than crashes. Runtime-togglable via Control("harden.enabled",
+// bool); note that once enabled, small-object usable sizes permanently
+// shrink by the canary word (the size-class routing must keep reserving
+// it for spans that outlive a disable).
+func WithHardening(enabled bool) Option {
+	return func(c *core.Config) { c.Hardening = enabled }
+}
+
+// WithQuarantine starts the allocator with the delayed-reuse quarantine
+// on (implies WithHardening): hardened frees park in a per-heap ring and
+// are re-verified before their slots return to a shuffle vector, widening
+// the use-after-free and double-free detection window. Runtime-togglable
+// via Control("harden.quarantine", bool).
+func WithQuarantine(enabled bool) Option {
+	return func(c *core.Config) { c.Quarantine = enabled }
 }
 
 // WithOOMBackpressure enables or disables the memory-limit degradation
