@@ -62,7 +62,7 @@ func main() {
 		return
 	}
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: meshbench [-scale N] [-csv] [-json FILE] <fig6|fig7|fig8|spec|prob|lemma53|triangle|ablation|robson|conc|pause|scale|datapath|remote|chaos|chaos-hardened|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: meshbench [-scale N] [-csv] [-json FILE] <fig6|fig7|fig8|spec|prob|lemma53|triangle|ablation|robson|conc|pause|scale|frontend|datapath|remote|chaos|chaos-hardened|all>\n")
 		fmt.Fprintf(os.Stderr, "       meshbench compare [-baseline DIR] [-threshold PCT] [-counter-threshold PCT] FILE...\n")
 		flag.PrintDefaults()
 	}
@@ -106,6 +106,8 @@ func run(what string) error {
 		return pause()
 	case "scale":
 		return scaleExp()
+	case "frontend":
+		return frontendExp()
 	case "datapath":
 		return datapath()
 	case "remote":
@@ -116,7 +118,7 @@ func run(what string) error {
 		return chaosHardened()
 	case "all":
 		runningAll = true
-		for _, f := range []func() error{fig6, fig7, fig8, spec, ablation, robson, conc, pause, scaleExp, datapath, remote, chaos, chaosHardened} {
+		for _, f := range []func() error{fig6, fig7, fig8, spec, ablation, robson, conc, pause, scaleExp, frontendExp, datapath, remote, chaos, chaosHardened} {
 			if err := f(); err != nil {
 				return err
 			}
@@ -387,6 +389,25 @@ func scaleExp() error {
 			r.Workers, r.Batch, r.Ops, r.Wall.Round(1e6), r.OpsPerSec, r.ShardAcquires, r.ArenaLookups)
 	}
 	if p := jsonPath("scale"); p != "" {
+		return writeJSON(p, res)
+	}
+	return nil
+}
+
+func frontendExp() error {
+	header("Frontend: scalar stripe+magazine path vs batch API vs pool-only hand-off")
+	res, err := experiments.Frontend(*scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s %10s %10s %12s %14s %16s %14s %14s\n",
+		"workers", "mode", "ops", "wall", "ops/sec", "shard acquires", "pool borrows", "frontend hits")
+	for _, r := range res.Rows {
+		fmt.Printf("%8d %10s %10d %12v %14.0f %16d %14d %14d\n",
+			r.Workers, r.Mode, r.Ops, r.Wall.Round(1e6), r.OpsPerSec,
+			r.ShardAcquires, r.PoolBorrows, r.FrontendHits)
+	}
+	if p := jsonPath("frontend"); p != "" {
 		return writeJSON(p, res)
 	}
 	return nil

@@ -28,9 +28,15 @@ import (
 
 // traced is the slice of the mesh API the recorder front ends need; the
 // jemalloc/glibc baselines don't implement it, so -allocator rejects
-// them with a type error instead of silently recording nothing.
+// them with a type error instead of silently recording nothing. The
+// scalar Malloc/Free/Flush trio is the Allocator-level surface: record
+// and top replay through it (not a pinned Thread) so the trace exercises
+// the front-end stripe and magazine layers the recorder instruments.
 type traced interface {
 	alloc.Allocator
+	Malloc(size int) (uint64, error)
+	Free(addr uint64) error
+	Flush() error
 	Control(key string, value any) error
 	TraceSnapshot() mesh.TraceSnapshot
 	Mesh() int
@@ -38,18 +44,20 @@ type traced interface {
 
 // observeFlags are the flags record and top share.
 type observeFlags struct {
-	kind   *string
-	scale  *int
-	sample *int
-	buffer *int
+	kind      *string
+	scale     *int
+	sample    *int
+	buffer    *int
+	magazines *int
 }
 
 func addObserveFlags(fs *flag.FlagSet) observeFlags {
 	return observeFlags{
-		kind:   fs.String("allocator", "mesh", "mesh | mesh-nomesh | mesh-norand"),
-		scale:  fs.Int("scale", 1, "dirty-threshold scale factor"),
-		sample: fs.Int("sample", 1, "record 1 in N alloc/free events (structural events always record)"),
-		buffer: fs.Int("buffer", 1<<16, "per-source ring capacity in events (rounded up to a power of two)"),
+		kind:      fs.String("allocator", "mesh", "mesh | mesh-nomesh | mesh-norand"),
+		scale:     fs.Int("scale", 1, "dirty-threshold scale factor"),
+		sample:    fs.Int("sample", 1, "record 1 in N alloc/free events (structural events always record)"),
+		buffer:    fs.Int("buffer", 1<<16, "per-source ring capacity in events (rounded up to a power of two)"),
+		magazines: fs.Int("magazines", 64, "front-end magazine capacity in objects (0 replays without magazines)"),
 	}
 }
 
@@ -75,32 +83,35 @@ func replayTraced(o observeFlags) (mesh.TraceSnapshot, int, error) {
 		return mesh.TraceSnapshot{}, 0, fmt.Errorf("allocator %q has no flight recorder (use a mesh kind)", *o.kind)
 	}
 	for key, v := range map[string]any{
-		"trace.sample_rate":   *o.sample,
-		"trace.buffer_events": *o.buffer,
-		"trace.enabled":       true,
+		"trace.sample_rate":         *o.sample,
+		"trace.buffer_events":       *o.buffer,
+		"trace.enabled":             true,
+		"frontend.magazine_objects": *o.magazines,
 	} {
 		if err := a.Control(key, v); err != nil {
 			return mesh.TraceSnapshot{}, 0, err
 		}
 	}
 	h := workload.NewHarness(a, clock, 10*time.Millisecond)
-	heap := a.NewThread()
 	// Replay by hand rather than via Trace.Replay: the final foreground
 	// pass must run at the trace's end-state fragmentation — after the
 	// recorded ops but before leaked objects are drained — or a leaky
 	// trace's meshing opportunity is freed away before we look for it.
+	// Ops go through the Allocator-level scalar path (the front end), so
+	// stripe and magazine events land in the recording alongside the
+	// per-heap ones.
 	addrs := make(map[uint64]uint64, 1024)
 	for i, op := range tr {
 		switch op.Kind {
 		case workload.OpAlloc:
-			p, err := heap.Malloc(op.Size)
+			p, err := a.Malloc(op.Size)
 			if err != nil {
 				return mesh.TraceSnapshot{}, 0, fmt.Errorf("replay op %d: %w", i, err)
 			}
 			addrs[op.ID] = p
 			h.Step(1)
 		case workload.OpFree:
-			if err := heap.Free(addrs[op.ID]); err != nil {
+			if err := a.Free(addrs[op.ID]); err != nil {
 				return mesh.TraceSnapshot{}, 0, fmt.Errorf("replay op %d: %w", i, err)
 			}
 			delete(addrs, op.ID)
@@ -109,12 +120,11 @@ func replayTraced(o observeFlags) (mesh.TraceSnapshot, int, error) {
 			h.Step(op.Size)
 		}
 	}
-	// Detach the replay thread before the final pass: spans attached to a
-	// live thread are pinned and cannot mesh.
-	if c, ok := heap.(io.Closer); ok {
-		if err := c.Close(); err != nil {
-			return mesh.TraceSnapshot{}, 0, err
-		}
+	// Relinquish the cached heaps before the final pass: spans attached
+	// to a stripe-cached (or pooled) heap are pinned and cannot mesh, and
+	// the flush also drains magazine-held objects back into the heap.
+	if err := a.Flush(); err != nil {
+		return mesh.TraceSnapshot{}, 0, err
 	}
 	released := a.Mesh()
 	series := h.Finish()

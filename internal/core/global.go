@@ -129,6 +129,22 @@ type Config struct {
 	// the double-free and use-after-free detection window. Implies
 	// Hardening. Runtime-togglable via the harden.quarantine control.
 	Quarantine bool
+	// FrontEnd enables the per-stripe front-end cache (default true in
+	// DefaultConfig): Allocator-level calls take their thread heap from a
+	// striped slot array keyed by a goroutine-stripe hash — one uncontended
+	// swap on a stripe-private cache line — instead of the shared heap
+	// pool, which becomes the cold/overflow path. Semantics are identical
+	// either way. Runtime-togglable via the frontend.enabled control.
+	FrontEnd bool
+	// MagazineObjects is the per-size-class magazine capacity of each
+	// front-end heap (default 0 = magazines off). When positive, scalar
+	// Malloc/Free hits pop/push a stripe-local array of cached object
+	// addresses — no shared atomics at all — refilled and drained in
+	// batches of half the capacity through the batch machinery. Magazine
+	// frees trust the caller like the paper's fast path (§4.1): double
+	// frees bypass detection until the flush. Runtime-tunable via the
+	// frontend.magazine_objects control.
+	MagazineObjects int
 }
 
 // DefaultMaxPause is the per-slice pause bound used when Config.MaxPause
@@ -147,6 +163,7 @@ func DefaultConfig() Config {
 		MaxPause:        DefaultMaxPause,
 		RemoteQueues:    true,
 		OOMBackpressure: true,
+		FrontEnd:        true,
 	}
 }
 
@@ -358,10 +375,19 @@ func (cs *classState) binRemove(b int, mh *miniheap.MiniHeap) {
 // the hierarchy normally — shard lock, address re-resolution — so it
 // serializes with meshing fix-ups exactly like any other non-local free.
 // Drains therefore must not run while holding any lock in the hierarchy;
-// every drain point (refill, Done, pool park/unpark) calls with none
-// held. Ordering the queue below the barrier would be wrong in the other
-// direction too: the engine never touches remote queues, so no hold-and-
-// wait cycle through them exists.
+// every drain point (refill, Done, pool park/unpark, front-end stripe
+// release) calls with none held. Ordering the queue below the barrier
+// would be wrong in the other direction too: the engine never touches
+// remote queues, so no hold-and-wait cycle through them exists.
+//
+// The front-end stripe cache (internal/frontend) likewise sits outside
+// the hierarchy: a stripe hand-off is one swap/CAS on a stripe-private
+// slot performed with no lock held, and a magazine hit touches nothing
+// shared at all. Its slow paths — magazine fill and flush, stripe-miss
+// pool borrows — re-enter the hierarchy through the ordinary batch
+// malloc/free entry points (shard locks, remote queues) with no lock
+// held on entry, so the stripe layer can neither invert the order nor
+// hold-and-wait against meshing.
 type GlobalHeap struct {
 	cfg   Config // immutable after construction; runtime-tunable knobs live in the atomics below
 	os    *vm.OS

@@ -249,6 +249,8 @@ func (t *ThreadHeap) hardenFreeLocal(class int, mh *miniheap.MiniHeap, off int, 
 // spans outlive a runtime disable and allocations they serve must still
 // fit above the guard word. The never-enabled cost is the one atomic
 // flags load.
+//
+//mesh:lockfree
 func (t *ThreadHeap) allocClassFor(size int) (int, bool) {
 	if size <= 0 {
 		return 0, false

@@ -1,0 +1,352 @@
+package frontend
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// testCache builds a Cache over a fresh global heap with counting
+// borrow/ret bridges, mirroring how mesh wires it to the heap pool.
+func testCache(t *testing.T, enabled bool, magObjects int) (*Cache, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Clock = core.NewLogicalClock()
+	cfg.MeshPeriod = 0
+	g := core.NewGlobalHeap(cfg)
+	var nextID, borrows, rets atomic.Int64
+	borrow := func() *core.ThreadHeap {
+		borrows.Add(1)
+		return core.NewThreadHeap(g, uint64(nextID.Add(1)))
+	}
+	ret := func(th *core.ThreadHeap) {
+		rets.Add(1)
+		if err := th.Done(); err != nil {
+			t.Errorf("retiring heap: %v", err)
+		}
+	}
+	return NewCache(g, enabled, magObjects, borrow, ret), &borrows, &rets
+}
+
+func TestDisabledCacheNeverAcquires(t *testing.T) {
+	c, borrows, _ := testCache(t, false, 0)
+	if _, ok := c.Acquire(); ok {
+		t.Fatal("disabled cache handed out a front")
+	}
+	if borrows.Load() != 0 {
+		t.Fatalf("disabled cache borrowed %d heaps", borrows.Load())
+	}
+}
+
+func TestStripeParkAndReuse(t *testing.T) {
+	c, borrows, rets := testCache(t, true, 0)
+	f, ok := c.Acquire()
+	if !ok {
+		t.Fatal("enabled cache refused to acquire")
+	}
+	if borrows.Load() != 1 || c.Misses() != 1 {
+		t.Fatalf("cold acquire: borrows=%d misses=%d, want 1/1", borrows.Load(), c.Misses())
+	}
+	p, err := f.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(f); err != nil {
+		t.Fatal(err)
+	}
+	// Same goroutine, same stack page: the second acquire must hit the
+	// parked front without touching the pool bridge.
+	g, ok := c.Acquire()
+	if !ok || g != f {
+		t.Fatalf("warm acquire returned %p ok=%v, want the parked front %p", g, ok, f)
+	}
+	if borrows.Load() != 1 || c.Hits() != 1 {
+		t.Fatalf("warm acquire: borrows=%d hits=%d, want 1/1", borrows.Load(), c.Hits())
+	}
+	if err := g.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if rets.Load() != 1 {
+		t.Fatalf("Flush retired %d heaps, want 1", rets.Load())
+	}
+	if _, ok := c.Acquire(); !ok {
+		t.Fatal("cache refused to acquire after Flush")
+	}
+}
+
+func TestReleaseOverflowRetires(t *testing.T) {
+	c, borrows, rets := testCache(t, true, 0)
+	// One goroutine acquires more fronts than there are stripes: every
+	// Acquire empties the caller's stripe, so each is a miss. Releasing
+	// all of them can park at most NumStripes fronts (own stripe + the
+	// overflow scan); the rest must retire through the pool bridge.
+	const extra = 3
+	fronts := make([]*Front, NumStripes+extra)
+	for i := range fronts {
+		f, ok := c.Acquire()
+		if !ok {
+			t.Fatal("acquire refused")
+		}
+		fronts[i] = f
+	}
+	if borrows.Load() != int64(len(fronts)) {
+		t.Fatalf("borrows = %d, want %d", borrows.Load(), len(fronts))
+	}
+	for _, f := range fronts {
+		if err := c.Release(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rets.Load() != extra {
+		t.Fatalf("overflow releases retired %d heaps, want %d", rets.Load(), extra)
+	}
+}
+
+func TestMagazineFillAndFlush(t *testing.T) {
+	const cap = 8
+	c, _, _ := testCache(t, true, cap)
+	f, _ := c.Acquire()
+
+	// Cold magazine: the first Malloc batch-fills half the capacity and
+	// pops one.
+	p, err := f.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fills() != 1 {
+		t.Fatalf("fills = %d after cold malloc, want 1", c.Fills())
+	}
+	if f.cached != cap/2-1 {
+		t.Fatalf("cached = %d after fill+pop, want %d", f.cached, cap/2-1)
+	}
+	// The remaining half-capacity allocations are all magazine pops: no
+	// further fills.
+	ptrs := []uint64{p}
+	for i := 0; i < cap/2-1; i++ {
+		q, err := f.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, q)
+	}
+	if c.Fills() != 1 {
+		t.Fatalf("fills = %d after warm mallocs, want 1", c.Fills())
+	}
+	seen := map[uint64]bool{}
+	for _, q := range ptrs {
+		if seen[q] {
+			t.Fatalf("duplicate address %#x from magazine", q)
+		}
+		seen[q] = true
+	}
+
+	// Frees push back without flushing until the magazine overflows.
+	for _, q := range ptrs {
+		if err := f.Free(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Flushes() != 0 {
+		t.Fatalf("flushes = %d before overflow, want 0", c.Flushes())
+	}
+	// Balanced pop/push traffic can never overflow; imbalance comes from
+	// frees of objects the magazine didn't supply. Allocate around the
+	// magazine (the heap's ordinary path), then free through it: the
+	// pushes land on top of the cached half and force a half flush.
+	var more []uint64
+	for i := 0; i < cap; i++ {
+		q, err := f.Heap().Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		more = append(more, q)
+	}
+	for _, q := range more {
+		if err := f.Free(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Flushes() == 0 {
+		t.Fatal("overfreeing never flushed the magazine")
+	}
+
+	if err := c.Release(f); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CachedObjects(); got == 0 {
+		t.Fatal("parked front reported no cached objects")
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CachedObjects(); got != 0 {
+		t.Fatalf("cached objects = %d after Flush, want 0", got)
+	}
+}
+
+func TestMagazineRoutesIneligibleFrees(t *testing.T) {
+	c, _, _ := testCache(t, true, 8)
+	f, _ := c.Acquire()
+	// An address the page map cannot resolve is not magazine-eligible; it
+	// takes the heap's ordinary path and keeps its typed error.
+	if err := f.Free(0xdead0000); err == nil {
+		t.Fatal("invalid free through the magazine path reported no error")
+	}
+	// Large objects bypass magazines entirely.
+	p, err := f.Malloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if c.Fills() != 0 || c.Flushes() != 0 {
+		t.Fatalf("large round trip touched magazines: fills=%d flushes=%d", c.Fills(), c.Flushes())
+	}
+	// A settled double free (freed, flushed out of the magazine) is
+	// routed to the checked path and reported.
+	q, err := f.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Free(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil { // settles q out of the magazine
+		t.Fatal(err)
+	}
+	f, _ = c.Acquire()
+	if err := f.Free(q); err == nil {
+		t.Fatal("double free of a settled object reported no error")
+	}
+	if err := c.Release(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetMagazineObjectsClampsAndRetiresStaleFronts(t *testing.T) {
+	c, _, rets := testCache(t, true, MaxMagazineObjects+100)
+	if got := c.MagazineObjects(); got != MaxMagazineObjects {
+		t.Fatalf("capacity = %d, want clamped %d", got, MaxMagazineObjects)
+	}
+	f, _ := c.Acquire()
+	if f.magCap != MaxMagazineObjects {
+		t.Fatalf("front capacity = %d, want %d", f.magCap, MaxMagazineObjects)
+	}
+	p, err := f.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(f); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity writes flush, so no front built with the old capacity
+	// survives; the next acquire sees the new setting.
+	if err := c.SetMagazineObjects(4); err != nil {
+		t.Fatal(err)
+	}
+	if rets.Load() != 1 {
+		t.Fatalf("capacity write retired %d fronts, want 1", rets.Load())
+	}
+	g, _ := c.Acquire()
+	if g.magCap != 4 {
+		t.Fatalf("new front capacity = %d, want 4", g.magCap)
+	}
+	if err := c.Release(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetMagazineObjects(-1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MagazineObjects(); got != 0 {
+		t.Fatalf("negative capacity clamped to %d, want 0", got)
+	}
+}
+
+func TestDisableFlushesAndRestoresPoolPath(t *testing.T) {
+	c, _, rets := testCache(t, true, 8)
+	f, _ := c.Acquire()
+	p, err := f.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetEnabled(false); err != nil {
+		t.Fatal(err)
+	}
+	if rets.Load() != 1 {
+		t.Fatalf("disable retired %d fronts, want 1", rets.Load())
+	}
+	if c.CachedObjects() != 0 {
+		t.Fatalf("cached objects = %d after disable, want 0", c.CachedObjects())
+	}
+	if _, ok := c.Acquire(); ok {
+		t.Fatal("disabled cache handed out a front")
+	}
+}
+
+func TestReleaseAfterDisableRetires(t *testing.T) {
+	// A front acquired before the disable must retire on release, not
+	// repopulate a stripe of a disabled cache.
+	c, _, rets := testCache(t, true, 0)
+	f, _ := c.Acquire()
+	if err := c.SetEnabled(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(f); err != nil {
+		t.Fatal(err)
+	}
+	if rets.Load() != 1 {
+		t.Fatalf("in-flight front survived the disable: rets=%d", rets.Load())
+	}
+}
+
+func TestMagazineAccountingBalancesAtQuiescence(t *testing.T) {
+	// Heap-level accounting counts magazine population as allocated; the
+	// identity allocs == frees must close once the cache flushes.
+	c, _, _ := testCache(t, true, 16)
+	f, _ := c.Acquire()
+	var live []uint64
+	for i := 0; i < 200; i++ {
+		p, err := f.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, p)
+	}
+	for _, p := range live {
+		if err := f.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Release(f); err != nil {
+		t.Fatal(err)
+	}
+	if c.CachedObjects() <= 0 {
+		t.Fatal("app-level quiescence left no magazine skew to report")
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if c.CachedObjects() != 0 {
+		t.Fatalf("cached objects = %d after Flush, want 0", c.CachedObjects())
+	}
+}

@@ -69,7 +69,10 @@ func init() {
 
 // ClassForSize returns the index of the smallest size class that can hold a
 // request of size bytes, and true on success. It returns (-1, false) when
-// size exceeds MaxSize (a large allocation) or size is not positive.
+// size exceeds MaxSize (a large allocation) or size is not positive. Pure
+// table lookups over immutable init-time state: safe on lock-free paths.
+//
+//mesh:lockfree
 func ClassForSize(size int) (int, bool) {
 	if size <= 0 {
 		return -1, false

@@ -100,6 +100,14 @@ const (
 	// translation, excluded from meshing — and the allocator kept
 	// serving. A=span base virtual address, B=live objects lost.
 	EvSpanRetired
+	// EvMagazineFill: a front-end magazine restocked from its cached
+	// heap's shuffle vectors (one MallocClassBatch). A=size class,
+	// B=objects filled.
+	EvMagazineFill
+	// EvMagazineFlush: a front-end magazine released cached objects back
+	// through the free path (one FreeBatch). A=size class, B=objects
+	// flushed.
+	EvMagazineFlush
 
 	numKinds
 )
@@ -125,6 +133,8 @@ var kindNames = [numKinds]string{
 
 	EvHardenViolation: "harden_violation",
 	EvSpanRetired:     "span_retired",
+	EvMagazineFill:    "magazine_fill",
+	EvMagazineFlush:   "magazine_flush",
 }
 
 // String returns the event kind's snake_case name.
@@ -162,6 +172,10 @@ const (
 	// SrcHarden is the heap-hardening layer (violations found outside a
 	// heap context: the background auditor and the meshing sweep).
 	SrcHarden uint32 = 1<<32 - 6
+	// SrcFrontend is the per-stripe front-end cache (magazine fill and
+	// flush events; the rings are multi-producer, so every stripe shares
+	// this one source).
+	SrcFrontend uint32 = 1<<32 - 7
 )
 
 // SourceName renders a source ID: reserved singletons by name, heap
@@ -180,6 +194,8 @@ func SourceName(src uint32) string {
 		return "fault"
 	case SrcHarden:
 		return "harden"
+	case SrcFrontend:
+		return "frontend"
 	default:
 		return fmt.Sprintf("heap-%d", src)
 	}

@@ -8,11 +8,22 @@ import (
 
 // This file carries the rest of the interposed libc surface (§4) on the
 // public types, plus the deprecated predecessors of the Control surface.
-// Allocator-level calls borrow a pooled heap and are safe for concurrent
-// use; Thread-level calls run on the pinned heap.
+// Allocator-level calls take the front end's stripe-cached heap (falling
+// back to a pool borrow) and are safe for concurrent use; Thread-level
+// calls run on the pinned heap. These composite operations use the
+// cached heap directly rather than the magazines — their inner
+// mallocs/frees are not the scalar hot path — so they keep the locked
+// path's full error detection.
 
 // Calloc allocates n objects of size bytes each, zeroed.
 func (a *Allocator) Calloc(n, size int) (Ptr, error) {
+	if f, ok := a.front.Acquire(); ok {
+		p, err := f.Heap().Calloc(n, size)
+		if rerr := a.front.Release(f); rerr != nil && err == nil {
+			err = rerr
+		}
+		return p, err
+	}
 	th := a.pool.acquire()
 	p, err := th.Calloc(n, size)
 	a.pool.release(th)
@@ -23,6 +34,13 @@ func (a *Allocator) Calloc(n, size int) (Ptr, error) {
 // realloc semantics, including Realloc(0, n) = Malloc and Realloc(p, 0) =
 // Free).
 func (a *Allocator) Realloc(p Ptr, size int) (Ptr, error) {
+	if f, ok := a.front.Acquire(); ok {
+		q, err := f.Heap().Realloc(p, size)
+		if rerr := a.front.Release(f); rerr != nil && err == nil {
+			err = rerr
+		}
+		return q, err
+	}
 	th := a.pool.acquire()
 	q, err := th.Realloc(p, size)
 	a.pool.release(th)
@@ -32,6 +50,13 @@ func (a *Allocator) Realloc(p Ptr, size int) (Ptr, error) {
 // AlignedAlloc allocates size bytes aligned to align (a power of two up to
 // the page size).
 func (a *Allocator) AlignedAlloc(align, size int) (Ptr, error) {
+	if f, ok := a.front.Acquire(); ok {
+		p, err := f.Heap().AlignedAlloc(align, size)
+		if rerr := a.front.Release(f); rerr != nil && err == nil {
+			err = rerr
+		}
+		return p, err
+	}
 	th := a.pool.acquire()
 	p, err := th.AlignedAlloc(align, size)
 	a.pool.release(th)

@@ -180,32 +180,67 @@ func TestConcurrentMixedThreadsAndPool(t *testing.T) {
 }
 
 // TestPoolReusesHeaps checks that sequential Allocator calls recycle one
-// pooled heap instead of growing the population.
+// heap instead of growing the population: with the front end on, the heap
+// lives on a stripe (one pool borrow ever, for the cold start); with it
+// off, every call round-trips through the pool exactly as before the
+// stripe layer existed.
 func TestPoolReusesHeaps(t *testing.T) {
-	a := New(WithSeed(3))
-	for i := 0; i < 100; i++ {
-		p, err := a.Malloc(64)
+	run := func(t *testing.T, a *Allocator) {
+		t.Helper()
+		for i := 0; i < 100; i++ {
+			p, err := a.Malloc(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Free(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		created, err := a.ReadControl("pool.created")
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := a.Free(p); err != nil {
-			t.Fatal(err)
+		if created.(int) != 1 {
+			t.Fatalf("sequential use created %d heaps, want 1", created)
 		}
 	}
-	created, err := a.ReadControl("pool.created")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if created.(int) != 1 {
-		t.Fatalf("sequential use created %d heaps, want 1", created)
-	}
-	idle, err := a.ReadControl("pool.idle")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if idle.(int) != 1 {
-		t.Fatalf("pool.idle = %d, want 1", idle)
-	}
+	t.Run("frontend", func(t *testing.T) {
+		a := New(WithSeed(3))
+		run(t, a)
+		// The heap is parked on the caller's stripe, not in the pool, and
+		// only the cold start paid a pool borrow.
+		if idle, _ := a.ReadControl("pool.idle"); idle.(int) != 0 {
+			t.Fatalf("pool.idle = %d, want 0 (heap cached on a stripe)", idle)
+		}
+		if borrows, _ := a.ReadControl("stats.pool.borrows"); borrows.(uint64) != 1 {
+			t.Fatalf("stats.pool.borrows = %d, want 1 (cold start only)", borrows)
+		}
+		hits, _ := a.ReadControl("stats.frontend.hits")
+		misses, _ := a.ReadControl("stats.frontend.misses")
+		if hits.(uint64)+misses.(uint64) != 200 || misses.(uint64) != 1 {
+			t.Fatalf("stripe traffic hits=%d misses=%d, want 199/1", hits, misses)
+		}
+		// Flush moves the heap back through the pool and relinquishes it.
+		if err := a.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if idle, _ := a.ReadControl("pool.idle"); idle.(int) != 0 {
+			t.Fatalf("pool.idle = %d after Flush, want 0", idle)
+		}
+	})
+	t.Run("pool-only", func(t *testing.T) {
+		a := New(WithSeed(3), WithFrontend(false))
+		run(t, a)
+		if idle, _ := a.ReadControl("pool.idle"); idle.(int) != 1 {
+			t.Fatalf("pool.idle = %d, want 1", idle)
+		}
+		if borrows, _ := a.ReadControl("stats.pool.borrows"); borrows.(uint64) != 200 {
+			t.Fatalf("stats.pool.borrows = %d, want 200 (one per call)", borrows)
+		}
+		if hits, _ := a.ReadControl("stats.frontend.hits"); hits.(uint64) != 0 {
+			t.Fatalf("stats.frontend.hits = %d with the front end off, want 0", hits)
+		}
+	})
 }
 
 // TestFlushMakesPooledSpansMeshable verifies the lifecycle story: spans

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"repro/internal/frontend"
 )
 
 // This file implements the unified runtime-control surface, modeled on the
@@ -29,6 +31,8 @@ import (
 //	pool.idle         int             r         thread heaps parked in the pool
 //	pool.created      int             r         thread heaps ever created by the pool
 //	pool.flush        (ignored)       w         relinquish idle pooled heaps (= Flush)
+//	frontend.enabled  bool            rw        per-stripe front-end heap cache on/off (off also flushes the stripes; every call then borrows from the pool)
+//	frontend.magazine_objects int     rw        per-size-class magazine capacity in objects, 0 = magazines off; max frontend.MaxMagazineObjects; writing flushes cached fronts
 //	stats.rss         int64           r         resident physical bytes
 //	stats.live        int64           r         live object bytes
 //	stats.allocs      uint64          r         total allocations
@@ -41,8 +45,13 @@ import (
 //	stats.vm.retries  uint64          r         seqlock retries on the data path (health metric: ≈0 is healthy)
 //	stats.remote.queued uint64        r         frees message-passed to owner queues (no shard lock taken)
 //	stats.remote.drained uint64       r         queued frees settled by owners; equals queued at quiescence
-//	stats.pool.borrows uint64         r         thread-heap hand-offs out of the pool (one per Allocator-level call)
+//	stats.pool.borrows uint64         r         thread-heap hand-offs out of the pool (stripe misses only while the front end is on)
 //	stats.pool.returns uint64         r         thread-heap hand-offs back into the pool
+//	stats.frontend.hits uint64        r         Allocator-level calls served by a stripe-cached heap (no pool hand-off)
+//	stats.frontend.misses uint64      r         Allocator-level calls that fell through to a pool borrow
+//	stats.frontend.fills uint64       r         magazine refills from the heap (one batched alloc each)
+//	stats.frontend.flushes uint64     r         magazine flushes back to the heap (one batched free each)
+//	stats.frontend.cached_objects int64 r       objects currently parked in stripe magazines (allocs - frees skew; 0 after Flush)
 //	trace.enabled     bool            rw        flight recorder on/off (off = one atomic load per emission site)
 //	trace.sample_rate int             rw        record 1 in n alloc/free events (min 1; other kinds are unsampled)
 //	trace.buffer_events int           rw        per-source ring capacity in events, rounded up to a power of two; applies to rings created after the write
@@ -214,6 +223,45 @@ var controls = map[string]control{
 	},
 	"pool.flush": {
 		set: func(a *Allocator, _ any) error { return a.pool.flush() },
+	},
+	"frontend.enabled": {
+		set: func(a *Allocator, v any) error {
+			b, ok := v.(bool)
+			if !ok {
+				return fmt.Errorf("%w: need bool, got %T", ErrControlType, v)
+			}
+			return a.front.SetEnabled(b)
+		},
+		get: func(a *Allocator) (any, error) { return a.front.Enabled(), nil },
+	},
+	"frontend.magazine_objects": {
+		set: func(a *Allocator, v any) error {
+			n, err := asInt64(v)
+			if err != nil {
+				return err
+			}
+			if n < 0 || n > frontend.MaxMagazineObjects {
+				return fmt.Errorf("%w: frontend.magazine_objects must be in [0, %d], got %d",
+					ErrControlType, frontend.MaxMagazineObjects, n)
+			}
+			return a.front.SetMagazineObjects(int(n))
+		},
+		get: func(a *Allocator) (any, error) { return a.front.MagazineObjects(), nil },
+	},
+	"stats.frontend.hits": {
+		get: func(a *Allocator) (any, error) { return a.front.Hits(), nil },
+	},
+	"stats.frontend.misses": {
+		get: func(a *Allocator) (any, error) { return a.front.Misses(), nil },
+	},
+	"stats.frontend.fills": {
+		get: func(a *Allocator) (any, error) { return a.front.Fills(), nil },
+	},
+	"stats.frontend.flushes": {
+		get: func(a *Allocator) (any, error) { return a.front.Flushes(), nil },
+	},
+	"stats.frontend.cached_objects": {
+		get: func(a *Allocator) (any, error) { return a.front.CachedObjects(), nil },
 	},
 	"stats.rss": {
 		get: func(a *Allocator) (any, error) { return a.RSS(), nil },

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"repro/internal/frontend"
 )
 
 // TestControlKeyTable exercises every control key: round-trips for
@@ -29,6 +31,14 @@ func TestControlKeyTable(t *testing.T) {
 		{key: "pool.idle", want: 0, readback: true},
 		{key: "pool.created", want: 0, readback: true},
 		{key: "pool.flush", set: struct{}{}},
+		{key: "frontend.enabled", set: true, want: true, readback: true},
+		{key: "frontend.magazine_objects", set: 64, want: 64, readback: true},
+		// No Allocator-level call has run, so the stripes are untouched.
+		{key: "stats.frontend.hits", want: uint64(0), readback: true},
+		{key: "stats.frontend.misses", want: uint64(0), readback: true},
+		{key: "stats.frontend.fills", want: uint64(0), readback: true},
+		{key: "stats.frontend.flushes", want: uint64(0), readback: true},
+		{key: "stats.frontend.cached_objects", want: int64(0), readback: true},
 		{key: "stats.rss", want: int64(0), readback: true},
 		{key: "stats.live", want: int64(0), readback: true},
 		{key: "stats.allocs", want: uint64(0), readback: true},
@@ -157,6 +167,11 @@ func TestControlBadTypes(t *testing.T) {
 		{"harden.audit_spans", int64(-1)},
 		{"harden.audit_spans", "all"},
 		{"harden.audit_spans", 1.5},
+		{"frontend.enabled", 1},
+		{"frontend.enabled", "on"},
+		{"frontend.magazine_objects", int64(-1)},
+		{"frontend.magazine_objects", "many"},
+		{"frontend.magazine_objects", frontend.MaxMagazineObjects + 1},
 	}
 	for _, tc := range bad {
 		if err := a.Control(tc.key, tc.val); !errors.Is(err, ErrControlType) {
@@ -193,6 +208,21 @@ func TestControlBadTypes(t *testing.T) {
 	}
 	if got, _ := a.ReadControl("harden.audit_spans"); got != 16 {
 		t.Fatalf("rejected harden.audit_spans write clobbered the budget: %v", got)
+	}
+
+	// Same for the front end: rejected writes leave the capacity (and the
+	// enable switch, which defaults on) untouched.
+	if err := a.Control("frontend.magazine_objects", 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Control("frontend.magazine_objects", frontend.MaxMagazineObjects+1); !errors.Is(err, ErrControlType) {
+		t.Fatalf("oversized frontend.magazine_objects = %v, want ErrControlType", err)
+	}
+	if got, _ := a.ReadControl("frontend.magazine_objects"); got != 32 {
+		t.Fatalf("rejected frontend.magazine_objects write clobbered the capacity: %v", got)
+	}
+	if got, _ := a.ReadControl("frontend.enabled"); got != true {
+		t.Fatalf("rejected frontend writes flipped frontend.enabled to %v", got)
 	}
 }
 

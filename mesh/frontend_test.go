@@ -1,0 +1,342 @@
+package mesh
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func readFrontU64(t *testing.T, a *Allocator, key string) uint64 {
+	t.Helper()
+	v, err := a.ReadControl(key)
+	if err != nil {
+		t.Fatalf("ReadControl(%q): %v", key, err)
+	}
+	return v.(uint64)
+}
+
+// TestFrontendDisabledParity pins the escape hatch: with the front end
+// off, a scalar workload takes exactly the pre-front-end pool path, and
+// because either way the traffic is served by the same single heap, the
+// address sequences of the two configurations are identical.
+func TestFrontendDisabledParity(t *testing.T) {
+	run := func(a *Allocator) []Ptr {
+		var seq []Ptr
+		for i := 0; i < 300; i++ {
+			size := []int{16, 64, 256, 1024}[i%4]
+			p, err := a.Malloc(size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq = append(seq, p)
+			if i%2 == 1 {
+				if err := a.Free(seq[i-1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return seq
+	}
+	on := New(WithSeed(7), WithClock(NewLogicalClock()), WithMeshing(false))
+	off := New(WithSeed(7), WithClock(NewLogicalClock()), WithMeshing(false), WithFrontend(false))
+	seqOn, seqOff := run(on), run(off)
+	for i := range seqOn {
+		if seqOn[i] != seqOff[i] {
+			t.Fatalf("address %d diverged: frontend=%#x pool-only=%#x", i, seqOn[i], seqOff[i])
+		}
+	}
+	// The pool-only allocator paid one borrow per call (300 mallocs +
+	// 150 frees); the front end paid one, for the cold start — the
+	// >=10x per-op reduction the stripe layer exists for.
+	if b := readFrontU64(t, off, "stats.pool.borrows"); b != 450 {
+		t.Fatalf("pool-only borrows = %d, want 450", b)
+	}
+	if b := readFrontU64(t, on, "stats.pool.borrows"); b != 1 {
+		t.Fatalf("frontend borrows = %d, want 1", b)
+	}
+}
+
+// TestFrontendRuntimeToggle flips frontend.enabled mid-traffic and checks
+// both directions take effect: disabling flushes the stripes and routes
+// every call through the pool again; re-enabling repopulates.
+func TestFrontendRuntimeToggle(t *testing.T) {
+	a := New(WithSeed(11), WithClock(NewLogicalClock()))
+	for i := 0; i < 10; i++ {
+		p, err := a.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Control("frontend.enabled", false); err != nil {
+		t.Fatal(err)
+	}
+	if idle, _ := a.ReadControl("pool.idle"); idle.(int) != 1 {
+		t.Fatalf("disable did not hand the cached heap back: pool.idle = %d", idle)
+	}
+	b0 := readFrontU64(t, a, "stats.pool.borrows")
+	h0 := readFrontU64(t, a, "stats.frontend.hits")
+	for i := 0; i < 10; i++ {
+		p, err := a.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := readFrontU64(t, a, "stats.pool.borrows") - b0; d != 20 {
+		t.Fatalf("disabled front end: pool borrows grew %d over 20 calls, want 20", d)
+	}
+	if d := readFrontU64(t, a, "stats.frontend.hits") - h0; d != 0 {
+		t.Fatalf("disabled front end recorded %d stripe hits", d)
+	}
+	if err := a.Control("frontend.enabled", true); err != nil {
+		t.Fatal(err)
+	}
+	b1 := readFrontU64(t, a, "stats.pool.borrows")
+	for i := 0; i < 10; i++ {
+		p, err := a.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := readFrontU64(t, a, "stats.pool.borrows") - b1; d != 1 {
+		t.Fatalf("re-enabled front end: pool borrows grew %d, want 1 (cold restart)", d)
+	}
+}
+
+// TestMagazineAccountingIdentity checks the accounting contract with
+// magazines on: mid-traffic the heap-level identity holds with the skew
+// reported by stats.frontend.cached_objects; Flush closes the books.
+func TestMagazineAccountingIdentity(t *testing.T) {
+	a := New(WithSeed(13), WithClock(NewLogicalClock()), WithMagazineObjects(32))
+	var live []Ptr
+	for i := 0; i < 500; i++ {
+		p, err := a.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, p)
+	}
+	for _, p := range live {
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// App-level quiescent, heap-level not: the magazines hold objects the
+	// heap still counts as allocated.
+	cached, err := a.ReadControl("stats.frontend.cached_objects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if cached.(int64) <= 0 {
+		t.Fatalf("stats.frontend.cached_objects = %d after churn, want > 0", cached)
+	}
+	if st.Allocs-st.Frees != uint64(cached.(int64)) {
+		t.Fatalf("skew mismatch: allocs-frees = %d, cached_objects = %d",
+			st.Allocs-st.Frees, cached)
+	}
+	if fills := readFrontU64(t, a, "stats.frontend.fills"); fills == 0 {
+		t.Fatal("magazine traffic recorded no fills")
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st = a.Stats()
+	if st.Allocs != st.Frees || st.Live != 0 {
+		t.Fatalf("identity open after Flush: allocs=%d frees=%d live=%d",
+			st.Allocs, st.Frees, st.Live)
+	}
+	if cached, _ := a.ReadControl("stats.frontend.cached_objects"); cached.(int64) != 0 {
+		t.Fatalf("stats.frontend.cached_objects = %d after Flush, want 0", cached)
+	}
+	if flushes := readFrontU64(t, a, "stats.frontend.flushes"); flushes == 0 {
+		t.Fatal("Flush drained no magazines")
+	}
+	requireCleanInvariants(t, a)
+}
+
+// TestMagazineTraceEvents checks the flight recorder captures the
+// magazine lifecycle: fill and flush events from the frontend source.
+func TestMagazineTraceEvents(t *testing.T) {
+	a := New(WithSeed(17), WithClock(NewLogicalClock()), WithMagazineObjects(8),
+		WithTracing(true), WithTraceSampleRate(1))
+	var ptrs []Ptr
+	for i := 0; i < 64; i++ {
+		p, err := a.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	for _, p := range ptrs {
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	byKind := map[string]uint64{}
+	for k, n := range a.TraceSnapshot().CountByKind() {
+		byKind[fmt.Sprint(k)] = n
+	}
+	if byKind["magazine_fill"] == 0 {
+		t.Errorf("no magazine_fill events recorded: %v", byKind)
+	}
+	if byKind["magazine_flush"] == 0 {
+		t.Errorf("no magazine_flush events recorded: %v", byKind)
+	}
+}
+
+// TestMagazineHardenedFlushDetectsCanarySmash pins the hardening
+// integration: the canary check runs at the flush boundary, so an
+// overflow into a magazine-cached object's guard word is detected when
+// the cache drains — as a typed error with the counter algebra intact.
+func TestMagazineHardenedFlushDetectsCanarySmash(t *testing.T) {
+	a := New(WithSeed(19), WithClock(NewLogicalClock()), WithMeshing(false),
+		WithHardening(true), WithMagazineObjects(8))
+	p, err := a.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usable, err := a.UsableSize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatal(err) // parked in the magazine; canary not yet checked
+	}
+	// Overflow into the guard word while the object sits in the cache.
+	if err := a.Write(p+Ptr(usable), []byte{0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); !errors.Is(err, ErrHeapCorruption) {
+		t.Fatalf("flush over a smashed canary = %v, want ErrHeapCorruption", err)
+	}
+	st := a.Stats().Harden
+	if st.Violations == 0 {
+		t.Fatal("smashed canary recorded no violation")
+	}
+	if st.Checks != st.Violations+st.Passes {
+		t.Fatalf("checks %d != violations %d + passes %d", st.Checks, st.Violations, st.Passes)
+	}
+	// Containment, not crash: fresh traffic still works.
+	q, err := a.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	requireCleanInvariants(t, a)
+}
+
+// TestMagazineHardenedRoundTripStaysClean drives hardened traffic through
+// the magazines and checks clean traffic stays clean: the fill boundary's
+// poison verification and the flush boundary's canary checks all pass.
+func TestMagazineHardenedRoundTripStaysClean(t *testing.T) {
+	a := New(WithSeed(23), WithClock(NewLogicalClock()), WithHardening(true),
+		WithMagazineObjects(16))
+	for round := 0; round < 3; round++ {
+		var ptrs []Ptr
+		for i := 0; i < 100; i++ {
+			p, err := a.Malloc(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Write(p, []byte("payload")); err != nil {
+				t.Fatal(err)
+			}
+			ptrs = append(ptrs, p)
+		}
+		for _, p := range ptrs {
+			if err := a.Free(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats().Harden
+	if st.Checks == 0 {
+		t.Fatal("hardened magazine traffic recorded no verifications")
+	}
+	if st.Violations != 0 {
+		t.Fatalf("clean traffic recorded %d violations", st.Violations)
+	}
+	if st.Checks != st.Violations+st.Passes {
+		t.Fatalf("checks %d != violations %d + passes %d", st.Checks, st.Violations, st.Passes)
+	}
+	s := a.Stats()
+	if s.Allocs != s.Frees || s.Live != 0 {
+		t.Fatalf("identity open: allocs=%d frees=%d live=%d", s.Allocs, s.Frees, s.Live)
+	}
+	requireCleanInvariants(t, a)
+}
+
+// TestMagazineMeshingKeepsAddressesValid checks the paper's core property
+// composed with the cache: meshing relocates physical bytes while virtual
+// addresses stay stable, so magazine-held (and soon-to-be-reused)
+// addresses survive passes unscathed.
+func TestMagazineMeshingKeepsAddressesValid(t *testing.T) {
+	a := New(WithSeed(29), WithClock(NewLogicalClock()), WithMagazineObjects(16))
+	// Fragment the heap through the magazine path: allocate everything
+	// first (interleaving frees would let the magazines recycle a tiny
+	// working set and never build fragmentation — by design), then free
+	// 15 of 16, keeping survivors with known contents.
+	var all, live []Ptr
+	for i := 0; i < 16*256; i++ {
+		p, err := a.Malloc(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, p)
+	}
+	for i, p := range all {
+		if i%16 == 0 {
+			if err := a.Write(p, []byte{byte(i), byte(i >> 8)}); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, p)
+		} else if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if released := a.Mesh(); released == 0 {
+		t.Fatal("meshing released nothing on a fragmented heap")
+	}
+	buf := make([]byte, 2)
+	for i, p := range live {
+		if err := a.Read(p, buf); err != nil {
+			t.Fatalf("live object %d unreadable after mesh: %v", i, err)
+		}
+		want := i * 16
+		if buf[0] != byte(want) || buf[1] != byte(want>>8) {
+			t.Fatalf("live object %d corrupted across mesh: %v", i, buf)
+		}
+	}
+	for _, p := range live {
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	requireCleanInvariants(t, a)
+}

@@ -21,9 +21,13 @@
 // An Allocator is safe for arbitrary concurrent use: like the drop-in
 // malloc replacement the paper describes (§4), any goroutine may call any
 // method at any time with no external synchronization. Internally each
-// call borrows a thread-local heap (§4.3) from a lock-free pool for its
-// duration, so concurrent Mallocs proceed in parallel on distinct heaps.
-// Frees of objects owned by other heaps are message-passed: posted to the
+// call takes a thread-local heap (§4.3) from the per-stripe front end —
+// a goroutine-stripe hash picks a padded slot, one uncontended swap
+// acquires the cached heap, one CAS parks it again — falling back to a
+// lock-free heap pool on stripe misses, so concurrent Mallocs proceed in
+// parallel on distinct heaps with no shared hand-off traffic in steady
+// state (see internal/frontend; frontend.enabled restores the pure pool
+// path). Frees of objects owned by other heaps are message-passed: posted to the
 // owning heap's lock-free remote-free queue (two atomic loads and a CAS,
 // no lock) and recycled by the owner at its next drain point — the malloc
 // slow path, thread exit, or pool park/unpark. Only frees of detached
@@ -43,7 +47,7 @@
 //	a.Free(p)
 //	fmt.Println(a.Stats().RSS)
 //
-// Performance-sensitive workers can skip the pool hand-off per call by
+// Performance-sensitive workers can skip the hand-off entirely by
 // holding an explicit Thread (the paper's thread-local heap), which pins
 // one heap for its lifetime but must be used from one goroutine at a time:
 //
@@ -55,6 +59,25 @@
 // the batch API (MallocBatch, FreeBatch), and adjust the allocator at
 // runtime through the mallctl-style Control / ReadControl surface; see
 // control.go for the key table.
+//
+// # Front-end caches
+//
+// Scalar Malloc/Free additionally support per-stripe magazine caches
+// (WithMagazineObjects, or Control("frontend.magazine_objects", n)):
+// each stripe's cached heap carries one fixed-capacity array of object
+// addresses per size class, refilled and drained in half-capacity
+// batches through the batch machinery. A magazine hit is a stripe swap
+// plus an array pop — zero shared atomic operations, no locks — which
+// brings scalar per-op cost to batch-path territory. Magazines are off
+// by default because their frees trust the caller like the paper's
+// fast path (§4.1): the locked path's invalid/double-free detection and
+// the hardening plane's poison/quarantine work are deferred to the
+// magazine flush (canary/poison checks still run, at the fill and flush
+// boundaries), and heap-level accounting counts cached objects as
+// allocated until flushed (exact again at quiescence; the skew is
+// observable as stats.frontend.cached_objects). See internal/frontend
+// for the layer diagram and stats.frontend.* for hit/miss/fill/flush
+// observability.
 //
 // # Background meshing
 //
@@ -126,11 +149,13 @@
 package mesh
 
 import (
+	"errors"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/core"
+	"repro/internal/frontend"
 	"repro/internal/harden"
 	"repro/internal/meshd"
 	"repro/internal/trace"
@@ -368,6 +393,29 @@ func WithQuarantine(enabled bool) Option {
 	return func(c *core.Config) { c.Quarantine = enabled }
 }
 
+// WithFrontend starts the allocator with the per-stripe front-end cache
+// on (the default) or off. On, Allocator-level calls take their thread
+// heap from a goroutine-striped slot array — one uncontended swap on a
+// stripe-private cache line — and the heap pool serves only stripe
+// misses and overflow. Off, every call pays the pool borrow/return round
+// trip (the pre-front-end behavior, bit for bit). Runtime-togglable via
+// Control("frontend.enabled", bool).
+func WithFrontend(enabled bool) Option {
+	return func(c *core.Config) { c.FrontEnd = enabled }
+}
+
+// WithMagazineObjects sets the per-size-class magazine capacity of each
+// front-end stripe (default 0 = magazines off; clamped to the
+// frontend.magazine_objects bounds). With magazines on, scalar
+// Malloc/Free hits are array pops/pushes with zero shared atomics,
+// refilled and drained in half-capacity batches; see the package
+// comment's "Front-end caches" section for the deferred-detection and
+// accounting-skew trade-offs. Runtime-tunable via
+// Control("frontend.magazine_objects", n).
+func WithMagazineObjects(n int) Option {
+	return func(c *core.Config) { c.MagazineObjects = n }
+}
+
 // WithOOMBackpressure enables or disables the memory-limit degradation
 // ladder (default enabled): on a limit hit, flush dirty reuse bins, run
 // an emergency synchronous mesh pass, and retry once before returning
@@ -385,6 +433,7 @@ type Allocator struct {
 	g      *core.GlobalHeap
 	nextID atomic.Uint64
 	pool   *heapPool
+	front  *frontend.Cache
 	daemon *meshd.Daemon
 }
 
@@ -397,6 +446,7 @@ func New(opts ...Option) *Allocator {
 	}
 	a := &Allocator{g: core.NewGlobalHeap(cfg)}
 	a.pool = newHeapPool(a.g, &a.nextID)
+	a.front = frontend.NewCache(a.g, cfg.FrontEnd, cfg.MagazineObjects, a.pool.acquire, a.pool.release)
 	a.daemon = meshd.New(a.g, meshd.Config{})
 	if cfg.BackgroundMeshing {
 		a.daemon.Start()
@@ -405,17 +455,26 @@ func New(opts ...Option) *Allocator {
 }
 
 // Close stops the background meshing daemon (waiting out any in-flight
-// pass) and relinquishes every idle pooled heap, like Flush. The allocator
-// remains fully usable afterwards — meshing simply reverts to the inline
-// foreground mode — so Close is the quiesce point, not a destructor. Safe
-// to call multiple times and concurrently with allocator traffic.
+// pass) and relinquishes every cached heap — front-end stripes first
+// (magazines flush, their heaps return to the pool), then every idle
+// pooled heap, like Flush. The allocator remains fully usable afterwards
+// — meshing simply reverts to the inline foreground mode — so Close is
+// the quiesce point, not a destructor. Safe to call multiple times and
+// concurrently with allocator traffic.
 func (a *Allocator) Close() error {
 	a.daemon.Stop()
-	return a.pool.flush()
+	return errors.Join(a.front.Flush(), a.pool.flush())
 }
 
 // Malloc allocates size bytes.
 func (a *Allocator) Malloc(size int) (Ptr, error) {
+	if f, ok := a.front.Acquire(); ok {
+		p, err := f.Malloc(size)
+		if rerr := a.front.Release(f); rerr != nil && err == nil {
+			err = rerr
+		}
+		return p, err
+	}
 	th := a.pool.acquire()
 	p, err := th.Malloc(size)
 	a.pool.release(th)
@@ -425,6 +484,13 @@ func (a *Allocator) Malloc(size int) (Ptr, error) {
 // Free releases an object allocated by any goroutine or Thread of this
 // allocator.
 func (a *Allocator) Free(p Ptr) error {
+	if f, ok := a.front.Acquire(); ok {
+		err := f.Free(p)
+		if rerr := a.front.Release(f); rerr != nil && err == nil {
+			err = rerr
+		}
+		return err
+	}
 	th := a.pool.acquire()
 	err := th.Free(p)
 	a.pool.release(th)
@@ -472,12 +538,15 @@ func (a *Allocator) TraceSnapshot() TraceSnapshot { return a.g.Tracer().Snapshot
 // RSS returns resident physical memory in bytes.
 func (a *Allocator) RSS() int64 { return a.g.OS().RSS() }
 
-// Flush relinquishes every idle pooled heap's attached spans to the
-// global heap, making them meshing candidates; heaps borrowed by calls in
-// flight are unaffected and the allocator remains fully usable. Call it at
-// quiescent points (before a final Mesh, or when a traffic burst ends) —
-// the pool repopulates on demand.
-func (a *Allocator) Flush() error { return a.pool.flush() }
+// Flush relinquishes every cached heap's attached spans to the global
+// heap, making them meshing candidates: front-end stripes drain first
+// (magazines flush their cached objects, restoring exact
+// application-level accounting) and their heaps join the pool, then
+// every idle pooled heap detaches. Heaps held by calls in flight are
+// unaffected and the allocator remains fully usable. Call it at
+// quiescent points (before a final Mesh, or when a traffic burst ends)
+// — the stripes and pool repopulate on demand.
+func (a *Allocator) Flush() error { return errors.Join(a.front.Flush(), a.pool.flush()) }
 
 // Thread is a per-worker heap handle (the paper's thread-local heap),
 // pinning one internal heap instead of borrowing from the pool per call.

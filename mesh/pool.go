@@ -7,10 +7,13 @@ import (
 	"repro/internal/core"
 )
 
-// heapPool hands a core.ThreadHeap to each Allocator-level call and takes
-// it back when the call returns, so arbitrary goroutines share the
-// allocator with zero ceremony while every heap still has exactly one
-// owner at a time (the single-owner invariant meshing relies on, §4.5.3).
+// heapPool is the allocator's cold-path heap store: the per-stripe front
+// end (internal/frontend) serves steady-state Allocator-level traffic
+// from its cached heaps, and the pool hands out a core.ThreadHeap only
+// on stripe misses — plus taking heaps back on stripe collisions and
+// front-end flushes, and serving every call when frontend.enabled is
+// off. Either way a heap has exactly one owner at a time (the
+// single-owner invariant meshing relies on, §4.5.3).
 //
 // Two layers, both lock-free and both non-blocking:
 //
@@ -45,10 +48,13 @@ type heapPool struct {
 	idle    atomic.Int64  // heaps currently parked in the pool (slots + stack)
 	created atomic.Uint64 // heaps ever created by this pool
 
-	// borrows/returns count hand-offs through the pool (stats.pool.*):
-	// every Allocator-level call pays one acquire/release round trip, so
-	// these are the contention-exposure metric for the pool's slot array
-	// and Treiber stack — the baseline any per-CPU-cache work must beat.
+	// borrows/returns count hand-offs through the pool (stats.pool.*).
+	// With the front end on these are true pool round trips only — stripe
+	// misses, collisions, and flushes; stripe hits count under
+	// stats.frontend.hits instead — so borrows-per-op is the measure of
+	// how often the front end fails to absorb a call. With the front end
+	// off, every Allocator-level call pays one borrow/return, the old
+	// baseline the stripes were built to beat.
 	borrows atomic.Uint64
 	returns atomic.Uint64
 }
